@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 9 — 1D topology comparison: alltoall vs. Torus.
+ *
+ * 8 NAPs with one NAM each. Each NAM has 8 inter-package links:
+ *  - alltoall: one link per peer through 7 global switches (one link
+ *    sits unused, Sec. V-A);
+ *  - Torus: a 1D ring with four links per neighbour direction
+ *    (4 bidirectional rings).
+ *
+ * Sweeps the collective payload and reports communication time for the
+ * all-to-all and all-reduce collectives on both topologies. Expected
+ * shape (paper): for all-to-all the alltoall topology always wins with
+ * the gap narrowing as size grows; for all-reduce the Torus overtakes
+ * at large sizes (it uses all 8 links and pipelines chunks across
+ * rings, while alltoall queues on the single link per peer pair).
+ */
+
+#include "bench/support.hh"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace
+{
+
+SimConfig
+torusConfig()
+{
+    SimConfig cfg;
+    cfg.torus(1, 8, 1);
+    cfg.package.rings = 4; // 4 bidirectional rings = 8 links per NAM
+    return cfg;
+}
+
+SimConfig
+allToAllConfig()
+{
+    SimConfig cfg;
+    cfg.allToAll(1, 8, 7); // 7 switches, one link per peer
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    banner("Fig. 9", "1D topology: alltoall vs Torus, 8 NAPs");
+
+    const auto sizes = args.quick ? sizeSweep(64 * KiB, 1 * MiB)
+                                  : sizeSweep(32 * KiB, 32 * MiB);
+
+    for (CollectiveKind kind :
+         {CollectiveKind::AllToAll, CollectiveKind::AllReduce}) {
+        Table t;
+        t.header({"size", "alltoall_cycles", "torus_cycles",
+                  "alltoall/torus"});
+        for (Bytes size : sizes) {
+            SimConfig a2a = allToAllConfig();
+            SimConfig torus = torusConfig();
+            applyOverrides(args, a2a);
+            applyOverrides(args, torus);
+            const Tick ta = timeCollective(a2a, kind, size);
+            const Tick tt = timeCollective(torus, kind, size);
+            t.row()
+                .cell(formatBytes(size))
+                .cell(std::uint64_t(ta))
+                .cell(std::uint64_t(tt))
+                .cell(double(ta) / double(tt), "%.3f");
+        }
+        std::printf("collective: %s\n", toString(kind));
+        emitTable(args,
+                  std::string("fig09_") + toString(kind) + ".csv", t);
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 10 — impact of 2D/3D Torus dimensionality at 64 packages.
+ *
+ * All-reduce with symmetric links (intra-package links run at the
+ * inter-package bandwidth) and the baseline per-dimension algorithm,
+ * on 1x64x1, 1x8x8, 2x8x4 and 4x4x4.
+ *
+ * Expected shape (Sec. V-B): 1x64x1 is worst (63 hops per ring);
+ * 1x8x8 wins at large sizes (lowest send volume, 28/8 N per node);
+ * 2x8x4 is worse than 1x8x8 (more data, same bottleneck ring of 8);
+ * 4x4x4 beats 2x8x4 everywhere and even 1x8x8 for small messages
+ * (fewer worst-case hops) until bandwidth dominates (~4 MB).
+ */
+
+#include "bench/support.hh"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    banner("Fig. 10", "2D/3D Torus all-reduce at 64 modules, "
+                      "symmetric links, baseline algorithm");
+
+    struct Shape
+    {
+        const char *name;
+        int m, h, v;
+    };
+    const Shape shapes[] = {
+        {"1x64x1", 1, 64, 1},
+        {"1x8x8", 1, 8, 8},
+        {"2x8x4", 2, 8, 4},
+        {"4x4x4", 4, 4, 4},
+    };
+
+    const auto sizes = args.quick ? sizeSweep(256 * KiB, 4 * MiB)
+                                  : sizeSweep(64 * KiB, 64 * MiB);
+
+    Table t;
+    t.header({"size", "1x64x1", "1x8x8", "2x8x4", "4x4x4"});
+    for (Bytes size : sizes) {
+        auto &row = t.row().cell(formatBytes(size));
+        for (const Shape &s : shapes) {
+            SimConfig cfg;
+            cfg.torus(s.m, s.h, s.v);
+            // Symmetric links: same bandwidth/latency everywhere.
+            cfg.local = cfg.package;
+            cfg.algorithm = AlgorithmFlavor::Baseline;
+            applyOverrides(args, cfg);
+            row.cell(std::uint64_t(
+                timeCollective(cfg, CollectiveKind::AllReduce, size)));
+        }
+    }
+    emitTable(args, "fig10_allreduce.csv", t);
+    return 0;
+}

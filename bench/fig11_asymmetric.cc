@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig. 11 — asymmetric hierarchical topology, 64 modules as 4x4x4
+ * (4 NAMs per NAP, 16 NAPs).
+ *
+ * Compares, for all-reduce and all-to-all:
+ *  - symmetric fabric (local links at inter-package bandwidth) vs.
+ *    asymmetric (local links 8x faster — multi-chip packaging);
+ *  - the 3-phase baseline algorithm vs. the 4-phase enhanced one
+ *    (RS local -> AR vertical -> AR horizontal -> AG local), which
+ *    cuts inter-package volume by the local dimension size (4x).
+ *
+ * Expected shape: asymmetric >> symmetric; enhanced beats baseline on
+ * the asymmetric fabric for all-reduce.
+ */
+
+#include "bench/support.hh"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace
+{
+
+SimConfig
+makeConfig(bool asymmetric, AlgorithmFlavor flavor)
+{
+    SimConfig cfg;
+    cfg.torus(4, 4, 4);
+    if (!asymmetric) {
+        // Symmetric: local links run at inter-package speed.
+        Tick lat = cfg.local.latency;
+        cfg.local = cfg.package;
+        cfg.local.latency = lat;
+    } else {
+        cfg.local.bandwidth = 8 * cfg.package.bandwidth;
+    }
+    cfg.algorithm = flavor;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    banner("Fig. 11", "asymmetric hierarchical 4x4x4: symmetric vs "
+                      "asymmetric links, baseline vs enhanced");
+
+    const auto sizes = args.quick ? sizeSweep(256 * KiB, 4 * MiB)
+                                  : sizeSweep(64 * KiB, 64 * MiB);
+
+    // All-reduce: the headline comparison.
+    {
+        Table t;
+        t.header({"size", "sym_baseline", "asym_baseline(3ph)",
+                  "asym_enhanced(4ph)", "enh_speedup"});
+        for (Bytes size : sizes) {
+            SimConfig sym = makeConfig(false, AlgorithmFlavor::Baseline);
+            SimConfig ab = makeConfig(true, AlgorithmFlavor::Baseline);
+            SimConfig ae = makeConfig(true, AlgorithmFlavor::Enhanced);
+            applyOverrides(args, sym);
+            applyOverrides(args, ab);
+            applyOverrides(args, ae);
+            const Tick ts =
+                timeCollective(sym, CollectiveKind::AllReduce, size);
+            const Tick tb =
+                timeCollective(ab, CollectiveKind::AllReduce, size);
+            const Tick te =
+                timeCollective(ae, CollectiveKind::AllReduce, size);
+            t.row()
+                .cell(formatBytes(size))
+                .cell(std::uint64_t(ts))
+                .cell(std::uint64_t(tb))
+                .cell(std::uint64_t(te))
+                .cell(double(tb) / double(te), "%.3f");
+        }
+        std::printf("collective: ALLREDUCE\n");
+        emitTable(args, "fig11_allreduce.csv", t);
+    }
+
+    // All-to-all: symmetric vs asymmetric.
+    {
+        Table t;
+        t.header({"size", "symmetric", "asymmetric", "speedup"});
+        for (Bytes size : sizes) {
+            SimConfig sym = makeConfig(false, AlgorithmFlavor::Baseline);
+            SimConfig asym = makeConfig(true, AlgorithmFlavor::Baseline);
+            applyOverrides(args, sym);
+            applyOverrides(args, asym);
+            const Tick ts =
+                timeCollective(sym, CollectiveKind::AllToAll, size);
+            const Tick ta =
+                timeCollective(asym, CollectiveKind::AllToAll, size);
+            t.row()
+                .cell(formatBytes(size))
+                .cell(std::uint64_t(ts))
+                .cell(std::uint64_t(ta))
+                .cell(double(ts) / double(ta), "%.3f");
+        }
+        std::printf("collective: ALLTOALL\n");
+        emitTable(args, "fig11_alltoall.csv", t);
+    }
+    return 0;
+}

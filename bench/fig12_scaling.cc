@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 12 — scaling the Torus from 8 to 64 modules.
+ *
+ * All-reduce with the 4-phase (enhanced) algorithm on 2x4x1, 2x4x2,
+ * 2x4x4 and 2x4x8; reports (a) total communication time and (b) the
+ * average queue delay per pipeline stage P0..P4 (P0 = ready queue)
+ * and the average network/execution time per phase P1..P4.
+ *
+ * Expected shape (Sec. V-D): time grows with size, but slowly from
+ * 2x4x2 to 2x4x4 — the bottleneck ring size stays 4, the bottleneck
+ * merely moves to the vertical dimension (visible as queue delay
+ * shifting into P2); 2x4x8 adds a ring of 8 and jumps again.
+ */
+
+#include "bench/support.hh"
+
+#include "common/logging.hh"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    banner("Fig. 12", "Torus scaling 8 -> 64 modules, 4-phase "
+                      "all-reduce: total time and P0..P4 breakdown");
+
+    struct Shape
+    {
+        const char *name;
+        int m, h, v;
+    };
+    const Shape shapes[] = {
+        {"2x4x1", 2, 4, 1},
+        {"2x4x2", 2, 4, 2},
+        {"2x4x4", 2, 4, 4},
+        {"2x4x8", 2, 4, 8},
+    };
+    const Bytes size = args.quick ? 2 * MiB : 16 * MiB;
+
+    Table total;
+    total.header({"shape", "modules", "total_cycles"});
+    Table breakdown;
+    breakdown.header({"shape", "queue.P0", "queue.P1", "queue.P2",
+                      "queue.P3", "queue.P4", "net.P1", "net.P2",
+                      "net.P3", "net.P4"});
+
+    for (const Shape &s : shapes) {
+        SimConfig cfg;
+        cfg.torus(s.m, s.h, s.v);
+        cfg.local.bandwidth = 8 * cfg.package.bandwidth;
+        cfg.algorithm = AlgorithmFlavor::Enhanced;
+        applyOverrides(args, cfg);
+
+        Cluster cluster(cfg);
+        const Tick t =
+            cluster.runCollective(CollectiveKind::AllReduce, size);
+        total.row()
+            .cell(s.name)
+            .cell(std::uint64_t(s.m * s.h * s.v))
+            .cell(std::uint64_t(t));
+
+        StatGroup stats = cluster.aggregateStats();
+        auto &row = breakdown.row().cell(s.name);
+        for (int p = 0; p <= 4; ++p)
+            row.cell(stats.accumulator(strprintf("queue.P%d", p)).mean(),
+                     "%.0f");
+        for (int p = 1; p <= 4; ++p)
+            row.cell(
+                stats.accumulator(strprintf("network.P%d", p)).mean(),
+                "%.0f");
+    }
+    std::printf("(a) total communication time, %s all-reduce\n",
+                formatBytes(size).c_str());
+    emitTable(args, "fig12a_total.csv", total);
+    std::printf("(b) average queue/network delay per stage [cycles]\n");
+    emitTable(args, "fig12b_breakdown.csv", breakdown);
+    return 0;
+}

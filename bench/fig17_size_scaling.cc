@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 17 — ResNet-50 compute vs. exposed-communication ratio as the
+ * Torus grows from 2x2x2 (8 NPUs) to 2x8x8 (128 NPUs).
+ *
+ * Expected shape: the exposed-communication share of the end-to-end
+ * time rises monotonically with system size (the paper reports 4.1%
+ * at 8 NPUs up to 25.2% at 128; our absolute values differ with the
+ * substituted network model, the trend must hold).
+ */
+
+#include "bench/support.hh"
+
+#include "common/logging.hh"
+#include "workload/models.hh"
+#include "workload/trainer.hh"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    banner("Fig. 17", "ResNet-50 exposed-comm ratio vs system size");
+
+    struct Shape
+    {
+        const char *name;
+        int m, h, v;
+    };
+    const Shape all[] = {
+        {"2x2x2", 2, 2, 2},   {"2x4x2", 2, 4, 2}, {"2x4x4", 2, 4, 4},
+        {"2x8x4", 2, 8, 4},   {"2x8x8", 2, 8, 8},
+    };
+    const int count = args.quick ? 3 : 5;
+
+    WorkloadSpec spec = resnet50Workload();
+
+    Table t;
+    t.header({"shape", "npus", "makespan", "compute_ratio",
+              "exposed_comm_ratio"});
+    for (int i = 0; i < count; ++i) {
+        const Shape &s = all[i];
+        SimConfig cfg;
+        cfg.torus(s.m, s.h, s.v);
+        cfg.local.bandwidth = 8 * cfg.package.bandwidth;
+        applyOverrides(args, cfg);
+        Cluster cluster(cfg);
+        WorkloadRun run(cluster, spec, TrainerOptions{.numPasses = 2});
+        const Tick makespan = run.run();
+        t.row()
+            .cell(s.name)
+            .cell(std::uint64_t(s.m * s.h * s.v))
+            .cell(std::uint64_t(makespan))
+            .cell(100 * run.computeRatio(), "%.1f%%")
+            .cell(100 * run.exposedRatio(), "%.1f%%");
+    }
+    emitTable(args, "fig17_size_scaling.csv", t);
+    return 0;
+}

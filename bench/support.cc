@@ -1,0 +1,86 @@
+#include "bench/support.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace astra::bench
+{
+
+BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--quick] [--csv=DIR] [--key=value ...]\n"
+                "  --quick      reduced sweep (CI)\n"
+                "  --csv=DIR    also write series as CSV into DIR\n"
+                "  --key=value  override any simulator parameter\n",
+                argv[0]);
+            std::exit(0);
+        }
+        if (arg == "--quick") {
+            args.quick = true;
+            continue;
+        }
+        if (arg.rfind("--csv=", 0) == 0) {
+            args.csvDir = arg.substr(6);
+            continue;
+        }
+        if (arg.rfind("--", 0) == 0) {
+            auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                fatal("expected --key=value, got '%s'", arg.c_str());
+            args.rawOverrides.emplace_back(arg.substr(2, eq - 2),
+                                           arg.substr(eq + 1));
+            continue;
+        }
+        fatal("unexpected argument '%s'", arg.c_str());
+    }
+    return args;
+}
+
+void
+applyOverrides(const BenchArgs &args, SimConfig &cfg)
+{
+    for (const auto &[k, v] : args.rawOverrides)
+        cfg.set(k, v);
+}
+
+void
+banner(const std::string &fig, const std::string &what)
+{
+    std::printf("=== %s — %s ===\n", fig.c_str(), what.c_str());
+}
+
+std::vector<Bytes>
+sizeSweep(Bytes lo, Bytes hi, int factor)
+{
+    std::vector<Bytes> sizes;
+    for (Bytes s = lo; s <= hi; s *= Bytes(factor))
+        sizes.push_back(s);
+    return sizes;
+}
+
+Tick
+timeCollective(const SimConfig &cfg, CollectiveKind kind, Bytes bytes)
+{
+    Cluster cluster(cfg);
+    return cluster.runCollective(kind, bytes);
+}
+
+void
+emitTable(const BenchArgs &args, const std::string &name,
+          const Table &table)
+{
+    table.print();
+    std::printf("\n");
+    if (!args.csvDir.empty())
+        table.writeCsv(args.csvDir + "/" + name);
+}
+
+} // namespace astra::bench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction harnesses.
+ *
+ * Every binary in bench/ regenerates one table/figure of the paper's
+ * evaluation (Sec. V): it sets up the experiment's platform
+ * configuration, sweeps the paper's parameter, and prints the same
+ * rows/series the paper plots. Pass --csv=<dir> to also write the
+ * series as CSV, --quick for a reduced sweep (CI-friendly), and
+ * --key=value to override any Table III parameter.
+ */
+
+#ifndef ASTRA_BENCH_SUPPORT_HH
+#define ASTRA_BENCH_SUPPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/csv.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra::bench
+{
+
+/** Command-line state common to all harnesses. */
+struct BenchArgs
+{
+    SimConfig overrides;   //!< parsed --key=value overrides
+    std::string csvDir;    //!< --csv=<dir>, empty = stdout only
+    bool quick = false;    //!< --quick: reduced sweeps
+
+    /** Raw overrides to re-apply onto per-experiment configs. */
+    std::vector<std::pair<std::string, std::string>> rawOverrides;
+};
+
+/** Parse argv; exits on --help. */
+BenchArgs parseArgs(int argc, char **argv);
+
+/** Apply the user's --key=value overrides onto @p cfg. */
+void applyOverrides(const BenchArgs &args, SimConfig &cfg);
+
+/** Print the figure banner. */
+void banner(const std::string &fig, const std::string &what);
+
+/** Geometric size sweep [lo, hi] with the given factor. */
+std::vector<Bytes> sizeSweep(Bytes lo, Bytes hi, int factor = 4);
+
+/** Run one collective on a fresh cluster; returns comm time. */
+Tick timeCollective(const SimConfig &cfg, CollectiveKind kind,
+                    Bytes bytes);
+
+/** Emit @p table to stdout and, when requested, to <csvDir>/<name>. */
+void emitTable(const BenchArgs &args, const std::string &name,
+               const Table &table);
+
+} // namespace astra::bench
+
+#endif // ASTRA_BENCH_SUPPORT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Putting the extensions together: GPT-2 on a two-pod platform.
+ *
+ * The platform is two pods of a 2x2x2 torus joined by ethernet-class
+ * switches (the paper's future-work scale-out fabric). The run
+ * compares:
+ *
+ *  1. hybrid data/tensor-parallel training spanning both pods — every
+ *     weight-gradient all-reduce crosses the pod boundary;
+ *  2. pipeline parallelism across the pod (scale-out) dimension — only
+ *     microbatch activations cross pods, point-to-point.
+ *
+ * It prints makespans, the interconnect energy split, and writes a
+ * Chrome-trace timeline for the pipeline run
+ * (/tmp/astra_multipod_trace.json — load it in Perfetto).
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "workload/models.hh"
+#include "workload/pipeline.hh"
+#include "workload/trainer.hh"
+
+using namespace astra;
+
+namespace
+{
+
+SimConfig
+twoPodPlatform()
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    cfg.scaleoutDimSize = 2;
+    cfg.local.bandwidth = 8 * cfg.package.bandwidth;
+    return cfg;
+}
+
+void
+printEnergy(const NetworkApi::Energy &e)
+{
+    std::printf("  energy: %.1f uJ (local %.1f | package %.1f | "
+                "scale-out %.1f | routers %.1f)\n",
+                e.totalUj(), e.localLinkPj * 1e-6,
+                e.packageLinkPj * 1e-6, e.scaleoutLinkPj * 1e-6,
+                e.routerPj * 1e-6);
+}
+
+} // namespace
+
+int
+main()
+{
+    GptConfig gc;
+    gc.layers = 8;
+    gc.seqLen = 256;
+    gc.modelShards = 2; // tensor-parallel across the vertical dim
+
+    // 1. Hybrid parallelism spanning the pods: the data-parallel group
+    //    includes the scale-out dimension, so every weight gradient
+    //    crosses the ethernet boundary.
+    {
+        SimConfig cfg = twoPodPlatform();
+        Cluster cluster(cfg);
+        WorkloadRun run(cluster, gptWorkload(gc),
+                        TrainerOptions{.numPasses = 1});
+        const Tick t = run.run();
+        std::printf("hybrid across pods: %s, exposed comm %.1f%%\n",
+                    formatTicks(t).c_str(), 100 * run.exposedRatio());
+        printEnergy(cluster.network().energy());
+    }
+
+    // 2. Pipeline over the pod dimension: stages live in different
+    //    pods; only activations/gradients of microbatches cross the
+    //    ethernet links, and weight gradients stay inside each pod.
+    {
+        SimConfig cfg = twoPodPlatform();
+        cfg.traceFile = "/tmp/astra_multipod_trace.json";
+        Cluster cluster(cfg);
+        PipelineRun run(cluster, gptWorkload(gc),
+                        PipelineOptions{.numPasses = 1,
+                                        .microbatches = 8,
+                                        .pipelineDim = 3});
+        const Tick t = run.run();
+        std::printf("pipeline across pods: %s, bubble %.1f%%\n",
+                    formatTicks(t).c_str(), 100 * run.bubbleRatio());
+        printEnergy(cluster.network().energy());
+        cluster.flushTrace();
+        std::printf("  trace: /tmp/astra_multipod_trace.json "
+                    "(open in Perfetto)\n");
+    }
+    return 0;
+}

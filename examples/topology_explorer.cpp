@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Topology/collective co-design explorer — the paper's core use-case:
+ * "navigate the SW/HW design-space" (Sec. I), built on the
+ * design-space exploration library (src/explore).
+ *
+ * For a fixed module budget, enumerates candidate platforms (torus
+ * factorizations with multi-chip packaging options plus an alltoall
+ * alternative) under both collective algorithm flavours, ranks them by
+ * simulated communication time per message size, and prints the
+ * winners — including the interconnect energy each design pays.
+ *
+ *   ./examples/topology_explorer [--modules=16]
+ *                                [--collective=allreduce]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "explore/design_space.hh"
+
+using namespace astra;
+
+int
+main(int argc, char **argv)
+{
+    int modules = 16;
+    CollectiveKind kind = CollectiveKind::AllReduce;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--modules=", 0) == 0) {
+            modules = std::stoi(arg.substr(10));
+        } else if (arg.rfind("--collective=", 0) == 0) {
+            kind = parseCollectiveKind(arg.substr(13).c_str());
+        } else {
+            fatal("unknown argument '%s' "
+                  "(use --modules=N / --collective=KIND)",
+                  arg.c_str());
+        }
+    }
+    if (modules < 2 || modules > 256)
+        fatal("--modules must be in [2, 256]");
+
+    std::printf("co-design sweep: %d modules, collective %s\n\n",
+                modules, toString(kind));
+
+    for (Bytes size : {Bytes(64) * KiB, Bytes(1) * MiB, Bytes(16) * MiB}) {
+        ExploreSpec spec;
+        spec.modules = modules;
+        spec.kind = kind;
+        spec.bytes = size;
+
+        auto results = exploreDesignSpace(spec);
+
+        std::printf("--- %s ---\n", formatBytes(size).c_str());
+        Table t;
+        t.header({"rank", "design", "cycles", "energy_uJ"});
+        const std::size_t show = std::min<std::size_t>(5, results.size());
+        for (std::size_t i = 0; i < show; ++i) {
+            t.row()
+                .cell(std::uint64_t(i + 1))
+                .cell(results[i].label)
+                .cell(std::uint64_t(results[i].commTime))
+                .cell(results[i].energyUj, "%.1f");
+        }
+        t.print();
+        const CandidateResult &w = results.front();
+        std::printf("winner: %s — %s, %.1f uJ  (last place is %.2fx "
+                    "slower)\n\n",
+                    w.label.c_str(), formatTicks(w.commTime).c_str(),
+                    w.energyUj,
+                    double(results.back().commTime) / double(w.commTime));
+    }
+    return 0;
+}

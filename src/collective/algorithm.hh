@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-node collective algorithm state machines.
+ *
+ * One PhaseAlgorithm instance runs on each participating node for each
+ * (chunk, phase). Instances communicate only through the network (via
+ * the AlgContext), exactly as the distributed implementations they
+ * model: a node cannot observe a peer's state, only its messages.
+ *
+ * The system layer (src/core) implements AlgContext; the algorithms
+ * are agnostic of streams, LSQs and the physical network.
+ */
+
+#ifndef ASTRA_COLLECTIVE_ALGORITHM_HH
+#define ASTRA_COLLECTIVE_ALGORITHM_HH
+
+#include <functional>
+#include <memory>
+
+#include "collective/chunk_state.hh"
+#include "collective/phase_plan.hh"
+#include "net/network_api.hh"
+#include "topo/topology.hh"
+
+namespace astra
+{
+
+/**
+ * Services the system layer provides to an algorithm instance.
+ */
+class AlgContext
+{
+  public:
+    virtual ~AlgContext() = default;
+
+    /** Number of nodes in this phase's group. */
+    virtual int groupSize() const = 0;
+
+    /** This node's rank within the phase group (== its coordinate). */
+    virtual int myRank() const = 0;
+
+    /** Ring direction (+1/-1) of the channel this chunk was assigned. */
+    virtual int direction() const = 0;
+
+    /** Bytes this node holds entering the phase. */
+    virtual Bytes entryBytes() const = 0;
+
+    /** The chunk's trackable data state. */
+    virtual ChunkState &data() = 0;
+
+    /**
+     * Send @p bytes to the phase-group member with rank @p dst_rank on
+     * the chunk's assigned channel. @p step disambiguates algorithm
+     * steps at the receiver; @p payload carries tracking state.
+     */
+    virtual void sendToRank(int dst_rank, Bytes bytes, int step,
+                            std::shared_ptr<void> payload) = 0;
+
+    /**
+     * Like sendToRank but through an explicit channel — used on switch
+     * dimensions where simultaneous transfers to different peers take
+     * different global switches (Sec. III-B: "receiving data from all
+     * other nodes at the same time").
+     */
+    virtual void sendToRankVia(int dst_rank, int channel, Bytes bytes,
+                               int step,
+                               std::shared_ptr<void> payload) = 0;
+
+    /** Number of channels available in this phase's dimension. */
+    virtual int numChannels() const = 0;
+
+    /** Channel this chunk's LSQ is bound to. */
+    virtual int myChannel() const = 0;
+
+    /** Run @p fn after @p delay cycles. */
+    virtual void scheduleAfter(Tick delay, std::function<void()> fn) = 0;
+
+    /** Per-received-message endpoint processing delay (parameter #13). */
+    virtual Tick endpointDelay() const = 0;
+
+    /**
+     * Coordinate along this phase's dimension of the participant with
+     * global rank @p global_rank (multi-phase all-to-all routing).
+     */
+    virtual int phaseCoordOfGlobalRank(int global_rank) const = 0;
+
+    /** Signal that this node has finished the phase. */
+    virtual void phaseDone() = 0;
+};
+
+/**
+ * Abstract per-node, per-phase algorithm.
+ */
+class PhaseAlgorithm
+{
+  public:
+    virtual ~PhaseAlgorithm() = default;
+
+    /** Begin executing (the chunk reached the head of its LSQ). */
+    virtual void start() = 0;
+
+    /** A message for this (chunk, phase) arrived. */
+    virtual void onMessage(const Message &msg) = 0;
+};
+
+/**
+ * Instantiate the algorithm for @p op on a dimension with pattern
+ * @p pattern (Ring -> ring algorithms of Fig. 5 left; Switch -> direct
+ * algorithms of Fig. 5 right).
+ */
+std::unique_ptr<PhaseAlgorithm>
+makePhaseAlgorithm(DimPattern pattern, CollectiveKind op, AlgContext &ctx);
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_ALGORITHM_HH

@@ -1,0 +1,48 @@
+#include "collective/algorithm.hh"
+
+#include "collective/direct_algorithms.hh"
+#include "collective/ring_algorithms.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+
+std::unique_ptr<PhaseAlgorithm>
+makePhaseAlgorithm(DimPattern pattern, CollectiveKind op, AlgContext &ctx)
+{
+    if (pattern == DimPattern::Ring) {
+        switch (op) {
+          case CollectiveKind::ReduceScatter:
+            return std::make_unique<RingReduceScatter>(
+                ctx, 0, [&ctx] { ctx.phaseDone(); });
+          case CollectiveKind::AllGather:
+            return std::make_unique<RingAllGather>(
+                ctx, 0, [&ctx] { ctx.phaseDone(); });
+          case CollectiveKind::AllReduce:
+            return std::make_unique<RingAllReduce>(ctx);
+          case CollectiveKind::AllToAll:
+            return std::make_unique<RingAllToAll>(ctx);
+          case CollectiveKind::None:
+            break;
+        }
+    } else {
+        switch (op) {
+          case CollectiveKind::ReduceScatter:
+            return std::make_unique<DirectReduceScatter>(
+                ctx, 0, [&ctx] { ctx.phaseDone(); });
+          case CollectiveKind::AllGather:
+            return std::make_unique<DirectAllGather>(
+                ctx, 0, [&ctx] { ctx.phaseDone(); });
+          case CollectiveKind::AllReduce:
+            return std::make_unique<DirectAllReduce>(ctx);
+          case CollectiveKind::AllToAll:
+            return std::make_unique<DirectAllToAll>(ctx);
+          case CollectiveKind::None:
+            break;
+        }
+    }
+    panic("no algorithm for collective kind %d", static_cast<int>(op));
+    return nullptr;
+}
+
+} // namespace astra

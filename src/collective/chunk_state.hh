@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Per-node data state of one chunk travelling through a collective.
+ *
+ * Timing simulators often degrade collectives into timed token
+ * exchanges; a schedule can then look right while computing garbage.
+ * To guard against that, every chunk tracks *what* it logically holds:
+ *
+ *  - For reduce/gather collectives the chunk is E logical elements
+ *    (E == the number of participating nodes). Each element carries a
+ *    bit-vector of which participants' partial values have been
+ *    reduced into it, plus a validity flag (whether this node's copy
+ *    of the element is current).
+ *
+ *  - For all-to-all the chunk is a set of (source rank, destination
+ *    rank) blocks that hop between nodes until each block reaches its
+ *    destination.
+ *
+ * The property tests assert the semantics of Fig. 4 on these states
+ * (e.g. after all-reduce every node holds every element with all E
+ * contributions). The tracking costs a few bit operations per message
+ * and is always on.
+ */
+
+#ifndef ASTRA_COLLECTIVE_CHUNK_STATE_HH
+#define ASTRA_COLLECTIVE_CHUNK_STATE_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** Half-open range of logical elements [lo, hi). */
+struct ElemRange
+{
+    int lo = 0;
+    int hi = 0;
+
+    int length() const { return hi - lo; }
+    bool contains(int e) const { return e >= lo && e < hi; }
+    bool operator==(const ElemRange &) const = default;
+
+    /** The @p j-th of @p parts equal subranges (length must divide). */
+    ElemRange subRange(int parts, int j) const;
+};
+
+/**
+ * Payload of reduce-scatter / all-gather style messages: a contiguous
+ * element range and, per element, the contributions carried.
+ */
+struct RangePayload
+{
+    ElemRange range;
+    std::vector<BitVec> contribs; //!< one BitVec per element in range
+    bool reduce = false; //!< true: merge into receiver (reduce-scatter);
+                         //!< false: replace/install (all-gather)
+};
+
+/** Payload of all-to-all messages: the blocks being forwarded. */
+struct BlockPayload
+{
+    /** (source global rank, destination global rank) pairs. */
+    std::vector<std::pair<int, int>> blocks;
+};
+
+/**
+ * The trackable data state of one chunk at one node.
+ */
+class ChunkState
+{
+  public:
+    /**
+     * @param group_size   Number of participating nodes E.
+     * @param my_global_rank  This node's rank among participants.
+     * @param total_bytes  Chunk payload size at collective start.
+     * @param kind         Which collective the chunk is part of
+     *                     (fixes the initial state).
+     */
+    ChunkState(int group_size, int my_global_rank, Bytes total_bytes,
+               CollectiveKind kind);
+
+    int groupSize() const { return _e; }
+    int myGlobalRank() const { return _myRank; }
+    Bytes totalBytes() const { return _totalBytes; }
+
+    /** Bytes represented by one logical element. */
+    double
+    bytesPerElem() const
+    {
+        return static_cast<double>(_totalBytes) / _e;
+    }
+
+    /** Bytes represented by @p elems logical elements (>= 1). */
+    Bytes bytesFor(int elems) const;
+
+    // --- reduce/gather view ------------------------------------------
+
+    /** Contiguous valid range this node currently owns. */
+    const ElemRange &current() const { return _current; }
+    void setCurrent(const ElemRange &r) { _current = r; }
+
+    /** Contribution set of element @p e. */
+    const BitVec &contribs(int e) const;
+
+    /** Is this node's copy of element @p e current? */
+    bool valid(int e) const { return _valid[std::size_t(e)]; }
+
+    /** Extract a RangePayload for @p range of the local state. */
+    RangePayload makeRangePayload(const ElemRange &range,
+                                  bool reduce) const;
+
+    /**
+     * Apply an incoming RangePayload: reduce-merge (payload.reduce) or
+     * install (all-gather). Marks the range valid.
+     */
+    void applyRangePayload(const RangePayload &payload);
+
+    /** Invalidate every element outside @p keep (end of an RS phase). */
+    void restrictValidTo(const ElemRange &keep);
+
+    // --- all-to-all view ----------------------------------------------
+
+    /** Blocks currently held (all-to-all collectives only). */
+    const std::vector<std::pair<int, int>> &blocks() const
+    {
+        return _blocks;
+    }
+
+    /**
+     * Remove and return the held blocks for which @p route_rank
+     * matches the supplied selector result. Used by multi-phase
+     * all-to-all: a phase forwards every block whose destination is
+     * reachable through a given neighbour.
+     */
+    std::vector<std::pair<int, int>>
+    takeBlocksIf(const std::function<bool(int src, int dst)> &pred);
+
+    /** Install forwarded blocks. */
+    void addBlocks(const std::vector<std::pair<int, int>> &blocks);
+
+    // --- verification helpers (used by tests and debug asserts) ------
+
+    /** True if element @p e carries contributions from all E nodes. */
+    bool fullyReduced(int e) const { return contribs(e).all(); }
+
+    /** All elements valid with all contributions (all-reduce post). */
+    bool allReduced() const;
+
+    /** All elements valid (all-gather post). */
+    bool allValid() const;
+
+    /**
+     * All-to-all post-condition: node holds exactly the blocks
+     * {(s, myGlobalRank) : s in [0, E)}.
+     */
+    bool allToAllComplete() const;
+
+  private:
+    int _e;
+    int _myRank;
+    Bytes _totalBytes;
+    ElemRange _current;
+    std::vector<BitVec> _contribs;
+    std::vector<bool> _valid;
+    std::vector<std::pair<int, int>> _blocks;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_CHUNK_STATE_HH

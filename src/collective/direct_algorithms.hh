@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Direct collective algorithms for the alltoall (switch) dimension
+ * (Sec. III-B, Fig. 5 right).
+ *
+ * On an alltoall-connected group of d nodes every pair communicates
+ * directly (through a global switch), so:
+ *
+ *  - Reduce-scatter: node r sends block j to node j for all j != r,
+ *    all at once, and reduces the d-1 partials it receives for its own
+ *    block.
+ *  - All-gather: every node broadcasts its block to all peers.
+ *  - All-reduce: reduce-scatter then all-gather.
+ *  - All-to-all: node r sends each peer the blocks routable to it.
+ *
+ * Simultaneous transfers to different peers are spread over the global
+ * switches with the permutation channel (src + dst + chunk-channel)
+ * mod num-switches, so a node's d-1 concurrent messages use distinct
+ * up-links when enough switches exist — and queue on shared links when
+ * they don't, reproducing the alltoall topology's queuing behaviour
+ * noted in Fig. 9.
+ */
+
+#ifndef ASTRA_COLLECTIVE_DIRECT_ALGORITHMS_HH
+#define ASTRA_COLLECTIVE_DIRECT_ALGORITHMS_HH
+
+#include <deque>
+#include <memory>
+
+#include "collective/algorithm.hh"
+
+namespace astra
+{
+
+/**
+ * Shared receive machinery: arrivals are processed one at a time with
+ * the endpoint delay, in arrival order (order across peers is
+ * irrelevant for direct algorithms).
+ */
+class DirectBase : public PhaseAlgorithm
+{
+  public:
+    DirectBase(AlgContext &ctx, int wire_step,
+               std::function<void()> on_complete);
+
+    void onMessage(const Message &msg) override;
+
+  protected:
+    /** Handle one received payload (already past the endpoint delay). */
+    virtual void processPayload(const std::shared_ptr<void> &payload) = 0;
+
+    /** Spread the transfer to @p dst_rank over the global switches. */
+    int channelFor(int dst_rank) const;
+
+    void pumpReceives();
+    void complete();
+
+    AlgContext &_ctx;
+    const int _d;
+    const int _r;
+    const int _wireStep; //!< step tag for this pass's messages
+    std::function<void()> _onComplete;
+
+    int _processed = 0;
+    bool _processing = false;
+    bool _started = false;
+    bool _completed = false;
+    std::deque<std::shared_ptr<void>> _queue;
+};
+
+/** Direct reduce-scatter. */
+class DirectReduceScatter : public DirectBase
+{
+  public:
+    DirectReduceScatter(AlgContext &ctx, int wire_step,
+                        std::function<void()> on_complete);
+
+    void start() override;
+
+  protected:
+    void processPayload(const std::shared_ptr<void> &payload) override;
+
+  private:
+    ElemRange _entryRange;
+};
+
+/** Direct all-gather. */
+class DirectAllGather : public DirectBase
+{
+  public:
+    DirectAllGather(AlgContext &ctx, int wire_step,
+                    std::function<void()> on_complete);
+
+    void start() override;
+
+  protected:
+    void processPayload(const std::shared_ptr<void> &payload) override;
+
+  private:
+    int _hullLo = 0;
+    int _hullHi = 0;
+};
+
+/** Direct all-reduce: reduce-scatter then all-gather. */
+class DirectAllReduce : public PhaseAlgorithm
+{
+  public:
+    explicit DirectAllReduce(AlgContext &ctx);
+
+    void start() override;
+    void onMessage(const Message &msg) override;
+
+  private:
+    AlgContext &_ctx;
+    DirectReduceScatter _rs;
+    DirectAllGather _ag;
+    bool _inGather = false;
+    std::vector<Message> _earlyGather;
+};
+
+/** Direct all-to-all. */
+class DirectAllToAll : public DirectBase
+{
+  public:
+    explicit DirectAllToAll(AlgContext &ctx);
+
+    void start() override;
+
+  protected:
+    void processPayload(const std::shared_ptr<void> &payload) override;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_DIRECT_ALGORITHMS_HH

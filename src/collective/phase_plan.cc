@@ -1,0 +1,147 @@
+#include "collective/phase_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+std::vector<int>
+orderedActiveDims(const Topology &topo, const std::vector<int> &dims)
+{
+    std::vector<int> active;
+    for (int d : dims) {
+        if (d < 0 || d >= topo.numDims())
+            fatal("phase plan: dimension %d out of range", d);
+        if (topo.dim(d).size > 1)
+            active.push_back(d);
+    }
+    std::sort(active.begin(), active.end(), [&](int a, int b) {
+        return topo.phaseOrderKey(a) < topo.phaseOrderKey(b);
+    });
+    auto dup = std::adjacent_find(active.begin(), active.end());
+    if (dup != active.end())
+        fatal("phase plan: dimension %d listed twice", *dup);
+    return active;
+}
+
+} // namespace
+
+PhasePlan
+buildPhasePlan(const Topology &topo, const std::vector<int> &dims,
+               CollectiveKind kind, AlgorithmFlavor flavor)
+{
+    std::vector<int> active = orderedActiveDims(topo, dims);
+    PhasePlan plan;
+    if (active.empty())
+        return plan; // single-node group: nothing to communicate
+
+    switch (kind) {
+      case CollectiveKind::AllReduce: {
+        const bool local_first =
+            active.front() == Topology::kDimLocal && active.size() >= 2;
+        if (flavor == AlgorithmFlavor::Enhanced && local_first) {
+            // Enhanced: RS(local) -> AR(inter-package dims) -> AG(local)
+            plan.push_back({active.front(), CollectiveKind::ReduceScatter});
+            for (std::size_t i = 1; i < active.size(); ++i)
+                plan.push_back({active[i], CollectiveKind::AllReduce});
+            plan.push_back({active.front(), CollectiveKind::AllGather});
+        } else {
+            for (int d : active)
+                plan.push_back({d, CollectiveKind::AllReduce});
+        }
+        break;
+      }
+      case CollectiveKind::ReduceScatter:
+        for (int d : active)
+            plan.push_back({d, CollectiveKind::ReduceScatter});
+        break;
+      case CollectiveKind::AllGather:
+        for (int d : active)
+            plan.push_back({d, CollectiveKind::AllGather});
+        break;
+      case CollectiveKind::AllToAll:
+        for (int d : active)
+            plan.push_back({d, CollectiveKind::AllToAll});
+        break;
+      case CollectiveKind::None:
+        fatal("cannot plan CollectiveKind::None");
+    }
+    return plan;
+}
+
+Bytes
+phaseEntryBytes(const Topology &topo, const PhasePlan &plan, int phase_idx,
+                Bytes chunk_bytes)
+{
+    double bytes = static_cast<double>(chunk_bytes);
+    for (int i = 0; i < phase_idx; ++i) {
+        const PhaseDesc &ph = plan[std::size_t(i)];
+        const int d = topo.dim(ph.dim).size;
+        if (ph.op == CollectiveKind::ReduceScatter)
+            bytes /= d;
+        else if (ph.op == CollectiveKind::AllGather)
+            bytes *= d;
+    }
+    return static_cast<Bytes>(bytes + 0.5);
+}
+
+double
+planSendVolume(const Topology &topo, const PhasePlan &plan,
+               Bytes chunk_bytes, int dim)
+{
+    double volume = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        const PhaseDesc &ph = plan[i];
+        if (ph.dim != dim)
+            continue;
+        const double entry = static_cast<double>(phaseEntryBytes(
+            topo, plan, static_cast<int>(i), chunk_bytes));
+        const double d = topo.dim(ph.dim).size;
+        switch (ph.op) {
+          case CollectiveKind::ReduceScatter:
+            volume += entry * (d - 1) / d;
+            break;
+          case CollectiveKind::AllGather:
+            volume += entry * (d - 1);
+            break;
+          case CollectiveKind::AllReduce:
+            volume += 2 * entry * (d - 1) / d;
+            break;
+          case CollectiveKind::AllToAll:
+            volume += entry * (d - 1) / d;
+            break;
+          case CollectiveKind::None:
+            break;
+        }
+    }
+    return volume;
+}
+
+std::string
+toString(const Topology &topo, const PhasePlan &plan)
+{
+    std::string out;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (i)
+            out += " -> ";
+        const PhaseDesc &ph = plan[i];
+        const char *op = "?";
+        switch (ph.op) {
+          case CollectiveKind::ReduceScatter: op = "RS"; break;
+          case CollectiveKind::AllGather: op = "AG"; break;
+          case CollectiveKind::AllReduce: op = "AR"; break;
+          case CollectiveKind::AllToAll: op = "A2A"; break;
+          case CollectiveKind::None: op = "NOP"; break;
+        }
+        out += op;
+        out += "(" + topo.dim(ph.dim).name + ")";
+    }
+    return out;
+}
+
+} // namespace astra

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-phase collective planning (Sec. III-D).
+ *
+ * Hierarchical topologies execute collectives as a sequence of phases,
+ * each phase confined to one topology dimension. The planner turns
+ * (collective kind, participating dimensions, algorithm flavour) into
+ * an ordered list of per-dimension operations, plus the data-size
+ * scaling each phase applies:
+ *
+ *  All-reduce, baseline  : AR(local), AR(vertical), AR(horizontal)
+ *  All-reduce, enhanced  : RS(local), AR(vertical), AR(horizontal),
+ *                          AG(local)
+ *      — the enhanced 4-phase algorithm sends 1/M of the data over the
+ *        inter-package links (M = local dimension size), exploiting the
+ *        asymmetric bandwidth (Fig. 11).
+ *  All-to-all            : A2A on every dimension in order.
+ *  Reduce-scatter        : RS on every dimension in order.
+ *  All-gather            : AG on every dimension in order.
+ *
+ * The paper's phase order is local first, then vertical, then
+ * horizontal (Sec. III-D); the enhanced all-gather phase runs on the
+ * local dimension last.
+ */
+
+#ifndef ASTRA_COLLECTIVE_PHASE_PLAN_HH
+#define ASTRA_COLLECTIVE_PHASE_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "topo/topology.hh"
+
+namespace astra
+{
+
+/** One phase of a multi-phase collective. */
+struct PhaseDesc
+{
+    int dim;           //!< topology dimension the phase runs on
+    CollectiveKind op; //!< operation performed within the dimension
+
+    bool operator==(const PhaseDesc &) const = default;
+};
+
+/** An ordered multi-phase plan. */
+using PhasePlan = std::vector<PhaseDesc>;
+
+/**
+ * Build the phase plan for @p kind over the dimensions listed in
+ * @p dims (in increasing "inner-ness": the local dimension, when
+ * present, must be dims[0]). Dimensions of size 1 are skipped.
+ *
+ * @param topo    The logical topology.
+ * @param dims    Participating dimension indices. For ordinary
+ *                (machine-wide) collectives pass all dimensions; for
+ *                hybrid parallelism pass the subgroup's dimensions.
+ * @param kind    The collective operation.
+ * @param flavor  Baseline or Enhanced (all-reduce only; other kinds
+ *                ignore it).
+ */
+PhasePlan buildPhasePlan(const Topology &topo, const std::vector<int> &dims,
+                         CollectiveKind kind, AlgorithmFlavor flavor);
+
+/**
+ * Data each node holds entering phase @p phase_idx of @p plan, given
+ * it holds @p chunk_bytes entering phase 0.
+ */
+Bytes phaseEntryBytes(const Topology &topo, const PhasePlan &plan,
+                      int phase_idx, Bytes chunk_bytes);
+
+/**
+ * Total bytes one node sends onto dimension-@p dim links over the whole
+ * plan (analytical expectation used by tests and the Fig. 10 analysis).
+ */
+double planSendVolume(const Topology &topo, const PhasePlan &plan,
+                      Bytes chunk_bytes, int dim);
+
+/** "RS(local) -> AR(vertical) -> ..." rendering. */
+std::string toString(const Topology &topo, const PhasePlan &plan);
+
+} // namespace astra
+
+#endif // ASTRA_COLLECTIVE_PHASE_PLAN_HH

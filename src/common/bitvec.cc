@@ -1,0 +1,71 @@
+#include "common/bitvec.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+std::size_t
+BitVec::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : _words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVec::none() const
+{
+    for (std::uint64_t w : _words) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+BitVec &
+BitVec::operator|=(const BitVec &o)
+{
+    if (_nbits != o._nbits)
+        panic("BitVec size mismatch (%zu vs %zu)", _nbits, o._nbits);
+    for (std::size_t i = 0; i < _words.size(); ++i)
+        _words[i] |= o._words[i];
+    return *this;
+}
+
+BitVec &
+BitVec::operator&=(const BitVec &o)
+{
+    if (_nbits != o._nbits)
+        panic("BitVec size mismatch (%zu vs %zu)", _nbits, o._nbits);
+    for (std::size_t i = 0; i < _words.size(); ++i)
+        _words[i] &= o._words[i];
+    return *this;
+}
+
+bool
+BitVec::intersects(const BitVec &o) const
+{
+    if (_nbits != o._nbits)
+        panic("BitVec size mismatch (%zu vs %zu)", _nbits, o._nbits);
+    for (std::size_t i = 0; i < _words.size(); ++i) {
+        if (_words[i] & o._words[i])
+            return true;
+    }
+    return false;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s;
+    s.reserve(_nbits);
+    for (std::size_t i = 0; i < _nbits; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace astra

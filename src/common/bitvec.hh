@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small dynamic bit vector used for collective contribution tracking.
+ *
+ * Every data segment travelling through a collective carries a BitVec
+ * recording which participants' partial values have been reduced into
+ * it. The property tests use these to prove the algorithms implement
+ * the semantics of Fig. 4 (e.g. after all-reduce, every node holds
+ * every segment with all N contributions).
+ */
+
+#ifndef ASTRA_COMMON_BITVEC_HH
+#define ASTRA_COMMON_BITVEC_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace astra
+{
+
+/**
+ * Fixed-size-at-construction bit vector with set-algebra operations.
+ */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct @p nbits zeroed bits. */
+    explicit BitVec(std::size_t nbits)
+        : _nbits(nbits), _words((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of bits. */
+    std::size_t size() const { return _nbits; }
+
+    /** Set bit @p i. */
+    void
+    set(std::size_t i)
+    {
+        _words[i / 64] |= (std::uint64_t{1} << (i % 64));
+    }
+
+    /** Clear bit @p i. */
+    void
+    reset(std::size_t i)
+    {
+        _words[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    /** Test bit @p i. */
+    bool
+    test(std::size_t i) const
+    {
+        return (_words[i / 64] >> (i % 64)) & 1;
+    }
+
+    /** Number of set bits. */
+    std::size_t count() const;
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** True if every bit is set. */
+    bool all() const { return count() == _nbits; }
+
+    /** In-place union. Sizes must match. */
+    BitVec &operator|=(const BitVec &o);
+
+    /** In-place intersection. Sizes must match. */
+    BitVec &operator&=(const BitVec &o);
+
+    /** True if this and @p o share any set bit. */
+    bool intersects(const BitVec &o) const;
+
+    bool operator==(const BitVec &o) const = default;
+
+    /** "0101..." rendering, bit 0 first. */
+    std::string toString() const;
+
+  private:
+    std::size_t _nbits = 0;
+    std::vector<std::uint64_t> _words;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_BITVEC_HH

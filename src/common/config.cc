@@ -1,0 +1,516 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+int
+parseInt(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        int v = std::stoi(value, &pos);
+        if (pos != value.size())
+            fatal("parameter '%s': trailing junk in '%s'", key.c_str(),
+                  value.c_str());
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (...) {
+        fatal("parameter '%s': '%s' is not an integer", key.c_str(),
+              value.c_str());
+    }
+    return 0;
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(value, &pos);
+        if (pos != value.size())
+            fatal("parameter '%s': trailing junk in '%s'", key.c_str(),
+                  value.c_str());
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (...) {
+        fatal("parameter '%s': '%s' is not a number", key.c_str(),
+              value.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+TopologyKind
+parseTopologyKind(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "torus3d" || v == "torus" || v == "torus2d")
+        return TopologyKind::Torus3D;
+    if (v == "alltoall" || v == "all_to_all" || v == "a2a")
+        return TopologyKind::AllToAll;
+    fatal("unknown topology '%s'", s.c_str());
+    return TopologyKind::Torus3D;
+}
+
+AlgorithmFlavor
+parseAlgorithmFlavor(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "baseline")
+        return AlgorithmFlavor::Baseline;
+    if (v == "enhanced")
+        return AlgorithmFlavor::Enhanced;
+    fatal("unknown algorithm '%s' (baseline/enhanced)", s.c_str());
+    return AlgorithmFlavor::Baseline;
+}
+
+SchedulingPolicy
+parseSchedulingPolicy(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "lifo")
+        return SchedulingPolicy::LIFO;
+    if (v == "fifo")
+        return SchedulingPolicy::FIFO;
+    if (v == "layer-priority" || v == "layerpriority" || v == "priority")
+        return SchedulingPolicy::LayerPriority;
+    fatal("unknown scheduling policy '%s' (LIFO/FIFO/layer-priority)",
+          s.c_str());
+    return SchedulingPolicy::LIFO;
+}
+
+NetworkBackend
+parseNetworkBackend(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "analytical")
+        return NetworkBackend::Analytical;
+    if (v == "garnet" || v == "garnet-lite" || v == "garnetlite")
+        return NetworkBackend::GarnetLite;
+    fatal("unknown network backend '%s' (analytical/garnet)", s.c_str());
+    return NetworkBackend::Analytical;
+}
+
+PacketRouting
+parsePacketRouting(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "software")
+        return PacketRouting::Software;
+    if (v == "hardware")
+        return PacketRouting::Hardware;
+    fatal("unknown packet routing '%s' (software/hardware)", s.c_str());
+    return PacketRouting::Software;
+}
+
+InjectionPolicy
+parseInjectionPolicy(const std::string &s)
+{
+    std::string v = lower(s);
+    if (v == "normal")
+        return InjectionPolicy::Normal;
+    if (v == "aggressive")
+        return InjectionPolicy::Aggressive;
+    fatal("unknown injection policy '%s' (normal/aggressive)", s.c_str());
+    return InjectionPolicy::Normal;
+}
+
+const char *
+toString(TopologyKind k)
+{
+    switch (k) {
+      case TopologyKind::Torus3D: return "Torus3D";
+      case TopologyKind::AllToAll: return "AllToAll";
+    }
+    return "?";
+}
+
+const char *
+toString(AlgorithmFlavor f)
+{
+    switch (f) {
+      case AlgorithmFlavor::Baseline: return "baseline";
+      case AlgorithmFlavor::Enhanced: return "enhanced";
+    }
+    return "?";
+}
+
+const char *
+toString(SchedulingPolicy p)
+{
+    switch (p) {
+      case SchedulingPolicy::LIFO: return "LIFO";
+      case SchedulingPolicy::FIFO: return "FIFO";
+      case SchedulingPolicy::LayerPriority: return "layer-priority";
+    }
+    return "?";
+}
+
+const char *
+toString(NetworkBackend b)
+{
+    switch (b) {
+      case NetworkBackend::Analytical: return "analytical";
+      case NetworkBackend::GarnetLite: return "garnet-lite";
+    }
+    return "?";
+}
+
+const char *
+toString(PacketRouting r)
+{
+    switch (r) {
+      case PacketRouting::Software: return "software";
+      case PacketRouting::Hardware: return "hardware";
+    }
+    return "?";
+}
+
+const char *
+toString(InjectionPolicy p)
+{
+    switch (p) {
+      case InjectionPolicy::Normal: return "normal";
+      case InjectionPolicy::Aggressive: return "aggressive";
+    }
+    return "?";
+}
+
+SimConfig &
+SimConfig::torus(int m, int n, int k)
+{
+    topology = TopologyKind::Torus3D;
+    localDim = m;
+    horizontalDim = n;
+    verticalDim = k;
+    return *this;
+}
+
+SimConfig &
+SimConfig::allToAll(int m, int packages, int switches)
+{
+    topology = TopologyKind::AllToAll;
+    localDim = m;
+    horizontalDim = packages;
+    verticalDim = 1;
+    globalSwitches = switches;
+    return *this;
+}
+
+void
+SimConfig::set(const std::string &key, const std::string &value)
+{
+    std::string k = lower(key);
+    std::replace(k.begin(), k.end(), '_', '-');
+
+    if (k == "dnn-name") {
+        dnnName = value;
+    } else if (k == "trace-file") {
+        traceFile = value;
+    } else if (k == "num-passes") {
+        numPasses = parseInt(k, value);
+    } else if (k == "algorithm") {
+        algorithm = parseAlgorithmFlavor(value);
+    } else if (k == "topology") {
+        topology = parseTopologyKind(value);
+    } else if (k == "local-dim") {
+        localDim = parseInt(k, value);
+    } else if (k == "horizontal-dim" || k == "num-packages") {
+        horizontalDim = parseInt(k, value);
+    } else if (k == "vertical-dim" || k == "package-rows") {
+        verticalDim = parseInt(k, value);
+    } else if (k == "scheduling-policy") {
+        schedulingPolicy = parseSchedulingPolicy(value);
+    } else if (k == "global-switches") {
+        globalSwitches = parseInt(k, value);
+    } else if (k == "endpoint-delay") {
+        endpointDelay = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "packet-routing") {
+        packetRouting = parsePacketRouting(value);
+    } else if (k == "injection-policy") {
+        injectionPolicy = parseInjectionPolicy(value);
+    } else if (k == "preferred-set-splits") {
+        preferredSetSplits = parseInt(k, value);
+    } else if (k == "dispatch-threshold") {
+        dispatchThreshold = parseInt(k, value);
+    } else if (k == "dispatch-width") {
+        dispatchWidth = parseInt(k, value);
+    } else if (k == "lsq-concurrency") {
+        lsqConcurrency = parseInt(k, value);
+    } else if (k == "local-update-time") {
+        localUpdateTimePerKiB = parseDouble(k, value);
+    } else if (k == "backend") {
+        backend = parseNetworkBackend(value);
+    } else if (k == "local-rings") {
+        local.rings = parseInt(k, value);
+    } else if (k == "vertical-rings" || k == "horizontal-rings" ||
+               k == "package-rings") {
+        // The paper exposes separate ring counts for the two package
+        // dimensions; this implementation uses one inter-package link
+        // class, so the counts are tied together.
+        package.rings = parseInt(k, value);
+    } else if (k == "local-link-bw") {
+        local.bandwidth = parseDouble(k, value);
+    } else if (k == "package-link-bw") {
+        package.bandwidth = parseDouble(k, value);
+    } else if (k == "local-link-latency") {
+        local.latency = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "package-link-latency") {
+        package.latency = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "local-link-efficiency") {
+        local.efficiency = parseDouble(k, value);
+    } else if (k == "package-link-efficiency") {
+        package.efficiency = parseDouble(k, value);
+    } else if (k == "local-packet-size") {
+        local.packetSize = parseBytes(value);
+    } else if (k == "package-packet-size") {
+        package.packetSize = parseBytes(value);
+    } else if (k == "flit-width") {
+        flitWidthBits = parseInt(k, value);
+    } else if (k == "router-latency") {
+        routerLatency = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "vcs-per-vnet") {
+        vcsPerVnet = parseInt(k, value);
+    } else if (k == "buffers-per-vc") {
+        buffersPerVc = parseInt(k, value);
+    } else if (k == "physical-topology") {
+        if (lower(value) == "logical") {
+            physicalDistinct = false;
+        } else {
+            physicalDistinct = true;
+            physTopology = parseTopologyKind(value);
+        }
+    } else if (k == "physical-local-dim") {
+        physLocalDim = parseInt(k, value);
+    } else if (k == "physical-horizontal-dim" ||
+               k == "physical-num-packages") {
+        physHorizontalDim = parseInt(k, value);
+    } else if (k == "physical-vertical-dim" ||
+               k == "physical-package-rows") {
+        physVerticalDim = parseInt(k, value);
+    } else if (k == "physical-global-switches") {
+        physGlobalSwitches = parseInt(k, value);
+    } else if (k == "scaleout-dim" || k == "pods") {
+        scaleoutDimSize = parseInt(k, value);
+    } else if (k == "scaleout-switches") {
+        scaleoutSwitches = parseInt(k, value);
+    } else if (k == "scaleout-link-bw") {
+        scaleout.bandwidth = parseDouble(k, value);
+    } else if (k == "scaleout-link-latency") {
+        scaleout.latency = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "scaleout-link-efficiency") {
+        scaleout.efficiency = parseDouble(k, value);
+    } else if (k == "scaleout-packet-size") {
+        scaleout.packetSize = parseBytes(value);
+    } else if (k == "scaleout-protocol-delay") {
+        scaleoutProtocolDelay = static_cast<Tick>(parseInt(k, value));
+    } else if (k == "scaleout-pj-per-bit") {
+        energy.scaleoutPjPerBit = parseDouble(k, value);
+    } else if (k == "local-pj-per-bit") {
+        energy.localPjPerBit = parseDouble(k, value);
+    } else if (k == "package-pj-per-bit") {
+        energy.packagePjPerBit = parseDouble(k, value);
+    } else if (k == "router-pj-per-flit") {
+        energy.routerPjPerFlit = parseDouble(k, value);
+    } else {
+        fatal("unknown parameter '%s'", key.c_str());
+    }
+}
+
+void
+SimConfig::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Trim.
+        auto b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        auto e = line.find_last_not_of(" \t\r");
+        line = line.substr(b, e - b + 1);
+        auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            fatal("%s:%d: expected key=value, got '%s'", path.c_str(),
+                  lineno, line.c_str());
+        }
+        std::string key = line.substr(0, eq);
+        std::string value = line.substr(eq + 1);
+        auto trim = [](std::string &s) {
+            auto b2 = s.find_first_not_of(" \t");
+            auto e2 = s.find_last_not_of(" \t");
+            s = (b2 == std::string::npos) ? "" : s.substr(b2, e2 - b2 + 1);
+        };
+        trim(key);
+        trim(value);
+        set(key, value);
+    }
+}
+
+std::map<std::string, std::string>
+SimConfig::applyArgs(int argc, char **argv)
+{
+    std::map<std::string, std::string> leftover;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            leftover[arg] = "";
+            continue;
+        }
+        auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            leftover[arg.substr(2)] = "";
+            continue;
+        }
+        std::string key = arg.substr(2, eq - 2);
+        std::string value = arg.substr(eq + 1);
+        try {
+            set(key, value);
+        } catch (const FatalError &) {
+            if (!loggingThrowsOnFatal())
+                throw;
+            leftover[key] = value;
+        }
+    }
+    return leftover;
+}
+
+void
+SimConfig::validate() const
+{
+    if (localDim < 1 || horizontalDim < 1 || verticalDim < 1)
+        fatal("topology dimensions must be >= 1");
+    if (numNpus() < 2)
+        fatal("need at least 2 NPUs, got %d", numNpus());
+    if (topology == TopologyKind::AllToAll && verticalDim != 1)
+        fatal("AllToAll topology is local x packages (vertical-dim==1)");
+    if (topology == TopologyKind::AllToAll && globalSwitches < 1)
+        fatal("AllToAll topology needs >= 1 global switch");
+    if (local.rings < 1 || package.rings < 1)
+        fatal("ring counts must be >= 1");
+    if (local.bandwidth <= 0 || package.bandwidth <= 0)
+        fatal("link bandwidth must be positive");
+    if (local.efficiency <= 0 || local.efficiency > 1 ||
+        package.efficiency <= 0 || package.efficiency > 1) {
+        fatal("link efficiency must be in (0, 1]");
+    }
+    if (local.packetSize == 0 || package.packetSize == 0)
+        fatal("packet sizes must be positive");
+    if (preferredSetSplits < 1)
+        fatal("preferred-set-splits must be >= 1");
+    if (dispatchThreshold < 1 || dispatchWidth < 1)
+        fatal("dispatcher threshold/width must be >= 1");
+    if (lsqConcurrency < 1)
+        fatal("lsq-concurrency must be >= 1");
+    if (numPasses < 1)
+        fatal("num-passes must be >= 1");
+    if (flitWidthBits < 8)
+        fatal("flit-width must be at least one byte");
+    if (vcsPerVnet < 1 || buffersPerVc < 1)
+        fatal("VC configuration must be >= 1");
+    if (scaleoutDimSize < 1)
+        fatal("scaleout-dim must be >= 1");
+    if (scaleoutDimSize > 1) {
+        if (scaleoutSwitches < 1)
+            fatal("scale-out needs >= 1 switch");
+        if (scaleout.bandwidth <= 0 || scaleout.packetSize == 0 ||
+            scaleout.efficiency <= 0 || scaleout.efficiency > 1)
+            fatal("bad scale-out link parameters");
+    }
+    if (physicalDistinct) {
+        if (physLocalDim < 1 || physHorizontalDim < 1 ||
+            physVerticalDim < 1)
+            fatal("physical topology dimensions must be >= 1");
+        if (physLocalDim * physHorizontalDim * physVerticalDim !=
+            numNpus()) {
+            fatal("physical topology has %d NPUs but the logical one "
+                  "has %d",
+                  physLocalDim * physHorizontalDim * physVerticalDim,
+                  numNpus());
+        }
+        if (physTopology == TopologyKind::AllToAll &&
+            physVerticalDim != 1)
+            fatal("physical AllToAll is local x packages");
+        if (physTopology == TopologyKind::AllToAll &&
+            physGlobalSwitches < 1)
+            fatal("physical AllToAll needs >= 1 global switch");
+    }
+}
+
+SimConfig
+SimConfig::physicalConfig() const
+{
+    if (!physicalDistinct)
+        return *this;
+    SimConfig phys = *this;
+    phys.topology = physTopology;
+    phys.localDim = physLocalDim;
+    phys.horizontalDim = physHorizontalDim;
+    phys.verticalDim = physVerticalDim;
+    phys.globalSwitches = physGlobalSwitches;
+    phys.physicalDistinct = false;
+    return phys;
+}
+
+std::string
+SimConfig::toString() const
+{
+    std::ostringstream os;
+    os << "topology=" << astra::toString(topology) << " " << localDim << "x"
+       << horizontalDim << "x" << verticalDim
+       << " (npus=" << numNpus() << ")\n";
+    os << "algorithm=" << astra::toString(algorithm)
+       << " scheduling=" << astra::toString(schedulingPolicy)
+       << " set-splits=" << preferredSetSplits << " dispatcher(T="
+       << dispatchThreshold << ",P=" << dispatchWidth << ")\n";
+    os << "backend=" << astra::toString(backend)
+       << " routing=" << astra::toString(packetRouting) << "\n";
+    os << strprintf("local: bw=%.1fB/cyc lat=%llu eff=%.2f pkt=%llu "
+                    "rings=%d\n",
+                    local.bandwidth,
+                    static_cast<unsigned long long>(local.latency),
+                    local.efficiency,
+                    static_cast<unsigned long long>(local.packetSize),
+                    local.rings);
+    os << strprintf("package: bw=%.1fB/cyc lat=%llu eff=%.2f pkt=%llu "
+                    "rings=%d switches=%d\n",
+                    package.bandwidth,
+                    static_cast<unsigned long long>(package.latency),
+                    package.efficiency,
+                    static_cast<unsigned long long>(package.packetSize),
+                    package.rings, globalSwitches);
+    return os.str();
+}
+
+} // namespace astra

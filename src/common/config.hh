@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Simulator configuration: the input parameters of Table III with the
+ * default values of Table IV.
+ *
+ * A SimConfig fully describes one simulated platform: the logical
+ * topology (hierarchical Torus M x N x K or hierarchical AllToAll
+ * M x N), link technology per class (intra- vs inter-package), the
+ * system-layer scheduler knobs, and the workload-level iteration
+ * controls. Configurations can be populated programmatically, from a
+ * key=value file, or from --key=value command-line arguments.
+ */
+
+#ifndef ASTRA_COMMON_CONFIG_HH
+#define ASTRA_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** Logical topology family (parameter #8). */
+enum class TopologyKind
+{
+    Torus3D,  //!< hierarchical torus, local x horizontal x vertical
+    AllToAll, //!< hierarchical alltoall: local rings + global switches
+};
+
+/** Collective algorithm flavour (parameter #3). */
+enum class AlgorithmFlavor
+{
+    Baseline, //!< full all-reduce per dimension (3-phase on a 3D torus)
+    Enhanced, //!< local RS -> inter-package AR -> local AG (4-phase)
+};
+
+/** Ready-queue scheduling policy (parameter #7). */
+enum class SchedulingPolicy
+{
+    LIFO,
+    FIFO,
+    /**
+     * Order by ascending layer id, then FIFO. Implements Sec. III-E's
+     * proposal: the first layers' weight-gradient collectives are
+     * fully exposed at the next iteration's start, so they should be
+     * "prioritized and completed before communication operations from
+     * later layers even though they were issued earlier".
+     */
+    LayerPriority,
+};
+
+/** Network backend granularity (substitution for Garnet; see DESIGN.md). */
+enum class NetworkBackend
+{
+    Analytical, //!< link-level FIFO serialization model
+    GarnetLite, //!< packet-level model with credits/VCs
+};
+
+/** Packet routing mode (parameter #14). */
+enum class PacketRouting
+{
+    Software, //!< endpoint store-and-forward at every ring hop
+    Hardware, //!< network forwards multi-hop messages without endpoint
+              //!< involvement
+};
+
+/** Injection policy used with hardware routing (parameter #15). */
+enum class InjectionPolicy
+{
+    Normal,
+    Aggressive,
+};
+
+/**
+ * Interconnect energy-cost parameters.
+ *
+ * The paper leaves energy modelling as future work and points at
+ * Arunkumar et al.'s multi-chip energy model [4]; these defaults are
+ * representative of that literature: sub-pJ/bit for on-package
+ * signalling, a few pJ/bit for off-package links, plus a per-flit
+ * router traversal cost.
+ */
+struct EnergyParams
+{
+    double localPjPerBit = 0.8;    //!< intra-package link, pJ/bit
+    double packagePjPerBit = 4.0;  //!< inter-package link, pJ/bit
+    double scaleoutPjPerBit = 20.0; //!< inter-pod ethernet, pJ/bit
+    double routerPjPerFlit = 150.0; //!< per-hop router cost, pJ/flit
+};
+
+/**
+ * One link class's technology parameters (intra- or inter-package).
+ */
+struct LinkParams
+{
+    BytesPerCycle bandwidth;  //!< bytes per cycle per link
+    Tick latency;             //!< propagation latency, cycles
+    double efficiency;        //!< data flits / total flits (#17, #18)
+    Bytes packetSize;         //!< packetization unit (#20, #21)
+    int rings;                //!< rings built from this class (#9..#11)
+};
+
+/**
+ * All simulator parameters. Field comments cite Table III numbers.
+ */
+struct SimConfig
+{
+    // --- Workload level ---------------------------------------------
+    std::string dnnName;      //!< #1: workload input file
+    int numPasses = 1;        //!< #2: fwd/bwd iterations
+
+    /** Chrome-trace output path; empty disables tracing. */
+    std::string traceFile;
+
+    // --- System level ------------------------------------------------
+    AlgorithmFlavor algorithm = AlgorithmFlavor::Baseline; //!< #3
+    TopologyKind topology = TopologyKind::Torus3D;         //!< #8
+    /**
+     * Topology dimensions. Torus3D: localDim x horizontalDim x
+     * verticalDim (the paper's M x N x K). AllToAll: localDim x
+     * packages (horizontalDim == number of packages, verticalDim == 1).
+     * Together these determine #4 (num-npus), #5 (num-packages) and
+     * #6 (package-rows).
+     */
+    int localDim = 1;
+    int horizontalDim = 1;
+    int verticalDim = 1;
+
+    SchedulingPolicy schedulingPolicy = SchedulingPolicy::LIFO; //!< #7
+    int globalSwitches = 2;        //!< #12 (alltoall topology only)
+    Tick endpointDelay = 10;       //!< #13, cycles per received message
+    PacketRouting packetRouting = PacketRouting::Software;     //!< #14
+    InjectionPolicy injectionPolicy = InjectionPolicy::Normal; //!< #15
+    int preferredSetSplits = 16;   //!< #16: chunks per collective set
+
+    /** Dispatcher: issue threshold T and width P (Sec. V-F: T=8, P=16). */
+    int dispatchThreshold = 8;
+    int dispatchWidth = 16;
+
+    /**
+     * Chunks an LSQ executes concurrently ("the scheduler tries to
+     * interleave the execution of chunks within the same queue to
+     * fully utilize the bandwidth", Sec. IV-B).
+     */
+    int lsqConcurrency = 2;
+
+    /**
+     * Local update time: cycles to reduce 1 KiB of received data at the
+     * endpoint (the per-layer value of Fig. 8 defaults to this).
+     */
+    double localUpdateTimePerKiB = 2.0;
+
+    // --- Network level (Table IV defaults) ---------------------------
+    NetworkBackend backend = NetworkBackend::Analytical;
+
+    LinkParams local = {
+        /*bandwidth=*/200.0, /*latency=*/90, /*efficiency=*/0.94,
+        /*packetSize=*/512, /*rings=*/2,
+    };
+    LinkParams package = {
+        /*bandwidth=*/25.0, /*latency=*/200, /*efficiency=*/0.94,
+        /*packetSize=*/256, /*rings=*/2,
+    };
+
+    int flitWidthBits = 1024; //!< #19
+    Tick routerLatency = 1;   //!< #25
+    int vcsPerVnet = 50;      //!< #24
+    int buffersPerVc = 5000;  //!< #28, flits of buffering per VC
+
+    // --- Scale-out extension (paper future work: "extend it to a
+    //     scale-out fabric, modeling the transport layer") -----------
+    /**
+     * Pods: copies of the scale-up topology joined through
+     * ethernet-class switches. 1 (the default) disables the scale-out
+     * dimension entirely.
+     */
+    int scaleoutDimSize = 1;
+    int scaleoutSwitches = 2;  //!< inter-pod switches
+    LinkParams scaleout = {
+        /*bandwidth=*/12.5, /*latency=*/2000, /*efficiency=*/0.90,
+        /*packetSize=*/1500, /*rings=*/1,
+    };
+    /**
+     * Per-message transport-layer processing cost at the sender
+     * (kernel/NIC stack) charged once for any message whose route
+     * crosses a scale-out link.
+     */
+    Tick scaleoutProtocolDelay = 1500;
+
+    EnergyParams energy;      //!< interconnect energy model
+
+    // --- Logical-to-physical mapping (Sec. IV-B) ----------------------
+    /**
+     * When true, the system layer's *logical* topology (the fields
+     * above) is mapped onto a distinct *physical* fabric described by
+     * the phys* fields; node ids map one-to-one and messages are
+     * routed dimension-ordered across the physical fabric. This
+     * implements the paper's claim that the logical topology "might be
+     * completely different from the actual physical network topology"
+     * (e.g. a 3D logical torus evaluated on a 1D physical ring, or a
+     * logical alltoall on a physical torus).
+     */
+    bool physicalDistinct = false;
+    TopologyKind physTopology = TopologyKind::Torus3D;
+    int physLocalDim = 1;
+    int physHorizontalDim = 1;
+    int physVerticalDim = 1;
+    int physGlobalSwitches = 2;
+
+    /** The SimConfig describing the physical fabric (self when 1:1). */
+    SimConfig physicalConfig() const;
+
+    // ------------------------------------------------------------------
+
+    /** Total NPU count (#4), across all pods. */
+    int
+    numNpus() const
+    {
+        return localDim * horizontalDim * verticalDim * scaleoutDimSize;
+    }
+
+    /** Total package count (#5). */
+    int numPackages() const { return horizontalDim * verticalDim; }
+
+    /** Convenience: set Torus3D dimensions M x N x K. */
+    SimConfig &torus(int m, int n, int k);
+
+    /** Convenience: set AllToAll dimensions M x P (P packages). */
+    SimConfig &allToAll(int m, int packages, int switches = 2);
+
+    /** Set one parameter from its string name/value; fatal on unknown. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Load key=value lines (# comments) from @p path. */
+    void loadFile(const std::string &path);
+
+    /**
+     * Apply --key=value arguments; non-matching arguments are left for
+     * the caller. @return arguments that were not consumed.
+     */
+    std::map<std::string, std::string>
+    applyArgs(int argc, char **argv);
+
+    /** Sanity-check the configuration; fatal() with a message if bad. */
+    void validate() const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString() const;
+};
+
+/** Parse helpers for the enum-valued parameters; fatal on bad input. */
+TopologyKind parseTopologyKind(const std::string &s);
+AlgorithmFlavor parseAlgorithmFlavor(const std::string &s);
+SchedulingPolicy parseSchedulingPolicy(const std::string &s);
+NetworkBackend parseNetworkBackend(const std::string &s);
+PacketRouting parsePacketRouting(const std::string &s);
+InjectionPolicy parseInjectionPolicy(const std::string &s);
+
+const char *toString(TopologyKind k);
+const char *toString(AlgorithmFlavor f);
+const char *toString(SchedulingPolicy p);
+const char *toString(NetworkBackend b);
+const char *toString(PacketRouting r);
+const char *toString(InjectionPolicy p);
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_CONFIG_HH

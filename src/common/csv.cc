@@ -1,0 +1,141 @@
+#include "common/csv.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+Table &
+Table::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    if (_rows.empty())
+        _rows.emplace_back();
+    _rows.back().push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(double v, const char *fmt)
+{
+    return cell(strprintf(fmt, v));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(strprintf("%llu", static_cast<unsigned long long>(v)));
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto emit = [&out](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += ',';
+            out += csvEscape(cells[i]);
+        }
+        out += '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &r : _rows)
+        emit(r);
+    return out;
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> width;
+    auto widen = [&width](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    if (!_header.empty())
+        widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += "  ";
+            out += cells[i];
+            out.append(width[i] - cells[i].size(), ' ');
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < width.size(); ++i)
+            total += width[i] + (i ? 2 : 0);
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    return out;
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::string text = toText();
+    std::fwrite(text.data(), 1, text.size(), out);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::string text = toCsv();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace astra

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tiny CSV / table emitter used by the benchmark harnesses to print the
+ * rows and series of the paper's tables and figures.
+ */
+
+#ifndef ASTRA_COMMON_CSV_HH
+#define ASTRA_COMMON_CSV_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace astra
+{
+
+/**
+ * Accumulates rows of string cells; renders as CSV or an aligned
+ * text table.
+ */
+class Table
+{
+  public:
+    /** Set the column headers. */
+    void header(std::vector<std::string> cols) { _header = std::move(cols); }
+
+    /** Append a full row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Begin building a row cell-by-cell. */
+    Table &row();
+    /** Append a string cell to the row being built. */
+    Table &cell(const std::string &v);
+    /** Append a formatted double cell. */
+    Table &cell(double v, const char *fmt = "%.4g");
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t v);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render as CSV (header first if set). */
+    std::string toCsv() const;
+
+    /** Render as an aligned, human-readable table. */
+    std::string toText() const;
+
+    /** Print toText() to @p out. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Write toCsv() to @p path; fatal() on I/O error. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_CSV_HH

@@ -1,0 +1,92 @@
+#include "common/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+EventId
+EventQueue::schedule(Tick when, EventCallback cb, int priority)
+{
+    if (when < _now) {
+        panic("event scheduled in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    EventId id = _nextId++;
+    _heap.push(Entry{when, priority, _seq++, id, std::move(cb)});
+    _live.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // An id is cancellable exactly while it is live: still in the heap
+    // and not yet fired. Cancelled/fired entries are simply skipped at
+    // pop time.
+    return _live.erase(id) > 0;
+}
+
+void
+EventQueue::skim()
+{
+    while (!_heap.empty() && !_live.count(_heap.top().id))
+        _heap.pop();
+}
+
+bool
+EventQueue::popNext(Entry &out)
+{
+    skim();
+    if (_heap.empty())
+        return false;
+    out = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    _live.erase(out.id);
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popNext(e))
+        return false;
+    _now = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (true) {
+        skim();
+        if (_heap.empty() || _heap.top().when > until)
+            break;
+        Entry e;
+        if (!popNext(e))
+            break;
+        _now = e.when;
+        ++_executed;
+        e.cb();
+        ++n;
+    }
+    if (_now < until)
+        _now = until;
+    return n;
+}
+
+} // namespace astra

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The event-driven execution core of ASTRA-SIM (Sec. IV of the paper).
+ *
+ * ASTRA-SIM maintains its own event queue in the system layer and
+ * exposes it to the workload layer to schedule events. All three layers
+ * (workload / system / network) share one EventQueue instance.
+ *
+ * Ordering guarantees:
+ *  - events fire in non-decreasing tick order;
+ *  - events scheduled for the same tick fire in ascending priority;
+ *  - events with equal (tick, priority) fire in insertion (FIFO) order.
+ *
+ * The FIFO tiebreak makes simulations bit-for-bit deterministic, which
+ * the repeatability tests rely on.
+ */
+
+#ifndef ASTRA_COMMON_EVENT_QUEUE_HH
+#define ASTRA_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** Callback type executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event queue.
+ */
+class EventQueue
+{
+  public:
+    /** Default priority for ordinary events. */
+    static constexpr int kDefaultPriority = 0;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when  Absolute tick; must be >= now().
+     * @param cb    Callback to invoke.
+     * @param priority  Lower fires first within a tick.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Tick when, EventCallback cb,
+                     int priority = kDefaultPriority);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleAfter(Tick delay, EventCallback cb,
+                  int priority = kDefaultPriority)
+    {
+        return schedule(_now + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @return true if the event was pending and is now cancelled,
+     *         false if it already fired or was already cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (live, non-cancelled) events. */
+    std::size_t pendingEvents() const { return _live.size(); }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return _live.empty(); }
+
+    /**
+     * Run events until the queue drains or @p max_events fire.
+     *
+     * @return the number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /**
+     * Run events with tick <= @p until (inclusive). Time advances to
+     * @p until even if the queue drains earlier.
+     *
+     * @return the number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Execute exactly one event if available; @return true if one ran. */
+    bool step();
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executedEvents() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq; //!< insertion order, for the FIFO tiebreak
+        EventId id;
+        EventCallback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    /** Pop the next live entry; false if drained. */
+    bool popNext(Entry &out);
+
+    /** Drop cancelled entries off the top of the heap. */
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _heap;
+    std::unordered_set<EventId> _live; //!< ids scheduled and not yet
+                                       //!< fired or cancelled
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    EventId _nextId = 1;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 tradition.
+ *
+ * fatal()  — the simulation cannot continue because of a *user* error
+ *            (bad configuration, malformed workload file). Exits with
+ *            status 1 unless a test has installed a throwing handler.
+ * panic()  — an internal simulator bug (broken invariant). Aborts.
+ * warn()   — something is suspicious but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef ASTRA_COMMON_LOGGING_HH
+#define ASTRA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace astra
+{
+
+/** Exception thrown by fatal()/panic() when test mode is enabled. */
+struct FatalError : std::runtime_error
+{
+    explicit FatalError(const std::string &what) : std::runtime_error(what)
+    {}
+};
+
+/**
+ * When true (set by tests), fatal() and panic() throw FatalError instead
+ * of terminating the process, so error paths are unit-testable.
+ */
+void setLoggingThrowOnFatal(bool throw_on_fatal);
+
+/** True if fatal()/panic() currently throw instead of exiting. */
+bool loggingThrowsOnFatal();
+
+/** Suppress inform()/warn() output (quiet benchmarks). */
+void setLoggingQuiet(bool quiet);
+
+/** User-caused unrecoverable error; printf-style message. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Simulator-bug unrecoverable error; printf-style message. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_LOGGING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Simulations must be bit-for-bit repeatable given a seed, so all
+ * stochastic choices (synthetic workload jitter, randomized tests) go
+ * through this generator instead of std::rand / random_device.
+ */
+
+#ifndef ASTRA_COMMON_RANDOM_HH
+#define ASTRA_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace astra
+{
+
+/**
+ * xoshiro256** by Blackman & Vigna (public domain reference code).
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _s) {
+            // splitmix64 step
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+        const std::uint64_t t = _s[1] << 17;
+        _s[2] ^= _s[0];
+        _s[3] ^= _s[1];
+        _s[1] ^= _s[2];
+        _s[0] ^= _s[3];
+        _s[2] ^= t;
+        _s[3] = rotl(_s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _s[4];
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_RANDOM_HH

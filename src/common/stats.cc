@@ -1,0 +1,15 @@
+#include "common/stats.hh"
+
+namespace astra
+{
+
+void
+StatGroup::merge(const StatGroup &o)
+{
+    for (const auto &[name, v] : o._counters)
+        _counters[name] += v;
+    for (const auto &[name, acc] : o._accs)
+        _accs[name].merge(acc);
+}
+
+} // namespace astra

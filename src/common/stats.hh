@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics package (counters, accumulators, histograms).
+ *
+ * The system layer publishes per-phase queue and network delays through
+ * these (the P0..P4 breakdown of Fig. 12b); the workload layer publishes
+ * per-layer compute / communication / exposed-communication time.
+ */
+
+#ifndef ASTRA_COMMON_STATS_HH
+#define ASTRA_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/**
+ * Mean/min/max/total accumulator over double samples.
+ */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        _sum += v;
+        _count += 1;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double total() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minimum() const { return _count ? _min : 0.0; }
+    double maximum() const { return _count ? _max : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const Accumulator &o)
+    {
+        _sum += o._sum;
+        _count += o._count;
+        if (o._count) {
+            _min = std::min(_min, o._min);
+            _max = std::max(_max, o._max);
+        }
+    }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+    double _min = 1e300;
+    double _max = -1e300;
+};
+
+/**
+ * A named bag of counters and accumulators. Hierarchical names use
+ * dots ("sys3.queue.P2").
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name (creates it at zero). */
+    void
+    inc(const std::string &name, double delta = 1.0)
+    {
+        _counters[name] += delta;
+    }
+
+    /** Read counter @p name (zero if absent). */
+    double
+    counter(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0.0 : it->second;
+    }
+
+    /** Record a sample into accumulator @p name. */
+    void
+    sample(const std::string &name, double v)
+    {
+        _accs[name].sample(v);
+    }
+
+    /** Read accumulator @p name (empty default if absent). */
+    const Accumulator &
+    accumulator(const std::string &name) const
+    {
+        static const Accumulator empty;
+        auto it = _accs.find(name);
+        return it == _accs.end() ? empty : it->second;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, double> &counters() const
+    {
+        return _counters;
+    }
+
+    /** All accumulators, sorted by name. */
+    const std::map<std::string, Accumulator> &accumulators() const
+    {
+        return _accs;
+    }
+
+    /** Merge another group into this one (counters add, accs merge). */
+    void merge(const StatGroup &o);
+
+    /** Drop all recorded data. */
+    void
+    clear()
+    {
+        _counters.clear();
+        _accs.clear();
+    }
+
+  private:
+    std::map<std::string, double> _counters;
+    std::map<std::string, Accumulator> _accs;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_STATS_HH

@@ -1,0 +1,81 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+void
+TraceRecorder::span(NodeId node, int lane, const std::string &category,
+                    const std::string &name, Tick start, Tick end)
+{
+    if (end < start)
+        panic("trace span ends (%llu) before it starts (%llu)",
+              static_cast<unsigned long long>(end),
+              static_cast<unsigned long long>(start));
+    _events.push_back(
+        Event{node, lane, category, name, start, end - start});
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+TraceRecorder::toJson() const
+{
+    // Chrome Trace Event format: timestamps in microseconds; our ticks
+    // are nanoseconds, so scale by 1e-3 (fractional ts is allowed).
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        const Event &e = _events[i];
+        out += strprintf(
+            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %d}%s\n",
+            jsonEscape(e.name).c_str(), jsonEscape(e.category).c_str(),
+            static_cast<double>(e.start) / 1e3,
+            static_cast<double>(e.duration) / 1e3, e.node, e.lane,
+            i + 1 == _events.size() ? "" : ",");
+    }
+    out += "]\n";
+    return out;
+}
+
+void
+TraceRecorder::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    const std::string json = toJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+} // namespace astra

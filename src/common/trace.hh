@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chrome-trace (about://tracing / Perfetto) event recording.
+ *
+ * When enabled (parameter `trace-file`), the simulator records
+ * complete spans — per-node compute intervals, exposed-communication
+ * waits, and every chunk's per-phase execution — and writes them in
+ * the Chrome Trace Event JSON format, one process lane per NPU.
+ * Loading the file in Perfetto gives the classic compute/communication
+ * overlap picture the paper's Figs. 15/16 aggregate.
+ */
+
+#ifndef ASTRA_COMMON_TRACE_HH
+#define ASTRA_COMMON_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/**
+ * Collects complete ("ph":"X") trace events.
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * Record one span.
+     *
+     * @param node   NPU id (trace process lane).
+     * @param lane   Thread lane within the node (0 = workload,
+     *               1 + phase index for collective phases).
+     * @param category  Event category ("compute", "wait", "phase").
+     * @param name   Display name.
+     * @param start  Span start tick.
+     * @param end    Span end tick (>= start).
+     */
+    void span(NodeId node, int lane, const std::string &category,
+              const std::string &name, Tick start, Tick end);
+
+    /** Number of recorded events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Serialize as a Chrome Trace Event JSON array document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; fatal() on I/O error. */
+    void writeFile(const std::string &path) const;
+
+    /** Drop all recorded events. */
+    void clear() { _events.clear(); }
+
+  private:
+    struct Event
+    {
+        NodeId node;
+        int lane;
+        std::string category;
+        std::string name;
+        Tick start;
+        Tick duration;
+    };
+
+    std::vector<Event> _events;
+};
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_TRACE_HH

@@ -1,0 +1,48 @@
+#include "common/types.hh"
+
+#include <cctype>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+const char *
+toString(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::ReduceScatter: return "REDUCESCATTER";
+      case CollectiveKind::AllGather: return "ALLGATHER";
+      case CollectiveKind::AllReduce: return "ALLREDUCE";
+      case CollectiveKind::AllToAll: return "ALLTOALL";
+      case CollectiveKind::None: return "NONE";
+    }
+    return "UNKNOWN";
+}
+
+CollectiveKind
+parseCollectiveKind(const char *name)
+{
+    std::string canon;
+    for (const char *p = name; *p; ++p) {
+        if (*p == '_' || *p == '-')
+            continue;
+        canon.push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(*p))));
+    }
+    if (canon.empty() || canon == "NONE")
+        return CollectiveKind::None;
+    if (canon == "REDUCESCATTER")
+        return CollectiveKind::ReduceScatter;
+    if (canon == "ALLGATHER")
+        return CollectiveKind::AllGather;
+    if (canon == "ALLREDUCE")
+        return CollectiveKind::AllReduce;
+    if (canon == "ALLTOALL")
+        return CollectiveKind::AllToAll;
+    fatal("unknown collective kind '%s'", name);
+    return CollectiveKind::None; // unreachable
+}
+
+} // namespace astra

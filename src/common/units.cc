@@ -1,0 +1,82 @@
+#include "common/units.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+Bytes
+parseBytes(const std::string &text)
+{
+    if (text.empty())
+        fatal("empty size string");
+    const char *s = text.c_str();
+    char *end = nullptr;
+    double value = std::strtod(s, &end);
+    if (end == s || value < 0)
+        fatal("malformed size string '%s'", text.c_str());
+    while (*end && std::isspace(static_cast<unsigned char>(*end)))
+        ++end;
+    double mult = 1;
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case '\0':
+        break;
+      case 'B':
+        ++end;
+        break;
+      case 'K':
+        mult = static_cast<double>(KiB);
+        ++end;
+        break;
+      case 'M':
+        mult = static_cast<double>(MiB);
+        ++end;
+        break;
+      case 'G':
+        mult = static_cast<double>(GiB);
+        ++end;
+        break;
+      default:
+        fatal("malformed size suffix in '%s'", text.c_str());
+    }
+    // Allow a trailing 'B' / "iB" after K/M/G.
+    if (*end == 'i' || *end == 'I')
+        ++end;
+    if (*end == 'b' || *end == 'B')
+        ++end;
+    if (*end != '\0')
+        fatal("trailing junk in size string '%s'", text.c_str());
+    return static_cast<Bytes>(std::llround(value * mult));
+}
+
+std::string
+formatBytes(Bytes bytes)
+{
+    if (bytes >= GiB) {
+        double g = static_cast<double>(bytes) / static_cast<double>(GiB);
+        return strprintf("%.4gGB", g);
+    }
+    if (bytes >= MiB) {
+        double m = static_cast<double>(bytes) / static_cast<double>(MiB);
+        return strprintf("%.4gMB", m);
+    }
+    if (bytes >= KiB) {
+        double k = static_cast<double>(bytes) / static_cast<double>(KiB);
+        return strprintf("%.4gKB", k);
+    }
+    return strprintf("%lluB", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatTicks(Tick ticks)
+{
+    double us = static_cast<double>(ticks) / 1e3;
+    return strprintf("%llu cycles (%.3f us)",
+                     static_cast<unsigned long long>(ticks), us);
+}
+
+} // namespace astra

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Size/bandwidth/time unit helpers.
+ *
+ * The simulator clock runs at 1 GHz, so 1 cycle == 1 ns and a GB/s is
+ * exactly a byte per cycle. Keeping the conversion in one place avoids
+ * the classic off-by-10^3 bugs when reading Table IV style parameters.
+ */
+
+#ifndef ASTRA_COMMON_UNITS_HH
+#define ASTRA_COMMON_UNITS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/** Convert a bandwidth in GB/s into bytes per cycle (1 GHz clock). */
+constexpr BytesPerCycle
+gbpsToBytesPerCycle(double gb_per_s)
+{
+    return gb_per_s; // 1e9 B/s / 1e9 cycles/s
+}
+
+/**
+ * Parse a human size string: "32KB", "4MB", "1.5GB", "512", "512B".
+ * Decimal multipliers of 1024. fatal()s on malformed input.
+ */
+Bytes parseBytes(const std::string &text);
+
+/** Render a byte count compactly: 512B, 32KB, 4MB, 1.5GB. */
+std::string formatBytes(Bytes bytes);
+
+/** Render a tick count as "12345 cycles (12.3 us)". */
+std::string formatTicks(Tick ticks);
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_UNITS_HH

@@ -1,0 +1,63 @@
+#include "compute/systolic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+void
+checkShape(const GemmShape &s)
+{
+    if (s.m < 1 || s.k < 1 || s.n < 1)
+        fatal("GEMM dimensions must be positive (%lld x %lld x %lld)",
+              static_cast<long long>(s.m), static_cast<long long>(s.k),
+              static_cast<long long>(s.n));
+}
+
+} // namespace
+
+Tick
+systolicComputeCycles(const SystolicParams &p, const GemmShape &s)
+{
+    checkShape(s);
+    const std::int64_t tiles = ceilDiv(s.m, p.rows) * ceilDiv(s.n, p.cols);
+    const std::int64_t tile_cost = s.k + p.rows + p.cols - 2;
+    return static_cast<Tick>(tiles * tile_cost);
+}
+
+Tick
+systolicMemoryCycles(const SystolicParams &p, const GemmShape &s)
+{
+    checkShape(s);
+    const double bytes =
+        static_cast<double>(s.m * s.k + s.k * s.n + s.m * s.n) *
+        p.dtypeBytes;
+    return static_cast<Tick>(std::ceil(bytes / p.dramBandwidth));
+}
+
+Tick
+systolicGemmLatency(const SystolicParams &p, const GemmShape &s)
+{
+    if (p.clockGhz <= 0)
+        fatal("accelerator clock must be positive");
+    const Tick accel_cycles = std::max(systolicComputeCycles(p, s),
+                                       systolicMemoryCycles(p, s));
+    // Convert accelerator cycles to 1 GHz fabric cycles.
+    return static_cast<Tick>(
+               std::ceil(static_cast<double>(accel_cycles) / p.clockGhz)) +
+           p.layerOverhead;
+}
+
+} // namespace astra

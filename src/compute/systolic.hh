@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytical compute model of a TPU-like systolic-array NPU.
+ *
+ * The paper feeds ASTRA-SIM layer compute times produced by an
+ * analytical DNN accelerator simulator modelling a 256x256 TPU-like
+ * systolic array [12], plus parameterized delays for the non-GEMM part
+ * of each layer and stalls from limited DRAM bandwidth (Sec. IV-A).
+ * This module is the stand-in (DESIGN.md substitution #2): an
+ * output-stationary tiling latency model
+ *
+ *     tiles      = ceil(M/rows) * ceil(N/cols)
+ *     tile cost  = K + rows + cols - 2        (fill + drain + stream)
+ *     compute    = tiles * tile cost
+ *     memory     = (M*K + K*N + M*N) * dtype / DRAM bandwidth
+ *     layer time = max(compute, memory) + fixed overhead
+ *
+ * at the 1 GHz fabric clock.
+ */
+
+#ifndef ASTRA_COMPUTE_SYSTOLIC_HH
+#define ASTRA_COMPUTE_SYSTOLIC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** Parameters of the modelled accelerator (Table IV: 256x256). */
+struct SystolicParams
+{
+    int rows = 256;
+    int cols = 256;
+    /** HBM bandwidth in bytes/cycle (== GB/s at 1 GHz). */
+    double dramBandwidth = 900.0;
+    /** Bytes per matrix element (fp16 storage). */
+    int dtypeBytes = 2;
+    /** Fixed non-GEMM cost added per layer invocation, cycles. */
+    Tick layerOverhead = 2000;
+    /**
+     * Accelerator clock relative to the 1 GHz fabric clock. The
+     * paper's compute numbers come from SIGMA's analytical model whose
+     * absolute scale is not published; this factor calibrates the
+     * compute/communication balance so the ResNet-50 scaling study
+     * lands in the paper's regime (Fig. 17: a few percent exposed
+     * communication at 8 NPUs rising to ~25% at 128).
+     * See DESIGN.md, substitution #2.
+     */
+    double clockGhz = 14.0;
+};
+
+/** GEMM dimensions: C[M,N] += A[M,K] * B[K,N]. */
+struct GemmShape
+{
+    std::int64_t m = 1;
+    std::int64_t k = 1;
+    std::int64_t n = 1;
+};
+
+/** Pure compute cycles for @p shape (no memory stalls, no overhead). */
+Tick systolicComputeCycles(const SystolicParams &p, const GemmShape &shape);
+
+/** DRAM traffic cycles for @p shape. */
+Tick systolicMemoryCycles(const SystolicParams &p, const GemmShape &shape);
+
+/** Full layer delay: max(compute, memory) + overhead. */
+Tick systolicGemmLatency(const SystolicParams &p, const GemmShape &shape);
+
+} // namespace astra
+
+#endif // ASTRA_COMPUTE_SYSTOLIC_HH

@@ -1,0 +1,112 @@
+#include "core/cluster.hh"
+
+#include "common/logging.hh"
+#include "net/analytical.hh"
+#include "net/garnet_lite.hh"
+
+namespace astra
+{
+
+Cluster::Cluster(const SimConfig &cfg) : _cfg(cfg), _topo(cfg)
+{
+    // The network backend is built from the *physical* fabric; the
+    // system layer keeps its logical view (one-to-one by default).
+    const bool one_to_one = !_cfg.physicalDistinct;
+    if (!one_to_one)
+        _physTopo = std::make_unique<Topology>(_cfg.physicalConfig());
+    const Topology &net_topo = _physTopo ? *_physTopo : _topo;
+    const SimConfig net_cfg =
+        _physTopo ? _cfg.physicalConfig() : _cfg;
+
+    switch (_cfg.backend) {
+      case NetworkBackend::Analytical:
+        _net = std::make_unique<AnalyticalNetwork>(_eq, net_topo,
+                                                   net_cfg, one_to_one);
+        break;
+      case NetworkBackend::GarnetLite:
+        _net = std::make_unique<GarnetLiteNetwork>(_eq, net_topo,
+                                                   net_cfg, one_to_one);
+        break;
+    }
+    _nodes.reserve(std::size_t(_topo.numNodes()));
+    for (NodeId n = 0; n < _topo.numNodes(); ++n)
+        _nodes.push_back(std::make_unique<Sys>(n, _topo, *_net, _cfg));
+
+    if (!_cfg.traceFile.empty()) {
+        _trace = std::make_unique<TraceRecorder>();
+        for (auto &node : _nodes)
+            node->setTrace(_trace.get());
+    }
+}
+
+Cluster::~Cluster()
+{
+    if (_trace && !_cfg.traceFile.empty() && _trace->size() > 0) {
+        // Best effort: never let trace I/O failures mask the real
+        // outcome of a run during stack unwinding.
+        try {
+            flushTrace();
+        } catch (...) {
+        }
+    }
+}
+
+void
+Cluster::flushTrace()
+{
+    if (!_trace)
+        return;
+    _trace->writeFile(_cfg.traceFile);
+    _trace->clear();
+}
+
+std::vector<std::shared_ptr<CollectiveHandle>>
+Cluster::issueAll(const CollectiveRequest &req)
+{
+    std::vector<std::shared_ptr<CollectiveHandle>> handles;
+    handles.reserve(_nodes.size());
+    for (auto &node : _nodes)
+        handles.push_back(node->issueCollective(req));
+    return handles;
+}
+
+Tick
+Cluster::run()
+{
+    _eq.run();
+    return _eq.now();
+}
+
+Tick
+Cluster::runCollective(CollectiveKind kind, Bytes bytes,
+                       std::vector<int> dims, int set_splits)
+{
+    CollectiveRequest req;
+    req.kind = kind;
+    req.bytes = bytes;
+    req.dims = std::move(dims);
+    req.setSplits = set_splits;
+
+    const Tick issued = _eq.now();
+    auto handles = issueAll(req);
+    run();
+
+    Tick finish = issued;
+    for (const auto &h : handles) {
+        if (!h->done())
+            fatal("collective did not complete (deadlock?)");
+        finish = std::max(finish, h->completedAt);
+    }
+    return finish - issued;
+}
+
+StatGroup
+Cluster::aggregateStats() const
+{
+    StatGroup all;
+    for (const auto &node : _nodes)
+        all.merge(node->stats());
+    return all;
+}
+
+} // namespace astra

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cluster — owns one complete simulated platform: the event queue, the
+ * logical topology, the network backend selected by the configuration,
+ * and one Sys per NPU.
+ *
+ * Benchmarks, tests and examples use this to run collectives without
+ * hand-wiring the layers; the workload layer builds on it for full
+ * training runs.
+ */
+
+#ifndef ASTRA_CORE_CLUSTER_HH
+#define ASTRA_CORE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "core/sys.hh"
+#include "net/network_api.hh"
+#include "topo/topology.hh"
+
+namespace astra
+{
+
+/**
+ * A fully wired simulated platform.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const SimConfig &cfg);
+    ~Cluster();
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    const SimConfig &config() const { return _cfg; }
+    EventQueue &eventQueue() { return _eq; }
+
+    /** The logical topology the system layer runs against. */
+    const Topology &topology() const { return _topo; }
+
+    /**
+     * The physical topology the fabric is built from — identical to
+     * topology() unless the configuration maps the logical view onto
+     * a distinct physical network (Sec. IV-B, physical-topology=...).
+     */
+    const Topology &physicalTopology() const
+    {
+        return _physTopo ? *_physTopo : _topo;
+    }
+
+    NetworkApi &network() { return *_net; }
+    int numNodes() const { return _topo.numNodes(); }
+    Sys &node(NodeId id) { return *_nodes.at(std::size_t(id)); }
+
+    /**
+     * Issue the same collective on every node (per-node handles in
+     * node order). The cluster-wide completion time is the max of the
+     * per-node completedAt values.
+     */
+    std::vector<std::shared_ptr<CollectiveHandle>>
+    issueAll(const CollectiveRequest &req);
+
+    /** Drain all events. @return final simulated time. */
+    Tick run();
+
+    /**
+     * Convenience: issue @p kind of @p bytes on every node, run to
+     * completion and return the cluster-wide communication time
+     * (max completedAt - issue time).
+     */
+    Tick runCollective(CollectiveKind kind, Bytes bytes,
+                       std::vector<int> dims = {}, int set_splits = 0);
+
+    /** Merge of all per-node stat groups. */
+    StatGroup aggregateStats() const;
+
+    /** The trace recorder, or nullptr when tracing is disabled. */
+    TraceRecorder *trace() { return _trace.get(); }
+
+    /** Write the trace to the configured trace-file (if any). */
+    void flushTrace();
+
+  private:
+    SimConfig _cfg;
+    EventQueue _eq;
+    Topology _topo; //!< logical
+    std::unique_ptr<Topology> _physTopo; //!< set when mapping is on
+    std::unique_ptr<NetworkApi> _net;
+    std::vector<std::unique_ptr<Sys>> _nodes;
+    std::unique_ptr<TraceRecorder> _trace;
+};
+
+} // namespace astra
+
+#endif // ASTRA_CORE_CLUSTER_HH

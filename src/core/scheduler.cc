@@ -1,0 +1,188 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "core/sys.hh"
+
+namespace astra
+{
+
+Scheduler::Scheduler(Sys &sys, const SimConfig &cfg)
+    : _sys(sys), _policy(cfg.schedulingPolicy),
+      _threshold(cfg.dispatchThreshold), _width(cfg.dispatchWidth),
+      _concurrency(cfg.lsqConcurrency)
+{
+}
+
+Scheduler::LsqKey
+Scheduler::keyFor(const Stream *s, int p) const
+{
+    const PhaseDesc &ph = s->plan().at(std::size_t(p));
+    return LsqKey{p, ph.dim, s->channelFor(p)};
+}
+
+void
+Scheduler::submit(Stream *stream)
+{
+    stream->submittedAt = _sys.now();
+    switch (_policy) {
+      case SchedulingPolicy::FIFO:
+        _ready.push_back(stream);
+        break;
+      case SchedulingPolicy::LIFO:
+        _ready.push_front(stream);
+        break;
+      case SchedulingPolicy::LayerPriority: {
+        // Earliest layer first (Sec. III-E); FIFO among equals.
+        // Collectives without a layer tag sort last.
+        auto key = [](const Stream *s) {
+            const LayerId l = s->handle()->layer;
+            return l < 0 ? std::numeric_limits<LayerId>::max() : l;
+        };
+        auto pos = std::upper_bound(
+            _ready.begin(), _ready.end(), stream,
+            [&key](const Stream *a, const Stream *b) {
+                return key(a) < key(b);
+            });
+        _ready.insert(pos, stream);
+        break;
+      }
+    }
+    dispatch();
+}
+
+void
+Scheduler::dispatch()
+{
+    // The dispatcher rule of Sec. IV-B: when fewer than T chunks are
+    // still in their first phase, issue P chunks from the ready queue.
+    if (_phase0Active >= _threshold)
+        return;
+    int issued = 0;
+    while (!_ready.empty() && issued < _width) {
+        Stream *s = _ready.front();
+        _ready.pop_front();
+        ++issued;
+        ++_phase0Active;
+        ++_inFlight;
+        const Tick now = _sys.now();
+        sampleReadyDelay(s, now);
+        s->enterPhase(0, now);
+        enqueue(s, 0);
+    }
+}
+
+void
+Scheduler::sampleReadyDelay(Stream *s, Tick now)
+{
+    const double wait = static_cast<double>(now - s->submittedAt);
+    _sys.stats().sample("queue.P0", wait);
+    if (s->handle()->layer >= 0) {
+        _sys.stats().sample(
+            strprintf("layer%d.queue.P0", s->handle()->layer), wait);
+    }
+}
+
+void
+Scheduler::enqueuePhase(Stream *stream, int p)
+{
+    enqueue(stream, p);
+}
+
+void
+Scheduler::enqueue(Stream *s, int p)
+{
+    const LsqKey key = keyFor(s, p);
+    Lsq &q = _lsqs[key];
+    auto pos = std::lower_bound(
+        q.waiting.begin(), q.waiting.end(), s,
+        [](const Stream *a, const Stream *b) { return a->id() < b->id(); });
+    q.waiting.insert(pos, s);
+    pump(key);
+    // Deadlock guard (see file comment): if peers are already sending
+    // for this phase, run the chunk regardless of the concurrency cap.
+    if (!s->phaseStarted() && _sys.hasBufferedMessages(s->id(), p))
+        promoteIfWaiting(s, p);
+}
+
+void
+Scheduler::pump(const LsqKey &key)
+{
+    Lsq &q = _lsqs[key];
+    while (q.active < _concurrency && !q.waiting.empty()) {
+        Stream *s = q.waiting.front();
+        q.waiting.erase(q.waiting.begin());
+        admit(s, key);
+    }
+}
+
+void
+Scheduler::admit(Stream *s, const LsqKey &key)
+{
+    Lsq &q = _lsqs[key];
+    ++q.active;
+    const Tick now = _sys.now();
+    const double wait = static_cast<double>(
+        now - s->enqueuedAt[std::size_t(key.phase)]);
+    _sys.stats().sample(strprintf("queue.P%d", key.phase + 1), wait);
+    if (s->handle()->layer >= 0) {
+        _sys.stats().sample(strprintf("layer%d.queue.P%d",
+                                      s->handle()->layer, key.phase + 1),
+                            wait);
+    }
+    _sys.startStreamPhase(*s);
+}
+
+void
+Scheduler::promoteIfWaiting(Stream *stream, int p)
+{
+    if (stream->phase() == -1 && p == 0) {
+        // Peers are already executing this chunk's first phase but our
+        // dispatcher has not released it (T/P throttling): release it
+        // now, or the cluster can deadlock on the dispatcher itself.
+        auto pos = std::find(_ready.begin(), _ready.end(), stream);
+        if (pos == _ready.end())
+            return;
+        _ready.erase(pos);
+        ++_phase0Active;
+        ++_inFlight;
+        const Tick now = _sys.now();
+        sampleReadyDelay(stream, now);
+        stream->enterPhase(0, now);
+        enqueue(stream, 0);
+        return;
+    }
+    if (stream->phase() != p || stream->phaseStarted())
+        return;
+    const LsqKey key = keyFor(stream, p);
+    auto it = _lsqs.find(key);
+    if (it == _lsqs.end())
+        return;
+    auto &waiting = it->second.waiting;
+    auto pos = std::find(waiting.begin(), waiting.end(), stream);
+    if (pos == waiting.end())
+        return;
+    waiting.erase(pos);
+    admit(stream, key);
+}
+
+void
+Scheduler::onPhaseFinished(Stream *stream, int p, bool stream_complete)
+{
+    const LsqKey key = keyFor(stream, p);
+    Lsq &q = _lsqs[key];
+    if (q.active <= 0)
+        panic("LSQ accounting underflow");
+    --q.active;
+    if (p == 0) {
+        --_phase0Active;
+        dispatch();
+    }
+    if (stream_complete)
+        --_inFlight;
+    pump(key);
+}
+
+} // namespace astra

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The system-layer scheduler of Fig. 7: ready queue, logical
+ * scheduling queues (LSQs) and the dispatcher.
+ *
+ * - The *ready queue* holds issued chunks that have not entered the
+ *   collective pipeline. Ordering follows the scheduling policy
+ *   (parameter #7): FIFO appends, LIFO prepends (prioritizing the
+ *   latest layer's collectives, Sec. III-E).
+ *
+ * - One *LSQ* exists per (phase index, dimension, channel): each ring
+ *   of a torus dimension and each global switch of the alltoall
+ *   dimension gets its own queue (Sec. IV-B). An LSQ admits up to
+ *   lsq-concurrency chunks at a time, lowest stream id first.
+ *
+ * - The *dispatcher* issues dispatch-width (P) chunks from the ready
+ *   queue whenever fewer than dispatch-threshold (T) chunks are still
+ *   in the first phase of their plan.
+ *
+ * Deadlock note: chunks reach a given phase's LSQ in an order that can
+ * differ across nodes (their pipelines run at different speeds), so a
+ * strict per-LSQ serialization could produce a cross-node cycle: node
+ * X runs chunk A and queues B while node Y runs B and queues A. Two
+ * mechanisms break such cycles: admission is by ascending stream id
+ * (globally consistent), and a queued chunk for which messages have
+ * already arrived — proof that peers are actively executing it — is
+ * promoted past the concurrency cap ("wanted promotion").
+ */
+
+#ifndef ASTRA_CORE_SCHEDULER_HH
+#define ASTRA_CORE_SCHEDULER_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/stream.hh"
+
+namespace astra
+{
+
+class Sys;
+
+/**
+ * Per-node scheduler.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(Sys &sys, const SimConfig &cfg);
+
+    /** A new chunk enters the ready queue. */
+    void submit(Stream *stream);
+
+    /** Chunk entered phase @p p (p > 0): put it into its LSQ. */
+    void enqueuePhase(Stream *stream, int p);
+
+    /**
+     * Chunk finished phase @p p: release its LSQ slot, trigger the
+     * dispatcher (p == 0) and admissions. @p stream_complete marks the
+     * final phase.
+     */
+    void onPhaseFinished(Stream *stream, int p, bool stream_complete);
+
+    /**
+     * Messages arrived for @p stream's phase @p p; promote it if it is
+     * waiting in that phase's LSQ (see deadlock note above).
+     */
+    void promoteIfWaiting(Stream *stream, int p);
+
+    /** Chunks past the dispatcher but not yet done with phase 0. */
+    int phase0Active() const { return _phase0Active; }
+
+    /** Chunks still waiting in the ready queue. */
+    std::size_t readyQueueDepth() const { return _ready.size(); }
+
+    /** Total chunks currently inside any LSQ (waiting or running). */
+    int inFlight() const { return _inFlight; }
+
+  private:
+    struct LsqKey
+    {
+        int phase;
+        int dim;
+        int channel;
+
+        auto operator<=>(const LsqKey &) const = default;
+    };
+
+    struct Lsq
+    {
+        std::vector<Stream *> waiting; //!< kept sorted by stream id
+        int active = 0;
+    };
+
+    /** Key of the LSQ stream @p s uses for phase @p p. */
+    LsqKey keyFor(const Stream *s, int p) const;
+
+    /** Put @p s into its phase-@p p LSQ and try admissions. */
+    void enqueue(Stream *s, int p);
+
+    /** Admit eligible waiters of @p key. */
+    void pump(const LsqKey &key);
+
+    /** Start @p s's current phase (admission). */
+    void admit(Stream *s, const LsqKey &key);
+
+    /** Record ready-queue (P0) delay, globally and per layer. */
+    void sampleReadyDelay(Stream *s, Tick now);
+
+    /** Move ready-queue chunks into phase-0 LSQs per the T/P rule. */
+    void dispatch();
+
+    Sys &_sys;
+    SchedulingPolicy _policy;
+    int _threshold;
+    int _width;
+    int _concurrency;
+
+    std::deque<Stream *> _ready;
+    std::map<LsqKey, Lsq> _lsqs;
+    int _phase0Active = 0;
+    int _inFlight = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_CORE_SCHEDULER_HH

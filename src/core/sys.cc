@@ -1,0 +1,332 @@
+#include "core/sys.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+
+Sys::Sys(NodeId id, const Topology &topo, NetworkApi &net,
+         const SimConfig &cfg)
+    : _id(id), _topo(topo), _net(net), _cfg(cfg), _scheduler(*this, cfg)
+{
+    if (id < 0 || id >= topo.numNodes())
+        fatal("Sys node id %d out of range", id);
+    _net.setReceiver(id, [this](const Message &m) { onMessage(m); });
+}
+
+std::shared_ptr<CollectiveHandle>
+Sys::issueCollective(const CollectiveRequest &req)
+{
+    if (req.kind == CollectiveKind::None)
+        fatal("cannot issue CollectiveKind::None");
+    if (req.bytes == 0)
+        fatal("cannot issue a zero-byte collective");
+
+    std::vector<int> dims = req.dims;
+    if (dims.empty()) {
+        for (int d = 0; d < _topo.numDims(); ++d)
+            dims.push_back(d);
+    }
+
+    GroupInfo group(_topo, _id, dims);
+    PhasePlan plan =
+        buildPhasePlan(_topo, dims, req.kind, _cfg.algorithm);
+
+    int splits = req.setSplits > 0 ? req.setSplits
+                                   : _cfg.preferredSetSplits;
+    // Never create zero-byte chunks.
+    splits = static_cast<int>(
+        std::min<Bytes>(Bytes(splits), std::max<Bytes>(1, req.bytes)));
+
+    auto handle = std::make_shared<CollectiveHandle>();
+    handle->kind = req.kind;
+    handle->totalBytes = req.bytes;
+    handle->layer = req.layer;
+    handle->issuedAt = now();
+    handle->remainingChunks = splits;
+    handle->onComplete = req.onComplete;
+
+    const Bytes base = req.bytes / Bytes(splits);
+    const Bytes rem = req.bytes % Bytes(splits);
+
+    _stats.inc("issued.sets");
+    _stats.inc("issued.chunks", splits);
+    _stats.inc("issued.bytes", static_cast<double>(req.bytes));
+
+    for (int i = 0; i < splits; ++i) {
+        const Bytes chunk_bytes = base + (Bytes(i) < rem ? 1 : 0);
+        const StreamId sid = _nextStreamId++;
+        if (plan.empty()) {
+            // Single-participant group: nothing to communicate; the
+            // chunk completes on the next event boundary.
+            eventQueue().scheduleAfter(0, [this, handle] {
+                if (--handle->remainingChunks == 0) {
+                    handle->completedAt = now();
+                    if (handle->onComplete)
+                        handle->onComplete();
+                }
+            });
+            continue;
+        }
+        auto stream = std::make_unique<Stream>(
+            *this, sid, req.kind, chunk_bytes, plan, group, handle);
+        Stream *raw = stream.get();
+        _streams[sid] = std::move(stream);
+        _scheduler.submit(raw);
+    }
+    return handle;
+}
+
+void
+Sys::sendMessage(Stream &stream, int dst_rank, int channel, Bytes bytes,
+                 int step, std::shared_ptr<void> payload)
+{
+    const PhaseDesc &ph = stream.phaseDesc();
+    Coord c = _topo.coordOf(_id);
+    c[ph.dim] = dst_rank;
+    const NodeId dst = _topo.nodeAt(c);
+
+    Message msg;
+    msg.src = _id;
+    msg.dst = dst;
+    msg.bytes = bytes;
+    msg.hint = RouteHint{ph.dim, channel};
+    msg.tag = MessageTag{stream.id(), stream.phase(), step,
+                         stream.myRank()};
+    msg.payload = std::move(payload);
+
+    _stats.inc("sent.messages");
+    _stats.inc("sent.bytes", static_cast<double>(bytes));
+    _stats.inc("sent.bytes." + _topo.dim(ph.dim).name,
+               static_cast<double>(bytes));
+    _net.send(std::move(msg));
+}
+
+void
+Sys::sendP2P(NodeId dst, Bytes bytes, std::uint64_t tag)
+{
+    if (dst < 0 || dst >= _topo.numNodes())
+        fatal("sendP2P: destination %d out of range", dst);
+    if (bytes == 0)
+        fatal("sendP2P: zero-byte transfer");
+    Message msg;
+    msg.src = _id;
+    msg.dst = dst;
+    msg.bytes = bytes;
+    // Negative dim marks a point-to-point transfer; the channel seed
+    // spreads concurrent transfers over rings.
+    msg.hint = RouteHint{-1, static_cast<int>(tag & 0xffff)};
+    msg.tag.stream = tag;
+    msg.tag.phase = -1;
+    _stats.inc("sent.messages");
+    _stats.inc("sent.bytes", static_cast<double>(bytes));
+    _stats.inc("sent.bytes.p2p", static_cast<double>(bytes));
+    _net.send(std::move(msg));
+}
+
+void
+Sys::expectP2P(NodeId src, std::uint64_t tag, std::function<void()> cb)
+{
+    const auto key = std::make_pair(src, tag);
+    auto arrived = _p2pArrived.find(key);
+    if (arrived != _p2pArrived.end()) {
+        if (--arrived->second == 0)
+            _p2pArrived.erase(arrived);
+        cb();
+        return;
+    }
+    if (!_p2pExpected.emplace(key, std::move(cb)).second)
+        panic("duplicate P2P expectation for (src=%d, tag=%llu)", src,
+              static_cast<unsigned long long>(tag));
+}
+
+void
+Sys::onP2PMessage(const Message &msg)
+{
+    // Endpoint processing cost, then match the expectation.
+    eventQueue().scheduleAfter(_cfg.endpointDelay, [this, msg] {
+        const auto key = std::make_pair(msg.src, msg.tag.stream);
+        auto it = _p2pExpected.find(key);
+        if (it == _p2pExpected.end()) {
+            ++_p2pArrived[key];
+            return;
+        }
+        auto cb = std::move(it->second);
+        _p2pExpected.erase(it);
+        cb();
+    });
+}
+
+bool
+Sys::hasBufferedMessages(StreamId sid, int phase) const
+{
+    return _unmatched.count({sid, phase}) > 0;
+}
+
+void
+Sys::onMessage(const Message &msg)
+{
+    if (msg.tag.phase < 0) {
+        onP2PMessage(msg);
+        return;
+    }
+    const StreamId sid = msg.tag.stream;
+    const int phase = msg.tag.phase;
+
+    auto it = _streams.find(sid);
+    if (it != _streams.end()) {
+        Stream &s = *it->second;
+        if (s.phase() == phase && s.phaseStarted()) {
+            s.algorithm()->onMessage(msg);
+            return;
+        }
+        if (s.phase() > phase) {
+            panic("node %d: message for past phase %d of stream %llu "
+                  "(now in %d)",
+                  _id, phase, static_cast<unsigned long long>(sid),
+                  s.phase());
+        }
+        _unmatched[{sid, phase}].push_back(msg);
+        if (s.phase() == phase || (s.phase() == -1 && phase == 0))
+            _scheduler.promoteIfWaiting(&s, phase);
+        return;
+    }
+    // The peer is ahead of us: it issued (or advanced) a collective we
+    // have not reached yet. Buffer until our workload catches up.
+    _unmatched[{sid, phase}].push_back(msg);
+}
+
+void
+Sys::startStreamPhase(Stream &stream)
+{
+    stream.startPhase(now());
+    drainUnmatched(stream);
+}
+
+void
+Sys::drainUnmatched(Stream &stream)
+{
+    auto it = _unmatched.find({stream.id(), stream.phase()});
+    if (it == _unmatched.end())
+        return;
+    std::vector<Message> msgs = std::move(it->second);
+    _unmatched.erase(it);
+    for (const Message &m : msgs) {
+        if (!stream.phaseStarted())
+            panic("draining messages into an unstarted phase");
+        stream.algorithm()->onMessage(m);
+    }
+}
+
+void
+Sys::streamPhaseDone(Stream &stream)
+{
+    const int p = stream.phase();
+    const Tick t = now();
+    stream.finishedAt[std::size_t(p)] = t;
+    const double active =
+        static_cast<double>(t - stream.startedAt[std::size_t(p)]);
+    _stats.sample(strprintf("network.P%d", p + 1), active);
+    if (_trace) {
+        const PhaseDesc &ph = stream.phaseDesc();
+        const char *op = toString(ph.op);
+        _trace->span(_id, 1 + p, "phase",
+                     strprintf("%s(%s) chunk %llu", op,
+                               _topo.dim(ph.dim).name.c_str(),
+                               static_cast<unsigned long long>(
+                                   stream.id())),
+                     stream.startedAt[std::size_t(p)], t);
+    }
+    if (stream.handle()->layer >= 0) {
+        _stats.sample(strprintf("layer%d.network.P%d",
+                                stream.handle()->layer, p + 1),
+                      active);
+    }
+
+    // Defer the transition so the algorithm's stack unwinds before the
+    // algorithm object is destroyed.
+    const StreamId sid = stream.id();
+    eventQueue().schedule(t, [this, sid] { advanceStream(sid); },
+                          /*priority=*/10);
+}
+
+void
+Sys::advanceStream(StreamId sid)
+{
+    auto it = _streams.find(sid);
+    if (it == _streams.end())
+        panic("advanceStream: stream %llu vanished",
+              static_cast<unsigned long long>(sid));
+    Stream &s = *it->second;
+    const int p = s.phase();
+    const bool last = (std::size_t(p) + 1 == s.plan().size());
+    s.clearAlgorithm();
+    _scheduler.onPhaseFinished(&s, p, last);
+    if (!last) {
+        s.enterPhase(p + 1, now());
+        _scheduler.enqueuePhase(&s, p + 1);
+    } else {
+        finishStream(s);
+    }
+}
+
+void
+Sys::finishStream(Stream &stream)
+{
+    // Built-in semantic post-conditions (Fig. 4): a schedule that
+    // merely *timed* like a collective but moved the wrong data dies
+    // here, on every run, not just under test.
+    const ChunkState &d =
+        const_cast<const ChunkState &>(
+            const_cast<Stream &>(stream).data());
+    switch (stream.kind()) {
+      case CollectiveKind::AllReduce:
+        if (!d.allReduced())
+            panic("all-reduce post-condition violated (stream %llu)",
+                  static_cast<unsigned long long>(stream.id()));
+        break;
+      case CollectiveKind::ReduceScatter:
+        for (int e = d.current().lo; e < d.current().hi; ++e) {
+            if (!d.valid(e) || !d.fullyReduced(e))
+                panic("reduce-scatter post-condition violated");
+        }
+        break;
+      case CollectiveKind::AllGather:
+        if (!d.allValid())
+            panic("all-gather post-condition violated");
+        break;
+      case CollectiveKind::AllToAll:
+        if (!d.allToAllComplete())
+            panic("all-to-all post-condition violated");
+        break;
+      case CollectiveKind::None:
+        break;
+    }
+
+    // No protocol leftovers may exist for this stream.
+    auto lo = _unmatched.lower_bound({stream.id(), 0});
+    if (lo != _unmatched.end() && lo->first.first == stream.id())
+        panic("stream %llu completed with unconsumed messages",
+              static_cast<unsigned long long>(stream.id()));
+
+    if (_inspector)
+        _inspector(stream);
+
+    auto handle = stream.handle();
+    _stats.inc("completed.chunks");
+
+    // Erase before firing callbacks: onComplete may issue collectives.
+    _streams.erase(stream.id());
+
+    if (--handle->remainingChunks == 0) {
+        handle->completedAt = now();
+        _stats.inc("completed.sets");
+        if (handle->onComplete)
+            handle->onComplete();
+    }
+}
+
+} // namespace astra

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Sys — the system layer of one NPU (Fig. 6, middle box).
+ *
+ * Every NPU endpoint owns a Sys. The workload layer (or a benchmark
+ * harness) calls issueCollective(); the Sys splits the set into chunks
+ * (Table II), runs them through the scheduler's LSQ pipeline, executes
+ * the topology-aware phase algorithms, and exchanges messages with
+ * peer Sys instances through the NetworkApi. Completion is reported
+ * per set via CollectiveHandle.
+ *
+ * Stream ids must be cluster-consistent: all participating nodes must
+ * issue the same sequence of collectives (they run the same training
+ * program), so each node's local id counter yields the same ids for
+ * the same logical operation. This mirrors ASTRA-SIM, where every NPU
+ * executes an identical workload loop.
+ */
+
+#ifndef ASTRA_CORE_SYS_HH
+#define ASTRA_CORE_SYS_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "core/scheduler.hh"
+#include "core/stream.hh"
+#include "net/network_api.hh"
+#include "topo/topology.hh"
+
+namespace astra
+{
+
+/** Parameters of one collective issue. */
+struct CollectiveRequest
+{
+    CollectiveKind kind = CollectiveKind::AllReduce;
+    Bytes bytes = 0;          //!< set size at this node
+    std::vector<int> dims;    //!< participating dims; empty = all
+    LayerId layer = -1;       //!< for per-layer statistics
+    std::function<void()> onComplete; //!< optional completion callback
+    /** Override the configured set splitting (0 = use config). */
+    int setSplits = 0;
+};
+
+/**
+ * The per-NPU system layer.
+ */
+class Sys
+{
+  public:
+    Sys(NodeId id, const Topology &topo, NetworkApi &net,
+        const SimConfig &cfg);
+
+    NodeId id() const { return _id; }
+    const Topology &topology() const { return _topo; }
+    const SimConfig &config() const { return _cfg; }
+    EventQueue &eventQueue() { return _net.eventQueue(); }
+    Tick now() { return eventQueue().now(); }
+
+    /**
+     * Issue one collective set. The same call must be made (in the
+     * same order) on every participating node.
+     */
+    std::shared_ptr<CollectiveHandle>
+    issueCollective(const CollectiveRequest &req);
+
+    // --- point-to-point transfers (pipeline parallelism) --------------
+
+    /**
+     * Send @p bytes to @p dst, routed dimension-ordered through the
+     * fabric. @p tag must be agreed between sender and receiver (the
+     * pipeline trainer derives it from (pass, microbatch, direction)).
+     */
+    void sendP2P(NodeId dst, Bytes bytes, std::uint64_t tag);
+
+    /**
+     * Register @p cb to run (after the endpoint delay) when the
+     * transfer tagged (@p src, @p tag) arrives; fires immediately if
+     * it already has. One expectation per (src, tag).
+     */
+    void expectP2P(NodeId src, std::uint64_t tag,
+                   std::function<void()> cb);
+
+    /** Per-node statistics (queue/network delay breakdown etc.). */
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    /**
+     * Install an inspector invoked on every completed stream before it
+     * is destroyed (tests use this to check chunk post-conditions;
+     * built-in post-condition panics run regardless).
+     */
+    void
+    setStreamInspector(std::function<void(const Stream &)> fn)
+    {
+        _inspector = std::move(fn);
+    }
+
+    /** Streams still alive (issued, not completed). */
+    std::size_t liveStreams() const { return _streams.size(); }
+
+    /** Attach a trace recorder (Cluster wires this when enabled). */
+    void setTrace(TraceRecorder *trace) { _trace = trace; }
+
+    /** The attached trace recorder, or nullptr. */
+    TraceRecorder *trace() { return _trace; }
+
+    // --- internal interfaces (Stream / Scheduler) ---------------------
+
+    /** Transmit a message on behalf of @p stream's current phase. */
+    void sendMessage(Stream &stream, int dst_rank, int channel,
+                     Bytes bytes, int step, std::shared_ptr<void> payload);
+
+    /** Called by Stream::phaseDone (defers the transition). */
+    void streamPhaseDone(Stream &stream);
+
+    /** Called by the Scheduler when a stream is admitted to its LSQ. */
+    void startStreamPhase(Stream &stream);
+
+    /** Messages already buffered for (sid, phase)? (wanted-promotion) */
+    bool hasBufferedMessages(StreamId sid, int phase) const;
+
+    Scheduler &scheduler() { return _scheduler; }
+
+  private:
+    /** Network receiver callback for this node. */
+    void onMessage(const Message &msg);
+
+    /** Phase transition after streamPhaseDone (runs off the stack). */
+    void advanceStream(StreamId sid);
+
+    /** Verify post-conditions, notify the handle, destroy the stream. */
+    void finishStream(Stream &stream);
+
+    /** Replay any messages buffered for (sid, phase). */
+    void drainUnmatched(Stream &stream);
+
+    NodeId _id;
+    const Topology &_topo;
+    NetworkApi &_net;
+    const SimConfig &_cfg;
+    Scheduler _scheduler;
+    StatGroup _stats;
+
+    /** Dispatch a point-to-point arrival. */
+    void onP2PMessage(const Message &msg);
+
+    StreamId _nextStreamId = 1;
+    std::map<StreamId, std::unique_ptr<Stream>> _streams;
+    std::map<std::pair<StreamId, std::int32_t>, std::vector<Message>>
+        _unmatched;
+    /** (src, tag) -> pending receive callback / early arrival count. */
+    std::map<std::pair<NodeId, std::uint64_t>, std::function<void()>>
+        _p2pExpected;
+    std::map<std::pair<NodeId, std::uint64_t>, int> _p2pArrived;
+    std::function<void(const Stream &)> _inspector;
+    TraceRecorder *_trace = nullptr;
+};
+
+} // namespace astra
+
+#endif // ASTRA_CORE_SYS_HH

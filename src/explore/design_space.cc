@@ -1,0 +1,103 @@
+#include "explore/design_space.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+std::vector<std::pair<std::string, SimConfig>>
+enumeratePlatforms(const ExploreSpec &spec)
+{
+    std::vector<std::pair<std::string, SimConfig>> out;
+    for (int m : spec.localDims) {
+        if (m < 1 || spec.modules % m)
+            continue;
+        const int packages = spec.modules / m;
+        for (int h = 1; h <= packages; ++h) {
+            if (packages % h)
+                continue;
+            const int v = packages / h;
+            if (h < v)
+                continue; // mirror-symmetric duplicate
+            SimConfig cfg;
+            cfg.torus(m, h, v);
+            cfg.local.bandwidth =
+                spec.localBandwidthRatio * cfg.package.bandwidth;
+            out.emplace_back(strprintf("torus-%dx%dx%d", m, h, v), cfg);
+        }
+        if (spec.includeAllToAll && packages >= 2 && packages <= 64) {
+            SimConfig cfg;
+            cfg.allToAll(m, packages, std::min(packages - 1, 7));
+            cfg.local.bandwidth =
+                spec.localBandwidthRatio * cfg.package.bandwidth;
+            out.emplace_back(strprintf("a2a-%dx%d", m, packages), cfg);
+        }
+    }
+    if (out.empty())
+        fatal("design space is empty: no factorization of %d modules "
+              "matches the candidate local dimensions",
+              spec.modules);
+    return out;
+}
+
+} // namespace
+
+std::vector<CandidateResult>
+exploreDesignSpace(const ExploreSpec &spec)
+{
+    if (spec.modules < 2)
+        fatal("need at least 2 modules to explore");
+    if (spec.bytes == 0)
+        fatal("cannot explore a zero-byte collective");
+
+    std::vector<AlgorithmFlavor> flavors = {AlgorithmFlavor::Baseline};
+    if (spec.sweepFlavors)
+        flavors.push_back(AlgorithmFlavor::Enhanced);
+    std::vector<int> splits = spec.setSplits;
+    if (splits.empty())
+        splits.push_back(0); // configuration default
+
+    std::vector<CandidateResult> results;
+    for (const auto &[name, platform] : enumeratePlatforms(spec)) {
+        for (AlgorithmFlavor flavor : flavors) {
+            for (int split : splits) {
+                CandidateResult r;
+                r.cfg = platform;
+                r.cfg.algorithm = flavor;
+                if (split > 0)
+                    r.cfg.preferredSetSplits = split;
+                r.label = name + "/" + toString(flavor);
+                if (split > 0)
+                    r.label += strprintf("/%dch", split);
+
+                Cluster cluster(r.cfg);
+                r.commTime =
+                    cluster.runCollective(spec.kind, spec.bytes);
+                r.energyUj = cluster.network().energy().totalUj();
+                results.push_back(std::move(r));
+            }
+        }
+    }
+
+    std::sort(results.begin(), results.end(),
+              [](const CandidateResult &a, const CandidateResult &b) {
+                  if (a.commTime != b.commTime)
+                      return a.commTime < b.commTime;
+                  return a.energyUj < b.energyUj;
+              });
+    return results;
+}
+
+CandidateResult
+bestDesign(const ExploreSpec &spec)
+{
+    return exploreDesignSpace(spec).front();
+}
+
+} // namespace astra

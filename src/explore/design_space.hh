@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Design-space exploration driver — the paper's stated purpose
+ * ("enabling researchers to ... design efficient SW/HW co-design
+ * solutions", Sec. I) as a library API.
+ *
+ * Given a module budget and a target operation (a collective of a
+ * given size, or a full workload), the explorer enumerates candidate
+ * platforms — torus factorizations, an alltoall alternative, both
+ * collective algorithm flavours, optionally a chunking sweep — runs
+ * each through the simulator, and returns the results ranked by
+ * communication time (ties broken by interconnect energy).
+ */
+
+#ifndef ASTRA_EXPLORE_DESIGN_SPACE_HH
+#define ASTRA_EXPLORE_DESIGN_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** What to optimize over. */
+struct ExploreSpec
+{
+    /** Total NAM/module budget (candidates multiply out to this). */
+    int modules = 16;
+    /** Candidate local dimension sizes (package integration options). */
+    std::vector<int> localDims = {1, 2, 4};
+    /** Also consider hierarchical alltoall platforms. */
+    bool includeAllToAll = true;
+    /** Try both baseline and enhanced algorithm flavours. */
+    bool sweepFlavors = true;
+    /** Chunk counts to sweep (empty = configuration default only). */
+    std::vector<int> setSplits;
+    /** Local-link bandwidth multiplier over inter-package links. */
+    double localBandwidthRatio = 8.0;
+
+    /** The operation under optimization. */
+    CollectiveKind kind = CollectiveKind::AllReduce;
+    Bytes bytes = 4 * 1024 * 1024;
+};
+
+/** One evaluated candidate. */
+struct CandidateResult
+{
+    std::string label;   //!< e.g. "torus-2x4x2/enhanced/16ch"
+    SimConfig cfg;       //!< the full platform configuration
+    Tick commTime = 0;   //!< simulated collective time
+    double energyUj = 0; //!< interconnect energy
+};
+
+/**
+ * Enumerate, simulate and rank all candidates (best first).
+ * fatal()s on an unsatisfiable spec (e.g. a prime module budget with
+ * no matching factorization is still fine — 1xNx1 always exists).
+ */
+std::vector<CandidateResult> exploreDesignSpace(const ExploreSpec &spec);
+
+/** Convenience: the winning candidate. */
+CandidateResult bestDesign(const ExploreSpec &spec);
+
+} // namespace astra
+
+#endif // ASTRA_EXPLORE_DESIGN_SPACE_HH

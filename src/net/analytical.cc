@@ -1,0 +1,101 @@
+#include "net/analytical.hh"
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
+                                     const SimConfig &cfg,
+                                     bool one_to_one)
+    : _eq(eq), _fabric(topo, cfg, one_to_one), _routing(cfg.packetRouting),
+      _routerLatency(cfg.routerLatency),
+      _protocolDelay(cfg.scaleoutProtocolDelay),
+      _freeAt(std::size_t(_fabric.numLinks()), 0)
+{
+    setEnergyParams(cfg.energy, cfg.flitWidthBits);
+}
+
+void
+AnalyticalNetwork::send(Message msg)
+{
+    msg.sentAt = _eq.now();
+    if (msg.src == msg.dst) {
+        // Loopback: deliver on the next tick with no link usage.
+        _eq.scheduleAfter(1, [this, msg] { deliver(msg); });
+        return;
+    }
+    auto path = std::make_shared<std::vector<LinkId>>(
+        _fabric.resolve(msg.src, msg.dst, msg.hint));
+    // Transport-layer cost: messages leaving the pod pay the sender's
+    // protocol-stack processing once (scale-out extension).
+    Tick proto = 0;
+    for (LinkId l : *path) {
+        if (_fabric.link(l).cls == LinkClass::ScaleOut) {
+            proto = _protocolDelay;
+            break;
+        }
+    }
+    if (proto > 0) {
+        _eq.scheduleAfter(proto,
+                          [this, msg = std::move(msg), path]() mutable {
+                              hop(std::move(msg), path, 0);
+                          });
+        return;
+    }
+    hop(std::move(msg), std::move(path), 0);
+}
+
+void
+AnalyticalNetwork::hop(Message msg,
+                       std::shared_ptr<std::vector<LinkId>> path,
+                       std::size_t idx)
+{
+    const LinkId l = (*path)[idx];
+    const LinkDesc &desc = _fabric.link(l);
+    const LinkParams &p = _fabric.params(desc.cls);
+    Tick &free_at = _freeAt[std::size_t(l)];
+
+    const Tick now = _eq.now();
+    if (free_at > now) {
+        // Link busy: retry when it frees up. FIFO order is preserved by
+        // the event queue's deterministic tiebreak.
+        _eq.schedule(free_at,
+                     [this, msg = std::move(msg), path, idx]() mutable {
+                         hop(std::move(msg), path, idx);
+                     });
+        return;
+    }
+
+    const Tick tx = txTime(desc.cls, msg.bytes);
+    const Tick start = now;
+    free_at = start + tx;
+    accountHop(msg.bytes, desc.cls);
+
+    const bool last = (idx + 1 == path->size());
+    if (last) {
+        // Full message present at destination after serialization and
+        // propagation.
+        _eq.schedule(start + tx + p.latency,
+                     [this, msg = std::move(msg)] { deliver(msg); });
+        return;
+    }
+
+    Tick next_ready;
+    if (_routing == PacketRouting::Software) {
+        // Store-and-forward: entire message must arrive before the next
+        // hop can begin.
+        next_ready = start + tx + p.latency + _routerLatency;
+    } else {
+        // Virtual cut-through: the head moves on after the wire
+        // latency; serialization overlaps across hops. The next link
+        // still serializes the full message, so bandwidth is conserved.
+        next_ready = start + p.latency + _routerLatency;
+    }
+    _eq.schedule(next_ready,
+                 [this, msg = std::move(msg), path, idx]() mutable {
+                     hop(std::move(msg), path, idx + 1);
+                 });
+}
+
+} // namespace astra

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytical link-level network backend.
+ *
+ * Each unidirectional link is a FIFO server: a message occupies it for
+ * bytes / (bandwidth * efficiency) cycles, then propagates for the
+ * link's latency. Multi-hop transfers advance hop-by-hop through
+ * events, so congestion and queuing emerge naturally from link
+ * occupancy — which is what produces the paper's queuing-delay effects
+ * (e.g. the alltoall topology's higher queuing delay in Fig. 9).
+ *
+ * Two forwarding modes (parameter #14):
+ *  - Software routing: store-and-forward at every hop (the endpoint
+ *    relays whole messages). Used for all of the paper's experiments.
+ *  - Hardware routing: virtual cut-through — the head claims each link
+ *    as it arrives and serialization overlaps across hops.
+ */
+
+#ifndef ASTRA_NET_ANALYTICAL_HH
+#define ASTRA_NET_ANALYTICAL_HH
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "net/fabric.hh"
+#include "net/network_api.hh"
+
+namespace astra
+{
+
+/**
+ * The analytical backend. Fast enough for 64-node, multi-MB sweeps.
+ */
+class AnalyticalNetwork : public NetworkApi
+{
+  public:
+    /**
+     * @param one_to_one  False when @p topo is a physical fabric
+     *        distinct from the system layer's logical topology
+     *        (Sec. IV-B mapping); see Fabric::resolve.
+     */
+    AnalyticalNetwork(EventQueue &eq, const Topology &topo,
+                      const SimConfig &cfg, bool one_to_one = true);
+
+    void send(Message msg) override;
+
+    EventQueue &eventQueue() override { return _eq; }
+
+    const Fabric &fabric() const { return _fabric; }
+
+    /** Serialization time of @p bytes on a link of class @p cls. */
+    Tick
+    txTime(LinkClass cls, Bytes bytes) const
+    {
+        const LinkParams &p = _fabric.params(cls);
+        return static_cast<Tick>(std::ceil(
+            static_cast<double>(bytes) / (p.bandwidth * p.efficiency)));
+    }
+
+    /** Busy-until tick of link @p id (for tests). */
+    Tick linkFreeAt(LinkId id) const { return _freeAt[std::size_t(id)]; }
+
+  private:
+    /**
+     * Message @p msg is ready to claim link path[idx] at the current
+     * time; reserve it and schedule the next hop / delivery.
+     */
+    void hop(Message msg, std::shared_ptr<std::vector<LinkId>> path,
+             std::size_t idx);
+
+    EventQueue &_eq;
+    Fabric _fabric;
+    PacketRouting _routing;
+    Tick _routerLatency;
+    Tick _protocolDelay; //!< scale-out transport cost per message
+    std::vector<Tick> _freeAt;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NET_ANALYTICAL_HH

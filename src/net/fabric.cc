@@ -1,0 +1,139 @@
+#include "net/fabric.hh"
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+Fabric::Fabric(const Topology &topo, const SimConfig &cfg,
+               bool one_to_one)
+    : _topo(topo), _oneToOne(one_to_one), _local(cfg.local),
+      _package(cfg.package), _scaleout(cfg.scaleout)
+{
+    const int nodes = topo.numNodes();
+
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const DimInfo &info = topo.dim(d);
+        if (info.size < 2)
+            continue; // degenerate dimension: no links needed
+        if (info.pattern == DimPattern::Ring) {
+            for (int ch = 0; ch < info.channels; ++ch) {
+                std::vector<LinkId> per_node(std::size_t(nodes), -1);
+                for (NodeId u = 0; u < nodes; ++u) {
+                    NodeId v = topo.ringNext(d, ch, u);
+                    per_node[std::size_t(u)] =
+                        static_cast<LinkId>(_links.size());
+                    _links.push_back(LinkDesc{u, v, info.linkClass});
+                }
+                _ringLinks[{d, ch}] = std::move(per_node);
+            }
+        } else {
+            // Switch dimension: every node connects to every global
+            // switch of the dimension. Switch ports get ids above the
+            // node id space, unique across dimensions.
+            const int switches = topo.numSwitches(d);
+            for (int s = 0; s < switches; ++s) {
+                const std::int32_t port = nodes + _switchPorts++;
+                auto &up = _upLinks[{d, s}];
+                auto &down = _downLinks[{d, s}];
+                up.resize(std::size_t(nodes));
+                down.resize(std::size_t(nodes));
+                for (NodeId u = 0; u < nodes; ++u) {
+                    up[std::size_t(u)] =
+                        static_cast<LinkId>(_links.size());
+                    _links.push_back(LinkDesc{u, port, info.linkClass});
+                    down[std::size_t(u)] =
+                        static_cast<LinkId>(_links.size());
+                    _links.push_back(LinkDesc{port, u, info.linkClass});
+                }
+            }
+        }
+    }
+}
+
+std::vector<LinkId>
+Fabric::route(NodeId src, NodeId dst, const RouteHint &hint) const
+{
+    std::vector<LinkId> path;
+    if (src == dst)
+        return path;
+
+    const int d = hint.dim;
+    if (d < 0 || d >= _topo.numDims())
+        panic("route: dimension %d out of range", d);
+    const DimInfo &info = _topo.dim(d);
+
+    // src and dst must differ only along dimension d.
+    Coord cs = _topo.coordOf(src);
+    Coord cd = _topo.coordOf(dst);
+    for (int i = 0; i < 4; ++i) {
+        if (i != d && cs[i] != cd[i]) {
+            panic("route: %d -> %d not confined to dimension %d", src,
+                  dst, d);
+        }
+    }
+
+    if (info.pattern == DimPattern::Ring) {
+        auto it = _ringLinks.find({d, hint.channel});
+        if (it == _ringLinks.end())
+            panic("route: no ring channel %d in dim %d", hint.channel, d);
+        const auto &per_node = it->second;
+        NodeId cur = src;
+        int guard = info.size;
+        while (cur != dst) {
+            if (guard-- < 0)
+                panic("route: ring walk did not terminate");
+            LinkId l = per_node[std::size_t(cur)];
+            path.push_back(l);
+            cur = link(l).to;
+        }
+    } else {
+        const int s = hint.channel;
+        if (s < 0 || s >= _topo.numSwitches(d))
+            panic("route: switch %d out of range in dim %d", s, d);
+        path.push_back(_upLinks.at({d, s})[std::size_t(src)]);
+        path.push_back(_downLinks.at({d, s})[std::size_t(dst)]);
+    }
+    return path;
+}
+
+std::vector<LinkId>
+Fabric::routeMapped(NodeId src, NodeId dst, int channel_seed) const
+{
+    std::vector<LinkId> path;
+    if (src == dst)
+        return path;
+
+    // Correct coordinates dimension by dimension, local dimension
+    // first (it is the cheapest), using the seed to spread traffic
+    // over the channels/switches of each dimension.
+    NodeId cur = src;
+    const Coord target = _topo.coordOf(dst);
+    for (int d = 0; d < _topo.numDims(); ++d) {
+        if (_topo.coordOf(cur)[d] == target[d])
+            continue;
+        Coord next_c = _topo.coordOf(cur);
+        next_c[d] = target[d];
+        const NodeId next = _topo.nodeAt(next_c);
+        const int channels = _topo.dim(d).channels;
+        const RouteHint hint{d, channel_seed % channels};
+        std::vector<LinkId> seg = route(cur, next, hint);
+        path.insert(path.end(), seg.begin(), seg.end());
+        cur = next;
+    }
+    return path;
+}
+
+int
+Fabric::hopCount(NodeId src, NodeId dst, const RouteHint &hint) const
+{
+    if (src == dst)
+        return 0;
+    const DimInfo &info = _topo.dim(hint.dim);
+    if (info.pattern == DimPattern::Switch)
+        return 2;
+    return _topo.ringDistance(hint.dim, hint.channel, src,
+                              _topo.rankInGroup(hint.dim, dst));
+}
+
+} // namespace astra

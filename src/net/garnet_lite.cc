@@ -1,0 +1,187 @@
+#include "net/garnet_lite.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+GarnetLiteNetwork::GarnetLiteNetwork(EventQueue &eq, const Topology &topo,
+                                     const SimConfig &cfg,
+                                     bool one_to_one)
+    : _eq(eq), _fabric(topo, cfg, one_to_one), _injection(cfg.injectionPolicy),
+      _routerLatency(cfg.routerLatency),
+      _flitBytes(std::max(1, cfg.flitWidthBits / 8)),
+      _bufferCapacityFlits(cfg.vcsPerVnet * cfg.buffersPerVc),
+      _protocolDelay(cfg.scaleoutProtocolDelay),
+      _links(std::size_t(_fabric.numLinks()))
+{
+    setEnergyParams(cfg.energy, cfg.flitWidthBits);
+}
+
+int
+GarnetLiteNetwork::flitsOf(Bytes bytes) const
+{
+    const Bytes fb = static_cast<Bytes>(_flitBytes);
+    return static_cast<int>(std::max<Bytes>(1, (bytes + fb - 1) / fb));
+}
+
+Tick
+GarnetLiteNetwork::flitTxTime(LinkClass cls, int flits) const
+{
+    const LinkParams &p = _fabric.params(cls);
+    const double bytes = static_cast<double>(flits) * _flitBytes;
+    return static_cast<Tick>(
+        std::ceil(bytes / (p.bandwidth * p.efficiency)));
+}
+
+void
+GarnetLiteNetwork::send(Message msg)
+{
+    msg.sentAt = _eq.now();
+    if (msg.src == msg.dst) {
+        _eq.scheduleAfter(1, [this, msg] { deliver(msg); });
+        return;
+    }
+    auto path = std::make_shared<std::vector<LinkId>>(
+        _fabric.resolve(msg.src, msg.dst, msg.hint));
+    const Bytes pkt_size =
+        _fabric.linkParams((*path)[0]).packetSize;
+    const int npackets = static_cast<int>(
+        std::max<Bytes>(1, (msg.bytes + pkt_size - 1) / pkt_size));
+
+    auto ms = std::make_shared<MessageState>(
+        MessageState{std::move(msg), npackets, npackets});
+
+    Tick proto = 0;
+    for (LinkId l : *path) {
+        if (_fabric.link(l).cls == LinkClass::ScaleOut) {
+            proto = _protocolDelay;
+            break;
+        }
+    }
+    if (proto > 0) {
+        _eq.scheduleAfter(proto, [this, ms, path] { inject(ms, path); });
+        return;
+    }
+    inject(ms, path);
+}
+
+void
+GarnetLiteNetwork::inject(const MessageRef &ms,
+                          const std::shared_ptr<std::vector<LinkId>> &path)
+{
+    if (_injection == InjectionPolicy::Aggressive) {
+        while (ms->packetsUninjected > 0)
+            injectNext(ms, path);
+    } else {
+        injectNext(ms, path);
+    }
+}
+
+void
+GarnetLiteNetwork::injectNext(
+    const MessageRef &ms, const std::shared_ptr<std::vector<LinkId>> &path)
+{
+    if (ms->packetsUninjected <= 0)
+        return;
+    const Bytes pkt_size = _fabric.linkParams((*path)[0]).packetSize;
+    const int idx = ms->packetsLeft - ms->packetsUninjected;
+    --ms->packetsUninjected;
+
+    // The final packet carries the remainder.
+    Bytes remaining = ms->msg.bytes - Bytes(idx) * pkt_size;
+    Bytes bytes = std::min(pkt_size, remaining);
+    if (ms->msg.bytes == 0)
+        bytes = 0; // zero-byte control message: one minimal packet
+
+    auto pkt = std::make_shared<Packet>();
+    pkt->parent = ms;
+    pkt->path = path;
+    pkt->hop = 0;
+    pkt->bytes = bytes;
+    pkt->flits = flitsOf(bytes);
+
+    _links[std::size_t((*path)[0])].waiting.push_back(pkt);
+    pump((*path)[0]);
+}
+
+void
+GarnetLiteNetwork::schedulePump(LinkId l, Tick when)
+{
+    LinkState &ls = _links[std::size_t(l)];
+    when = std::max(when, _eq.now());
+    if (ls.pumpAt <= when)
+        return; // an earlier (or equal) pump is already on the way
+    ls.pumpAt = when;
+    _eq.schedule(when, [this, l] { pump(l); });
+}
+
+void
+GarnetLiteNetwork::pump(LinkId l)
+{
+    LinkState &ls = _links[std::size_t(l)];
+    if (ls.pumpAt <= _eq.now())
+        ls.pumpAt = kTickInvalid;
+    const LinkDesc &desc = _fabric.link(l);
+    const LinkParams &p = _fabric.params(desc.cls);
+
+    while (!ls.waiting.empty()) {
+        PacketRef pkt = ls.waiting.front();
+
+        // Credit check: room in the downstream input buffer?
+        if (ls.bufferOcc + pkt->flits > _bufferCapacityFlits)
+            return; // retried when credits are released
+
+        const Tick now = _eq.now();
+        if (ls.freeAt > now) {
+            schedulePump(l, ls.freeAt);
+            return;
+        }
+
+        // Grant.
+        ls.waiting.pop_front();
+        const Tick tx = flitTxTime(desc.cls, pkt->flits);
+        ls.freeAt = now + tx;
+        ls.bufferOcc += pkt->flits;
+        _peakOccupancy = std::max(_peakOccupancy, ls.bufferOcc);
+        accountHop(pkt->bytes, desc.cls);
+
+        if (pkt->hop > 0) {
+            // Leaving the previous link's downstream buffer: release
+            // those credits and let its waiters retry.
+            const LinkId up = (*pkt->path)[pkt->hop - 1];
+            _links[std::size_t(up)].bufferOcc -= pkt->flits;
+            schedulePump(up, now);
+        } else if (_injection == InjectionPolicy::Normal) {
+            // Paced injection: next packet enters once this one has
+            // been granted the first link.
+            injectNext(pkt->parent, pkt->path);
+        }
+
+        const Tick arrival = now + tx + p.latency + _routerLatency;
+        _eq.schedule(arrival, [this, pkt, l] { arrive(pkt, l); });
+    }
+}
+
+void
+GarnetLiteNetwork::arrive(const PacketRef &pkt, LinkId l)
+{
+    ++pkt->hop;
+    if (pkt->hop == pkt->path->size()) {
+        // Ejected at the destination NPU: credits return immediately.
+        _links[std::size_t(l)].bufferOcc -= pkt->flits;
+        schedulePump(l, _eq.now());
+        ++_deliveredPackets;
+        if (--pkt->parent->packetsLeft == 0)
+            deliver(pkt->parent->msg);
+        return;
+    }
+    const LinkId next = (*pkt->path)[pkt->hop];
+    _links[std::size_t(next)].waiting.push_back(pkt);
+    pump(next);
+}
+
+} // namespace astra

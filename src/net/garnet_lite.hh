@@ -1,0 +1,136 @@
+/**
+ * @file
+ * "Garnet-lite": a packet-level network backend with credit-based
+ * backpressure, standing in for the Garnet NoC simulator the paper
+ * builds on (see DESIGN.md, substitution #1).
+ *
+ * Modelled mechanisms:
+ *  - messages are packetized per link class (512 B intra-package,
+ *    256 B inter-package by default — parameters #20/#21);
+ *  - a packet serializes on a link for flits * flit-time, where a flit
+ *    is flit-width bits (#19) and flit-time is derived from the link
+ *    bandwidth; link efficiency (#17/#18) models header-flit overhead;
+ *  - each link's downstream input buffer holds at most
+ *    vcs-per-vnet * buffers-per-vc flits (#24/#28); packets wait for
+ *    credits before being granted the link, giving real backpressure;
+ *  - each hop adds router pipeline latency (#25) plus wire latency;
+ *  - injection policy (#15): Aggressive injects every packet of a
+ *    message at once; Normal paces injection one packet at a time.
+ *
+ * Not modelled (vs. real Garnet): per-VC allocation/arbitration within
+ * a router and flit-by-flit wormhole interleaving. Packets are the
+ * atomic scheduling unit. Tests cross-check this backend against the
+ * analytical one on uncongested transfers.
+ */
+
+#ifndef ASTRA_NET_GARNET_LITE_HH
+#define ASTRA_NET_GARNET_LITE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "net/fabric.hh"
+#include "net/network_api.hh"
+
+namespace astra
+{
+
+/**
+ * Packet-level backend with credits.
+ */
+class GarnetLiteNetwork : public NetworkApi
+{
+  public:
+    /**
+     * @param one_to_one  False when @p topo is a physical fabric
+     *        distinct from the system layer's logical topology
+     *        (Sec. IV-B mapping); see Fabric::resolve.
+     */
+    GarnetLiteNetwork(EventQueue &eq, const Topology &topo,
+                      const SimConfig &cfg, bool one_to_one = true);
+
+    void send(Message msg) override;
+
+    EventQueue &eventQueue() override { return _eq; }
+
+    const Fabric &fabric() const { return _fabric; }
+
+    /** Total packets that completed their route. */
+    std::uint64_t deliveredPackets() const { return _deliveredPackets; }
+
+    /** Peak flit occupancy seen in any input buffer (for tests). */
+    int peakBufferOccupancy() const { return _peakOccupancy; }
+
+  private:
+    struct MessageState
+    {
+        Message msg;
+        int packetsLeft;
+        int packetsUninjected; //!< for Normal injection pacing
+    };
+    using MessageRef = std::shared_ptr<MessageState>;
+
+    struct Packet
+    {
+        MessageRef parent;
+        std::shared_ptr<std::vector<LinkId>> path;
+        std::size_t hop = 0;
+        int flits = 0;
+        Bytes bytes = 0;
+    };
+    using PacketRef = std::shared_ptr<Packet>;
+
+    struct LinkState
+    {
+        Tick freeAt = 0;
+        std::deque<PacketRef> waiting;
+        int bufferOcc = 0; //!< flits queued in the downstream buffer
+        /**
+         * Earliest already-scheduled pump event (kTickInvalid: none).
+         * Coalesces retries: without it every waiting packet would
+         * schedule its own wake-up at freeAt, turning a busy link into
+         * an O(n^2) event storm.
+         */
+        Tick pumpAt = kTickInvalid;
+    };
+
+    /** Try to grant the head waiter(s) of link @p l. */
+    void pump(LinkId l);
+
+    /** Schedule pump(l) at @p when (coalesces duplicates). */
+    void schedulePump(LinkId l, Tick when);
+
+    /** Packet fully arrived at the downstream end of link @p l. */
+    void arrive(const PacketRef &pkt, LinkId l);
+
+    /** Begin injecting @p ms (after any transport-layer delay). */
+    void inject(const MessageRef &ms,
+                const std::shared_ptr<std::vector<LinkId>> &path);
+
+    /** Inject the next not-yet-injected packet of @p ms. */
+    void injectNext(const MessageRef &ms,
+                    const std::shared_ptr<std::vector<LinkId>> &path);
+
+    /** Flits in a packet of @p bytes. */
+    int flitsOf(Bytes bytes) const;
+
+    /** Serialization time of @p flits on a link of class @p cls. */
+    Tick flitTxTime(LinkClass cls, int flits) const;
+
+    EventQueue &_eq;
+    Fabric _fabric;
+    InjectionPolicy _injection;
+    Tick _routerLatency;
+    int _flitBytes;
+    int _bufferCapacityFlits;
+    Tick _protocolDelay; //!< scale-out transport cost per message
+    std::vector<LinkState> _links;
+    std::uint64_t _deliveredPackets = 0;
+    int _peakOccupancy = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_NET_GARNET_LITE_HH

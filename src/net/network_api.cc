@@ -1,0 +1,19 @@
+#include "net/network_api.hh"
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+void
+NetworkApi::deliver(const Message &msg)
+{
+    if (msg.dst < 0 || std::size_t(msg.dst) >= _receivers.size() ||
+        !_receivers[std::size_t(msg.dst)]) {
+        panic("message delivered to node %d with no receiver", msg.dst);
+    }
+    ++_delivered;
+    _receivers[std::size_t(msg.dst)](msg);
+}
+
+} // namespace astra

@@ -1,0 +1,272 @@
+#include "workload/layer.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+const char *
+toString(ParallelismKind p)
+{
+    switch (p) {
+      case ParallelismKind::Data: return "DATA";
+      case ParallelismKind::Model: return "MODEL";
+      case ParallelismKind::Hybrid: return "HYBRID";
+    }
+    return "?";
+}
+
+ParallelismKind
+parseParallelismKind(const std::string &s)
+{
+    if (s == "DATA" || s == "data")
+        return ParallelismKind::Data;
+    if (s == "MODEL" || s == "model")
+        return ParallelismKind::Model;
+    if (s == "HYBRID" || s == "hybrid")
+        return ParallelismKind::Hybrid;
+    fatal("unknown parallelism '%s' (DATA/MODEL/HYBRID)", s.c_str());
+    return ParallelismKind::Data;
+}
+
+CollectiveKind
+LayerSpec::comm(CommSlot slot) const
+{
+    switch (slot) {
+      case CommSlot::Forward: return fwdComm;
+      case CommSlot::InputGrad: return igComm;
+      case CommSlot::WeightGrad: return wgComm;
+    }
+    return CollectiveKind::None;
+}
+
+Bytes
+LayerSpec::commSize(CommSlot slot) const
+{
+    switch (slot) {
+      case CommSlot::Forward: return fwdCommSize;
+      case CommSlot::InputGrad: return igCommSize;
+      case CommSlot::WeightGrad: return wgCommSize;
+    }
+    return 0;
+}
+
+Tick
+LayerSpec::compute(CommSlot slot) const
+{
+    switch (slot) {
+      case CommSlot::Forward: return fwdCompute;
+      case CommSlot::InputGrad: return igCompute;
+      case CommSlot::WeightGrad: return wgCompute;
+    }
+    return 0;
+}
+
+Tick
+LayerSpec::updateDelay(CommSlot slot) const
+{
+    const double kib = static_cast<double>(commSize(slot)) / 1024.0;
+    return static_cast<Tick>(std::llround(updateTimePerKiB * kib));
+}
+
+namespace
+{
+
+struct LineReader
+{
+    std::istream &in;
+    const std::string &what;
+    int lineno = 0;
+
+    /** Next non-empty, non-comment line; false at EOF. */
+    bool
+    next(std::string &out)
+    {
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineno;
+            auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.erase(hash);
+            auto b = line.find_first_not_of(" \t\r");
+            if (b == std::string::npos)
+                continue;
+            auto e = line.find_last_not_of(" \t\r");
+            out = line.substr(b, e - b + 1);
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const char *msg) const
+    {
+        fatal("%s:%d: %s", what.c_str(), lineno, msg);
+    }
+};
+
+} // namespace
+
+WorkloadSpec
+WorkloadSpec::parse(std::istream &in, const std::string &what)
+{
+    WorkloadSpec spec;
+    spec.name = what;
+    LineReader rd{in, what};
+    std::string line;
+
+    if (!rd.next(line))
+        rd.fail("empty workload file");
+    {
+        std::istringstream ls(line);
+        std::string key, value;
+        ls >> key >> value;
+        if (key != "PARALLELISM:")
+            rd.fail("expected 'PARALLELISM: <kind>'");
+        spec.parallelism = parseParallelismKind(value);
+    }
+
+    int layer_count = 0;
+    if (!rd.next(line))
+        rd.fail("expected 'LAYERS: <n>'");
+    {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key >> layer_count;
+        if (key != "LAYERS:" || !ls || layer_count < 1)
+            rd.fail("expected 'LAYERS: <n>' with n >= 1");
+    }
+
+    for (int i = 0; i < layer_count; ++i) {
+        LayerSpec layer;
+
+        if (!rd.next(line))
+            rd.fail("unexpected EOF: expected 'LAYER <name>'");
+        {
+            std::istringstream ls(line);
+            std::string key;
+            ls >> key >> layer.name;
+            if (key != "LAYER" || layer.name.empty())
+                rd.fail("expected 'LAYER <name>'");
+        }
+
+        if (!rd.next(line))
+            rd.fail("unexpected EOF: expected 'COMPUTE ...'");
+        {
+            std::istringstream ls(line);
+            std::string key;
+            long long f = -1, g = -1, w = -1;
+            ls >> key >> f >> g >> w;
+            if (key != "COMPUTE" || !ls || f < 0 || g < 0 || w < 0)
+                rd.fail("expected 'COMPUTE <fwd> <ig> <wg>'");
+            layer.fwdCompute = static_cast<Tick>(f);
+            layer.igCompute = static_cast<Tick>(g);
+            layer.wgCompute = static_cast<Tick>(w);
+        }
+
+        if (!rd.next(line))
+            rd.fail("unexpected EOF: expected 'COMM ...'");
+        {
+            std::istringstream ls(line);
+            std::string key, tf, tg, tw;
+            long long sf = -1, sg = -1, sw = -1;
+            ls >> key >> tf >> sf >> tg >> sg >> tw >> sw;
+            if (key != "COMM" || !ls || sf < 0 || sg < 0 || sw < 0) {
+                rd.fail("expected 'COMM <fwdType> <fwdSize> <igType> "
+                        "<igSize> <wgType> <wgSize>'");
+            }
+            layer.fwdComm = parseCollectiveKind(tf.c_str());
+            layer.igComm = parseCollectiveKind(tg.c_str());
+            layer.wgComm = parseCollectiveKind(tw.c_str());
+            layer.fwdCommSize = static_cast<Bytes>(sf);
+            layer.igCommSize = static_cast<Bytes>(sg);
+            layer.wgCommSize = static_cast<Bytes>(sw);
+            if (layer.fwdComm != CollectiveKind::None && sf == 0)
+                rd.fail("forward comm declared with size 0");
+            if (layer.igComm != CollectiveKind::None && sg == 0)
+                rd.fail("input-grad comm declared with size 0");
+            if (layer.wgComm != CollectiveKind::None && sw == 0)
+                rd.fail("weight-grad comm declared with size 0");
+        }
+
+        if (!rd.next(line))
+            rd.fail("unexpected EOF: expected 'UPDATE ...'");
+        {
+            std::istringstream ls(line);
+            std::string key;
+            double u = -1;
+            ls >> key >> u;
+            if (key != "UPDATE" || !ls || u < 0)
+                rd.fail("expected 'UPDATE <cycles-per-KiB>'");
+            layer.updateTimePerKiB = u;
+        }
+
+        spec.layers.push_back(std::move(layer));
+    }
+
+    if (rd.next(line))
+        rd.fail("trailing content after last layer");
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open workload file '%s'", path.c_str());
+    return parse(in, path);
+}
+
+std::string
+WorkloadSpec::serialize() const
+{
+    std::ostringstream os;
+    os << "# " << name << "\n";
+    os << "PARALLELISM: " << astra::toString(parallelism) << "\n";
+    os << "LAYERS: " << layers.size() << "\n";
+    for (const LayerSpec &l : layers) {
+        os << "LAYER " << l.name << "\n";
+        os << "COMPUTE " << l.fwdCompute << " " << l.igCompute << " "
+           << l.wgCompute << "\n";
+        os << "COMM " << astra::toString(l.fwdComm) << " " << l.fwdCommSize
+           << " " << astra::toString(l.igComm) << " " << l.igCommSize
+           << " " << astra::toString(l.wgComm) << " " << l.wgCommSize
+           << "\n";
+        os << "UPDATE " << l.updateTimePerKiB << "\n";
+    }
+    return os.str();
+}
+
+void
+WorkloadSpec::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << serialize();
+}
+
+Tick
+WorkloadSpec::totalCompute() const
+{
+    Tick t = 0;
+    for (const LayerSpec &l : layers)
+        t += l.fwdCompute + l.igCompute + l.wgCompute;
+    return t;
+}
+
+Bytes
+WorkloadSpec::totalCommBytes() const
+{
+    Bytes b = 0;
+    for (const LayerSpec &l : layers)
+        b += l.fwdCommSize + l.igCommSize + l.wgCommSize;
+    return b;
+}
+
+} // namespace astra

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload description: the DNN input file of Fig. 8.
+ *
+ * A workload is a parallelism strategy plus an ordered list of layers;
+ * per layer the forward-pass / input-gradient / weight-gradient
+ * compute delays, the collective type and size of each of the three
+ * communications of Table I, and the local update time (average cycles
+ * per KiB to process reduced data once its communication finishes).
+ *
+ * Concrete text format (line oriented, '#' comments):
+ *
+ *     PARALLELISM: DATA            # DATA | MODEL | HYBRID
+ *     LAYERS: 2
+ *     LAYER conv1
+ *     COMPUTE 1200 1100 900        # fwd  input-grad  weight-grad
+ *     COMM NONE 0 NONE 0 ALLREDUCE 37632
+ *     UPDATE 2.0
+ *     LAYER fc
+ *     COMPUTE 800 700 600
+ *     COMM ALLGATHER 4096 ALLTOALL 4096 NONE 0
+ *     UPDATE 2.0
+ */
+
+#ifndef ASTRA_WORKLOAD_LAYER_HH
+#define ASTRA_WORKLOAD_LAYER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+/** Parallelization strategy (Table I). */
+enum class ParallelismKind
+{
+    Data,
+    Model,
+    Hybrid,
+};
+
+const char *toString(ParallelismKind p);
+ParallelismKind parseParallelismKind(const std::string &s);
+
+/** The three communication slots of a layer (Table I columns). */
+enum class CommSlot
+{
+    Forward,     //!< output activations, after the forward pass
+    InputGrad,   //!< input (error) gradients, during back-propagation
+    WeightGrad,  //!< weight gradients, during back-propagation
+};
+
+/** One DNN layer's entry in the workload file. */
+struct LayerSpec
+{
+    std::string name;
+
+    Tick fwdCompute = 0;
+    Tick igCompute = 0;
+    Tick wgCompute = 0;
+
+    CollectiveKind fwdComm = CollectiveKind::None;
+    CollectiveKind igComm = CollectiveKind::None;
+    CollectiveKind wgComm = CollectiveKind::None;
+
+    Bytes fwdCommSize = 0;
+    Bytes igCommSize = 0;
+    Bytes wgCommSize = 0;
+
+    /** Cycles per KiB to apply reduced data after a comm finishes. */
+    double updateTimePerKiB = 0.0;
+
+    CollectiveKind comm(CommSlot slot) const;
+    Bytes commSize(CommSlot slot) const;
+    Tick compute(CommSlot slot) const;
+
+    /** Local-update delay for @p slot's communication size. */
+    Tick updateDelay(CommSlot slot) const;
+};
+
+/** A full workload: parallelism plus layers. */
+struct WorkloadSpec
+{
+    std::string name = "workload";
+    ParallelismKind parallelism = ParallelismKind::Data;
+    std::vector<LayerSpec> layers;
+
+    /** Parse the Fig. 8 format; fatal() with file/line on errors. */
+    static WorkloadSpec parseFile(const std::string &path);
+    static WorkloadSpec parse(std::istream &in, const std::string &what);
+
+    /** Serialize in the same format (round-trips with parse). */
+    std::string serialize() const;
+    void writeFile(const std::string &path) const;
+
+    /** Totals, for reporting. */
+    Tick totalCompute() const;
+    Bytes totalCommBytes() const;
+};
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_LAYER_HH

@@ -1,0 +1,403 @@
+#include "workload/models.hh"
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+/** Build one data-parallel conv/FC layer entry from its GEMM shapes. */
+LayerSpec
+gemmLayer(const ModelConfig &cfg, const std::string &name,
+          const GemmShape &fwd, const GemmShape &ig, const GemmShape &wg,
+          Bytes weight_bytes)
+{
+    LayerSpec l;
+    l.name = name;
+    l.fwdCompute = systolicGemmLatency(cfg.accel, fwd);
+    l.igCompute = systolicGemmLatency(cfg.accel, ig);
+    l.wgCompute = systolicGemmLatency(cfg.accel, wg);
+    l.wgComm = CollectiveKind::AllReduce;
+    l.wgCommSize = weight_bytes;
+    l.updateTimePerKiB = cfg.updateTimePerKiB;
+    return l;
+}
+
+/** Conv layer: im2col GEMM shapes + weight size. */
+LayerSpec
+convLayer(const ModelConfig &cfg, const std::string &name, int c_in,
+          int c_out, int kernel, int out_hw)
+{
+    const std::int64_t b = cfg.batch;
+    const std::int64_t m = b * out_hw * out_hw;      // output pixels
+    const std::int64_t k = std::int64_t(c_in) * kernel * kernel;
+    const std::int64_t n = c_out;
+    const Bytes weights =
+        Bytes(k) * Bytes(c_out) * Bytes(cfg.gradBytes);
+    // Backward GEMMs: dX = dY * W^T (m x n x k), dW = X^T * dY
+    // (k x m x n).
+    return gemmLayer(cfg, name, GemmShape{m, k, n}, GemmShape{m, n, k},
+                     GemmShape{k, m, n}, weights);
+}
+
+} // namespace
+
+WorkloadSpec
+resnet50Workload(const ModelConfig &cfg)
+{
+    WorkloadSpec spec;
+    spec.name = "resnet50";
+    spec.parallelism = ParallelismKind::Data;
+
+    auto conv = [&](const std::string &name, int c_in, int c_out,
+                    int kernel, int out_hw) {
+        spec.layers.push_back(convLayer(cfg, name, c_in, c_out, kernel,
+                                        out_hw));
+    };
+
+    // Stem.
+    conv("conv1", 3, 64, 7, 112);
+
+    // Bottleneck stages: {blocks, width, out_channels, spatial}.
+    struct Stage
+    {
+        const char *name;
+        int blocks;
+        int width;
+        int out;
+        int hw;
+    };
+    const Stage stages[] = {
+        {"conv2", 3, 64, 256, 56},
+        {"conv3", 4, 128, 512, 28},
+        {"conv4", 6, 256, 1024, 14},
+        {"conv5", 3, 512, 2048, 7},
+    };
+
+    int in_channels = 64;
+    for (const Stage &st : stages) {
+        for (int blk = 0; blk < st.blocks; ++blk) {
+            const std::string base =
+                strprintf("%s_%d", st.name, blk + 1);
+            conv(base + "_1x1a", in_channels, st.width, 1, st.hw);
+            conv(base + "_3x3", st.width, st.width, 3, st.hw);
+            conv(base + "_1x1b", st.width, st.out, 1, st.hw);
+            if (blk == 0) {
+                // Projection shortcut on the first block of the stage.
+                conv(base + "_proj", in_channels, st.out, 1, st.hw);
+            }
+            in_channels = st.out;
+        }
+    }
+
+    // Classifier: 2048 -> 1000 FC.
+    {
+        const std::int64_t b = cfg.batch;
+        const Bytes weights = Bytes(2048) * 1000 * Bytes(cfg.gradBytes);
+        spec.layers.push_back(gemmLayer(
+            cfg, "fc1000", GemmShape{b, 2048, 1000},
+            GemmShape{b, 1000, 2048}, GemmShape{2048, b, 1000}, weights));
+    }
+    return spec;
+}
+
+WorkloadSpec
+transformerWorkload(const TransformerConfig &tc)
+{
+    const ModelConfig &cfg = tc.base;
+    if (tc.modelShards < 1)
+        fatal("modelShards must be >= 1");
+
+    WorkloadSpec spec;
+    spec.name = "transformer";
+    spec.parallelism = ParallelismKind::Hybrid;
+
+    const std::int64_t b = cfg.batch;
+    const std::int64_t s = tc.seqLen;
+    const std::int64_t d = tc.dModel;
+    const std::int64_t f = tc.dFf;
+    const std::int64_t tokens = b * s;
+    const int shards = tc.modelShards;
+
+    // Embedding lookup: negligible GEMM work, no communication (the
+    // table is replicated). This reproduces Fig. 13's "some layers may
+    // not have communications".
+    {
+        LayerSpec emb;
+        emb.name = "embedding";
+        emb.fwdCompute = cfg.accel.layerOverhead;
+        emb.igCompute = 0;
+        emb.wgCompute = cfg.accel.layerOverhead;
+        emb.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(emb);
+    }
+
+    // Per-shard weight counts: attention (4 d*d projections) + FFN
+    // (2 d*f), split across the model group.
+    const Bytes attn_weights =
+        Bytes(4) * Bytes(d) * Bytes(d) * Bytes(cfg.gradBytes) /
+        Bytes(shards);
+    const Bytes ffn_weights = Bytes(2) * Bytes(d) * Bytes(f) *
+                              Bytes(cfg.gradBytes) / Bytes(shards);
+    // Activations exchanged across the model group after each layer.
+    const Bytes act_bytes =
+        Bytes(tokens) * Bytes(d) * Bytes(cfg.gradBytes) / Bytes(shards);
+
+    for (int i = 0; i < tc.layers; ++i) {
+        LayerSpec l;
+        l.name = strprintf("encoder%d", i + 1);
+
+        // Forward GEMMs per shard: QKV+out projections and score/
+        // context GEMMs, plus the FFN.
+        const Tick proj = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, d, 4 * d / shards});
+        const Tick scores = systolicGemmLatency(
+            cfg.accel,
+            GemmShape{b * tc.heads / shards * s, d / tc.heads, s});
+        const Tick ffn1 = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, d, f / shards});
+        const Tick ffn2 = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, f / shards, d});
+        l.fwdCompute = proj + 2 * scores + ffn1 + ffn2;
+        l.igCompute = l.fwdCompute;       // mirrored GEMMs
+        l.wgCompute = l.fwdCompute;       // dW GEMMs, same volume
+
+        l.fwdComm = CollectiveKind::AllGather;
+        l.fwdCommSize = act_bytes;
+        l.igComm = CollectiveKind::AllGather;
+        l.igCommSize = act_bytes;
+        l.wgComm = CollectiveKind::AllReduce;
+        l.wgCommSize = attn_weights + ffn_weights;
+        l.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(l);
+    }
+
+    // Output projection (replicated, data-parallel only).
+    {
+        const Bytes weights = Bytes(d) * Bytes(d) * Bytes(cfg.gradBytes);
+        LayerSpec out = gemmLayer(cfg, "output", GemmShape{tokens, d, d},
+                                  GemmShape{tokens, d, d},
+                                  GemmShape{d, tokens, d}, weights);
+        out.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(out);
+    }
+    return spec;
+}
+
+WorkloadSpec
+dlrmWorkload(const DlrmConfig &dc)
+{
+    const ModelConfig &cfg = dc.base;
+    WorkloadSpec spec;
+    spec.name = "dlrm";
+    spec.parallelism = ParallelismKind::Hybrid;
+
+    const std::int64_t b = cfg.batch;
+
+    auto mlp_layer = [&](const std::string &name, std::int64_t in,
+                         std::int64_t out) {
+        const Bytes weights = Bytes(in) * Bytes(out) *
+                              Bytes(cfg.gradBytes);
+        return gemmLayer(cfg, name, GemmShape{b, in, out},
+                         GemmShape{b, out, in}, GemmShape{in, b, out},
+                         weights);
+    };
+
+    // Bottom MLP over the dense features.
+    std::int64_t in = dc.denseFeatures;
+    for (std::size_t i = 0; i < dc.bottomMlp.size(); ++i) {
+        spec.layers.push_back(mlp_layer(
+            strprintf("bottom_mlp%zu", i + 1), in, dc.bottomMlp[i]));
+        in = dc.bottomMlp[i];
+    }
+
+    // Embedding exchange: every NPU holds a shard of the key/value
+    // tables; looked-up rows are exchanged all-to-all (Sec. II), both
+    // in the forward pass and for the gradients coming back.
+    {
+        LayerSpec emb;
+        emb.name = "embedding_exchange";
+        const Bytes exchange = Bytes(b) * Bytes(dc.tablesPerNode) *
+                               Bytes(dc.embeddingDim) *
+                               Bytes(cfg.gradBytes);
+        emb.fwdCompute = cfg.accel.layerOverhead;
+        emb.igCompute = cfg.accel.layerOverhead;
+        emb.wgCompute = cfg.accel.layerOverhead;
+        emb.fwdComm = CollectiveKind::AllToAll;
+        emb.fwdCommSize = exchange;
+        emb.igComm = CollectiveKind::AllToAll;
+        emb.igCommSize = exchange;
+        emb.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(emb);
+    }
+
+    // Top MLP over [dense, interactions].
+    in = dc.bottomMlp.empty() ? dc.denseFeatures : dc.bottomMlp.back();
+    in += std::int64_t(dc.tablesPerNode) * dc.embeddingDim;
+    for (std::size_t i = 0; i < dc.topMlp.size(); ++i) {
+        spec.layers.push_back(
+            mlp_layer(strprintf("top_mlp%zu", i + 1), in, dc.topMlp[i]));
+        in = dc.topMlp[i];
+    }
+    return spec;
+}
+
+WorkloadSpec
+gptWorkload(const GptConfig &gc)
+{
+    const ModelConfig &cfg = gc.base;
+    if (gc.modelShards < 1)
+        fatal("modelShards must be >= 1");
+
+    WorkloadSpec spec;
+    spec.name = "gpt2";
+    spec.parallelism = ParallelismKind::Hybrid;
+
+    const std::int64_t b = cfg.batch;
+    const std::int64_t s = gc.seqLen;
+    const std::int64_t d = gc.dModel;
+    const std::int64_t tokens = b * s;
+    const int shards = gc.modelShards;
+
+    // Token+position embedding: lookup only, no communication.
+    {
+        LayerSpec emb;
+        emb.name = "embedding";
+        emb.fwdCompute = cfg.accel.layerOverhead;
+        emb.wgCompute = cfg.accel.layerOverhead;
+        emb.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(emb);
+    }
+
+    // Megatron sharding: QKV/out projections and the 4x MLP are split
+    // column/row-wise; each block ends in one activation all-reduce
+    // over the model group.
+    const Bytes act_allreduce =
+        Bytes(tokens) * Bytes(d) * Bytes(cfg.gradBytes);
+    const Bytes layer_weights =
+        (Bytes(4) * Bytes(d) * Bytes(d) +          // attention
+         Bytes(8) * Bytes(d) * Bytes(d)) *         // MLP (4d up + down)
+        Bytes(cfg.gradBytes) / Bytes(shards);
+
+    for (int i = 0; i < gc.layers; ++i) {
+        LayerSpec l;
+        l.name = strprintf("decoder%d", i + 1);
+        const Tick qkv = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, d, 4 * d / shards});
+        const Tick attn = systolicGemmLatency(
+            cfg.accel,
+            GemmShape{b * gc.heads / shards * s, d / gc.heads, s});
+        const Tick mlp1 = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, d, 4 * d / shards});
+        const Tick mlp2 = systolicGemmLatency(
+            cfg.accel, GemmShape{tokens, 4 * d / shards, d});
+        l.fwdCompute = qkv + 2 * attn + mlp1 + mlp2;
+        l.igCompute = l.fwdCompute;
+        l.wgCompute = l.fwdCompute;
+        // Two partial-sum all-reduces (attention out + MLP out) per
+        // direction, modelled as one combined set.
+        l.fwdComm = CollectiveKind::AllReduce;
+        l.fwdCommSize = 2 * act_allreduce;
+        l.igComm = CollectiveKind::AllReduce;
+        l.igCommSize = 2 * act_allreduce;
+        l.wgComm = CollectiveKind::AllReduce;
+        l.wgCommSize = layer_weights;
+        l.updateTimePerKiB = cfg.updateTimePerKiB;
+        spec.layers.push_back(l);
+    }
+
+    // LM head: tied embedding projection, data-parallel.
+    {
+        const std::int64_t vocab = 50257 / shards;
+        const Bytes weights =
+            Bytes(d) * Bytes(vocab) * Bytes(cfg.gradBytes);
+        LayerSpec head = gemmLayer(
+            cfg, "lm_head", GemmShape{tokens, d, vocab},
+            GemmShape{tokens, vocab, d}, GemmShape{d, tokens, vocab},
+            weights);
+        spec.layers.push_back(head);
+    }
+    return spec;
+}
+
+WorkloadSpec
+vgg16Workload(const ModelConfig &cfg)
+{
+    WorkloadSpec spec;
+    spec.name = "vgg16";
+    spec.parallelism = ParallelismKind::Data;
+
+    struct Conv
+    {
+        const char *name;
+        int c_in, c_out, hw;
+    };
+    // The thirteen 3x3 convolutions of VGG-16 (224x224 input).
+    const Conv convs[] = {
+        {"conv1_1", 3, 64, 224},    {"conv1_2", 64, 64, 224},
+        {"conv2_1", 64, 128, 112},  {"conv2_2", 128, 128, 112},
+        {"conv3_1", 128, 256, 56},  {"conv3_2", 256, 256, 56},
+        {"conv3_3", 256, 256, 56},  {"conv4_1", 256, 512, 28},
+        {"conv4_2", 512, 512, 28},  {"conv4_3", 512, 512, 28},
+        {"conv5_1", 512, 512, 14},  {"conv5_2", 512, 512, 14},
+        {"conv5_3", 512, 512, 14},
+    };
+    for (const Conv &c : convs) {
+        spec.layers.push_back(
+            convLayer(cfg, c.name, c.c_in, c.c_out, 3, c.hw));
+    }
+
+    // The three enormous fully-connected layers.
+    const std::int64_t b = cfg.batch;
+    auto fc = [&](const char *name, std::int64_t in, std::int64_t out) {
+        const Bytes weights = Bytes(in) * Bytes(out) *
+                              Bytes(cfg.gradBytes);
+        spec.layers.push_back(gemmLayer(cfg, name, GemmShape{b, in, out},
+                                        GemmShape{b, out, in},
+                                        GemmShape{in, b, out}, weights));
+    };
+    fc("fc6", 25088, 4096);
+    fc("fc7", 4096, 4096);
+    fc("fc8", 4096, 1000);
+    return spec;
+}
+
+WorkloadSpec
+syntheticWorkload(int layers, Tick compute_cycles, Bytes wg_bytes,
+                  ParallelismKind parallelism)
+{
+    if (layers < 1)
+        fatal("synthetic workload needs >= 1 layer");
+    WorkloadSpec spec;
+    spec.name = "synthetic";
+    spec.parallelism = parallelism;
+    for (int i = 0; i < layers; ++i) {
+        LayerSpec l;
+        l.name = strprintf("layer%d", i + 1);
+        l.fwdCompute = compute_cycles;
+        l.igCompute = compute_cycles;
+        l.wgCompute = compute_cycles;
+        if (parallelism == ParallelismKind::Data ||
+            parallelism == ParallelismKind::Hybrid) {
+            l.wgComm = CollectiveKind::AllReduce;
+            l.wgCommSize = wg_bytes;
+        }
+        if (parallelism == ParallelismKind::Model ||
+            parallelism == ParallelismKind::Hybrid) {
+            l.fwdComm = CollectiveKind::AllGather;
+            l.fwdCommSize = wg_bytes;
+            l.igComm = CollectiveKind::AllGather;
+            l.igCommSize = wg_bytes;
+        }
+        l.updateTimePerKiB = 2.0;
+        spec.layers.push_back(l);
+    }
+    return spec;
+}
+
+} // namespace astra

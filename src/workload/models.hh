@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Workload generators for the DNNs the paper evaluates.
+ *
+ * These play the role of the paper's "DNN compute simulator" input
+ * stage (the green box of Fig. 6): layer shapes are turned into
+ * per-layer compute delays with the systolic-array model of
+ * src/compute, and into communication sizes from parameter/activation
+ * footprints. The generated WorkloadSpec can be serialized to the
+ * Fig. 8 file format and re-parsed.
+ *
+ *  - ResNet-50 [16]: 53 convolutions + the final FC layer, im2col'ed
+ *    to GEMMs; data-parallel weight-gradient all-reduce per layer
+ *    (Figs. 14-18).
+ *  - Transformer [8]: encoder stack; hybrid-parallel with activation /
+ *    input-gradient exchange across the model group and sharded
+ *    weight-gradient all-reduce across the data group (Fig. 13).
+ *  - DLRM [17]: bottom MLP, an embedding-exchange layer using
+ *    all-to-all (the "distributed key/value table" use-case of
+ *    Sec. II), top MLP.
+ *  - Synthetic: n identical layers, for tests and ablations.
+ */
+
+#ifndef ASTRA_WORKLOAD_MODELS_HH
+#define ASTRA_WORKLOAD_MODELS_HH
+
+#include "compute/systolic.hh"
+#include "workload/layer.hh"
+
+namespace astra
+{
+
+/** Common generator knobs. */
+struct ModelConfig
+{
+    int batch = 32;          //!< per-NPU minibatch (Sec. V-E)
+    SystolicParams accel;    //!< compute model parameters
+    int gradBytes = 4;       //!< bytes per gradient element (fp32)
+    double updateTimePerKiB = 2.0;
+};
+
+/** ResNet-50, data-parallel. */
+WorkloadSpec resnet50Workload(const ModelConfig &cfg = {});
+
+/** Transformer encoder configuration. */
+struct TransformerConfig
+{
+    ModelConfig base;
+    int layers = 6;     //!< encoder layers (paper Fig. 13 shows 1..6)
+    int seqLen = 128;
+    int dModel = 512;
+    int dFf = 2048;
+    int heads = 8;
+    /**
+     * Number of model-parallel shards each layer's weights/activations
+     * are split into (the vertical dimension size in the paper's
+     * 2x2x2 hybrid run).
+     */
+    int modelShards = 2;
+};
+
+/** Transformer encoder stack, hybrid-parallel. */
+WorkloadSpec transformerWorkload(const TransformerConfig &cfg = {});
+
+/** DLRM-style recommendation model configuration. */
+struct DlrmConfig
+{
+    ModelConfig base;
+    int denseFeatures = 13;
+    int embeddingDim = 64;
+    int tablesPerNode = 8;  //!< embedding tables resident on each NPU
+    std::vector<int> bottomMlp = {512, 256, 64};
+    std::vector<int> topMlp = {512, 256, 1};
+};
+
+/** DLRM with all-to-all embedding exchange. */
+WorkloadSpec dlrmWorkload(const DlrmConfig &cfg = {});
+
+/** GPT-2-style decoder configuration (Megatron-style sharding). */
+struct GptConfig
+{
+    ModelConfig base;
+    int layers = 12;
+    int seqLen = 1024;
+    int dModel = 768;
+    int heads = 12;
+    int modelShards = 2; //!< tensor-parallel ways
+};
+
+/**
+ * GPT-2-style decoder stack, hybrid-parallel with Megatron-style
+ * tensor parallelism: each decoder layer all-reduces its partial
+ * activations across the model group after the attention block and
+ * after the MLP block (approximated as one all-reduce per direction),
+ * and all-reduces its sharded weight gradients across the data group.
+ */
+WorkloadSpec gptWorkload(const GptConfig &cfg = {});
+
+/** VGG-16, data-parallel (a second conv workload with a very
+ *  different weight distribution: 90% of parameters in the FCs). */
+WorkloadSpec vgg16Workload(const ModelConfig &cfg = {});
+
+/** n identical layers (tests/ablations). */
+WorkloadSpec syntheticWorkload(int layers, Tick compute_cycles,
+                               Bytes wg_bytes,
+                               ParallelismKind parallelism =
+                                   ParallelismKind::Data);
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_MODELS_HH

@@ -1,0 +1,301 @@
+#include "workload/pipeline.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+
+PipelineNode::PipelineNode(Sys &sys, const WorkloadSpec &spec,
+                           const PipelineOptions &opts,
+                           std::function<void()> on_finish)
+    : _sys(sys), _spec(spec), _opts(opts), _onFinish(std::move(on_finish))
+{
+    if (_spec.layers.empty())
+        fatal("pipeline workload has no layers");
+    if (_opts.numPasses < 1 || _opts.microbatches < 1)
+        fatal("pipeline passes/microbatches must be >= 1");
+    if (_opts.computeScale <= 0)
+        fatal("compute scale must be positive");
+
+    const Topology &topo = _sys.topology();
+    _pipeDim = _opts.pipelineDim;
+    if (_pipeDim < 0) {
+        // Pick the largest inter-package dimension.
+        _pipeDim = Topology::kDimLocal;
+        for (int d = 0; d < topo.numDims(); ++d) {
+            if (topo.dim(d).linkClass == LinkClass::Package &&
+                topo.dim(d).size > topo.dim(_pipeDim).size) {
+                _pipeDim = d;
+            }
+        }
+        if (topo.dim(_pipeDim).linkClass != LinkClass::Package)
+            fatal("no inter-package dimension to pipeline over; pass "
+                  "PipelineOptions::pipelineDim");
+    }
+    if (_pipeDim >= topo.numDims())
+        fatal("pipeline dimension %d out of range", _pipeDim);
+
+    _numStages = topo.dim(_pipeDim).size;
+    if (_numStages < 2)
+        fatal("pipeline dimension must have size >= 2");
+    if (static_cast<std::size_t>(_numStages) > _spec.layers.size())
+        fatal("more pipeline stages (%d) than layers (%zu)", _numStages,
+              _spec.layers.size());
+
+    _stage = topo.rankInGroup(_pipeDim, _sys.id());
+    Coord c = topo.coordOf(_sys.id());
+    if (_stage > 0) {
+        Coord pc = c;
+        pc[_pipeDim] = _stage - 1;
+        _prev = topo.nodeAt(pc);
+    }
+    if (_stage < _numStages - 1) {
+        Coord nc = c;
+        nc[_pipeDim] = _stage + 1;
+        _next = topo.nodeAt(nc);
+    }
+    for (int d = 0; d < topo.numDims(); ++d) {
+        if (d != _pipeDim)
+            _dataDims.push_back(d);
+    }
+
+    // Contiguous layer partition, remainder to the early stages.
+    const std::size_t layers = _spec.layers.size();
+    const std::size_t base = layers / std::size_t(_numStages);
+    const std::size_t rem = layers % std::size_t(_numStages);
+    std::size_t lo = 0;
+    for (int s = 0; s <= _stage; ++s) {
+        const std::size_t len = base + (std::size_t(s) < rem ? 1 : 0);
+        _layerLo = lo;
+        _layerHi = lo + len;
+        lo += len;
+    }
+    _stats.layers = static_cast<int>(_layerHi - _layerLo);
+}
+
+Tick
+PipelineNode::stageCompute(CommSlot slot) const
+{
+    Tick total = 0;
+    for (std::size_t l = _layerLo; l < _layerHi; ++l)
+        total += _spec.layers[l].compute(slot);
+    return static_cast<Tick>(std::ceil(
+        static_cast<double>(total) /
+        (_opts.computeScale * _opts.microbatches)));
+}
+
+Bytes
+PipelineNode::stageWgBytes() const
+{
+    Bytes total = 0;
+    for (std::size_t l = _layerLo; l < _layerHi; ++l)
+        total += _spec.layers[l].wgCommSize;
+    return total;
+}
+
+Bytes
+PipelineNode::microActivationBytes() const
+{
+    Bytes act = _opts.activationBytes;
+    if (act == 0) {
+        // Derive from the boundary layer's declared forward comm.
+        const std::size_t boundary = _layerHi - 1;
+        act = _spec.layers[boundary].fwdCommSize;
+        if (act == 0)
+            act = 1 * MiB;
+    }
+    return std::max<Bytes>(1, act / Bytes(_opts.microbatches));
+}
+
+std::uint64_t
+PipelineNode::tagFor(int m, bool backward, int boundary) const
+{
+    // Unique per (pass, microbatch, direction, stage boundary).
+    return ((std::uint64_t(_pass) * 4096 + std::uint64_t(m)) * 2 +
+            (backward ? 1 : 0)) *
+               256 +
+           std::uint64_t(boundary);
+}
+
+void
+PipelineNode::await(NodeId src, std::uint64_t tag,
+                    std::function<void()> cont)
+{
+    const Tick wait_start = _sys.now();
+    _sys.expectP2P(src, tag, [this, wait_start, cont = std::move(cont)] {
+        _stats.bubble += _sys.now() - wait_start;
+        cont();
+    });
+}
+
+void
+PipelineNode::compute(Tick cycles, std::function<void()> cont)
+{
+    _stats.compute += cycles;
+    if (cycles == 0) {
+        cont();
+        return;
+    }
+    _sys.eventQueue().scheduleAfter(cycles, std::move(cont));
+}
+
+void
+PipelineNode::start()
+{
+    _startedAt = _sys.now();
+    beginPass();
+}
+
+void
+PipelineNode::beginPass()
+{
+    forwardMicrobatch(0);
+}
+
+void
+PipelineNode::forwardMicrobatch(int m)
+{
+    if (m == _opts.microbatches) {
+        backwardMicrobatch(_opts.microbatches - 1);
+        return;
+    }
+    const auto run = [this, m] {
+        compute(stageCompute(CommSlot::Forward), [this, m] {
+            if (_next != kNodeInvalid) {
+                _sys.sendP2P(_next, microActivationBytes(),
+                             tagFor(m, false, _stage));
+            }
+            forwardMicrobatch(m + 1);
+        });
+    };
+    if (_prev != kNodeInvalid) {
+        await(_prev, tagFor(m, false, _stage - 1), run);
+    } else {
+        run();
+    }
+}
+
+void
+PipelineNode::backwardMicrobatch(int m)
+{
+    if (m < 0) {
+        reduceWeights();
+        return;
+    }
+    const auto run = [this, m] {
+        const Tick cycles = stageCompute(CommSlot::InputGrad) +
+                            stageCompute(CommSlot::WeightGrad);
+        compute(cycles, [this, m] {
+            if (_prev != kNodeInvalid) {
+                _sys.sendP2P(_prev, microActivationBytes(),
+                             tagFor(m, true, _stage - 1));
+            }
+            backwardMicrobatch(m - 1);
+        });
+    };
+    if (_next != kNodeInvalid) {
+        await(_next, tagFor(m, true, _stage), run);
+    } else {
+        run();
+    }
+}
+
+void
+PipelineNode::reduceWeights()
+{
+    const Bytes bytes = stageWgBytes();
+    if (bytes == 0 || _dataDims.empty()) {
+        finishPass();
+        return;
+    }
+    bool has_group = false;
+    for (int d : _dataDims) {
+        if (_sys.topology().dim(d).size > 1)
+            has_group = true;
+    }
+    if (!has_group) {
+        finishPass();
+        return;
+    }
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = bytes;
+    req.dims = _dataDims;
+    req.layer = _stage; // per-stage breakdown
+    const Tick issued = _sys.now();
+    auto handle = _sys.issueCollective(req);
+    handle->onComplete = [this, handle, issued] {
+        _stats.commWg += _sys.now() - issued;
+        finishPass();
+    };
+}
+
+void
+PipelineNode::finishPass()
+{
+    ++_pass;
+    if (_pass < _opts.numPasses) {
+        beginPass();
+        return;
+    }
+    _finished = true;
+    _finishedAt = _sys.now();
+    if (_onFinish)
+        _onFinish();
+}
+
+// --- PipelineRun ---------------------------------------------------------
+
+PipelineRun::PipelineRun(Cluster &cluster, WorkloadSpec spec,
+                         PipelineOptions opts)
+    : _cluster(cluster), _spec(std::move(spec))
+{
+    _unfinished = cluster.numNodes();
+    _nodes.reserve(std::size_t(cluster.numNodes()));
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        _nodes.push_back(std::make_unique<PipelineNode>(
+            cluster.node(n), _spec, opts, [this] { --_unfinished; }));
+    }
+}
+
+Tick
+PipelineRun::run()
+{
+    for (auto &n : _nodes)
+        n->start();
+    _cluster.run();
+    if (_unfinished != 0)
+        fatal("%d pipeline nodes did not finish (deadlock?)",
+              _unfinished);
+    _makespan = 0;
+    for (auto &n : _nodes)
+        _makespan = std::max(_makespan, n->totalTime());
+    return _makespan;
+}
+
+const StageStats &
+PipelineRun::stage(int s) const
+{
+    for (const auto &n : _nodes) {
+        if (n->stage() == s)
+            return n->stats();
+    }
+    fatal("no node holds stage %d", s);
+    return _nodes.front()->stats(); // unreachable
+}
+
+double
+PipelineRun::bubbleRatio() const
+{
+    if (_makespan == 0)
+        return 0;
+    double total = 0;
+    for (int s = 0; s < numStages(); ++s)
+        total += static_cast<double>(stage(s).bubble);
+    return total / (static_cast<double>(_makespan) * numStages());
+}
+
+} // namespace astra

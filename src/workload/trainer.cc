@@ -1,0 +1,346 @@
+#include "workload/trainer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+const std::vector<int> NodeTrainer::kNoDims;
+
+NodeTrainer::NodeTrainer(Sys &sys, const WorkloadSpec &spec,
+                         const TrainerOptions &opts,
+                         std::function<void()> on_finish)
+    : _sys(sys), _spec(spec), _opts(opts), _onFinish(std::move(on_finish))
+{
+    if (_spec.layers.empty())
+        fatal("workload has no layers");
+    if (_opts.numPasses < 1)
+        fatal("num-passes must be >= 1");
+    if (_opts.computeScale <= 0)
+        fatal("compute scale must be positive");
+
+    const Topology &topo = _sys.topology();
+    auto all_dims = [&topo] {
+        std::vector<int> d;
+        for (int i = 0; i < topo.numDims(); ++i)
+            d.push_back(i);
+        return d;
+    };
+
+    _dataDims = _opts.dataDims;
+    _modelDims = _opts.modelDims;
+    switch (_spec.parallelism) {
+      case ParallelismKind::Data:
+        if (_dataDims.empty())
+            _dataDims = all_dims();
+        _modelDims.clear();
+        break;
+      case ParallelismKind::Model:
+        if (_modelDims.empty())
+            _modelDims = all_dims();
+        _dataDims.clear();
+        break;
+      case ParallelismKind::Hybrid:
+        if (_dataDims.empty() && _modelDims.empty()) {
+            // Defaults: on a torus, the paper's Transformer setup
+            // (Sec. V-E) — model-parallel across the vertical
+            // dimension, data-parallel across the rest. On the
+            // AllToAll family, model-parallel within the package
+            // (local rings), data-parallel across packages.
+            const int model_dim =
+                topo.kind() == TopologyKind::Torus3D
+                    ? Topology::kDimVertical
+                    : Topology::kDimLocal;
+            for (int d : all_dims()) {
+                if (d == model_dim)
+                    _modelDims.push_back(d);
+                else
+                    _dataDims.push_back(d);
+            }
+        }
+        break;
+    }
+
+    _stats.assign(_spec.layers.size(), LayerRunStats{});
+    _wgHandles.assign(_spec.layers.size(), nullptr);
+}
+
+const std::vector<int> &
+NodeTrainer::dimsFor(CommSlot slot) const
+{
+    switch (slot) {
+      case CommSlot::WeightGrad:
+        return _dataDims;
+      case CommSlot::Forward:
+      case CommSlot::InputGrad:
+        return _modelDims;
+    }
+    return kNoDims;
+}
+
+Tick
+NodeTrainer::scaled(Tick base) const
+{
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(base) / _opts.computeScale));
+}
+
+void
+NodeTrainer::start()
+{
+    _startedAt = _sys.now();
+    beginPass();
+}
+
+void
+NodeTrainer::beginPass()
+{
+    forwardLayer(0);
+}
+
+std::shared_ptr<CollectiveHandle>
+NodeTrainer::issue(std::size_t l, CommSlot slot)
+{
+    const LayerSpec &layer = _spec.layers[l];
+    if (layer.comm(slot) == CollectiveKind::None)
+        return nullptr;
+    const std::vector<int> &dims = dimsFor(slot);
+    if (dims.empty()) {
+        // Declared in the workload file but the parallelism strategy
+        // gives it no group to run over (e.g. activations under pure
+        // data parallelism) — nothing to exchange.
+        return nullptr;
+    }
+    CollectiveRequest req;
+    req.kind = layer.comm(slot);
+    req.bytes = layer.commSize(slot);
+    req.dims = dims;
+    req.layer = static_cast<LayerId>(l);
+    return _sys.issueCollective(req);
+}
+
+void
+NodeTrainer::waitHandle(const std::shared_ptr<CollectiveHandle> &handle,
+                        std::size_t l, Tick *raw_acc,
+                        std::function<void()> cont)
+{
+    if (!handle) {
+        cont();
+        return;
+    }
+    if (handle->done()) {
+        if (raw_acc)
+            *raw_acc += handle->duration();
+        cont();
+        return;
+    }
+    const Tick wait_start = _sys.now();
+    handle->onComplete = [this, handle, l, raw_acc,
+                          cont = std::move(cont), wait_start] {
+        _stats[l].exposed += _sys.now() - wait_start;
+        if (TraceRecorder *tr = _sys.trace()) {
+            tr->span(_sys.id(), 0, "wait",
+                     "exposed: " + _spec.layers[l].name, wait_start,
+                     _sys.now());
+        }
+        if (raw_acc)
+            *raw_acc += handle->duration();
+        cont();
+    };
+}
+
+void
+NodeTrainer::compute(std::size_t l, Tick cycles, std::function<void()> cont)
+{
+    _stats[l].compute += cycles;
+    if (cycles == 0) {
+        cont();
+        return;
+    }
+    if (TraceRecorder *tr = _sys.trace()) {
+        tr->span(_sys.id(), 0, "compute", _spec.layers[l].name,
+                 _sys.now(), _sys.now() + cycles);
+    }
+    _sys.eventQueue().scheduleAfter(cycles, std::move(cont));
+}
+
+void
+NodeTrainer::forwardLayer(std::size_t l)
+{
+    if (l == _spec.layers.size()) {
+        backwardLayer(_spec.layers.size() - 1);
+        return;
+    }
+    // Weights must be up to date before this layer's forward pass: the
+    // previous iteration's weight-gradient collective gates us here.
+    auto handle = std::move(_wgHandles[l]);
+    _wgHandles[l] = nullptr;
+    const bool had_comm = handle != nullptr;
+    waitHandle(handle, l, &_stats[l].commWg, [this, l, had_comm] {
+        const LayerSpec &layer = _spec.layers[l];
+        const Tick update =
+            had_comm ? layer.updateDelay(CommSlot::WeightGrad) : 0;
+        compute(l, update + scaled(layer.fwdCompute),
+                [this, l] { forwardCompute(l); });
+    });
+}
+
+void
+NodeTrainer::forwardCompute(std::size_t l)
+{
+    // Output activations of this layer may need to be exchanged before
+    // the next layer can start (model/hybrid parallelism) — a strict,
+    // blocking dependency (Sec. V-E).
+    auto handle = issue(l, CommSlot::Forward);
+    const bool had_comm = handle != nullptr;
+    waitHandle(handle, l, &_stats[l].commFwd, [this, l, had_comm] {
+        const Tick update =
+            had_comm ? _spec.layers[l].updateDelay(CommSlot::Forward) : 0;
+        compute(l, update, [this, l] { forwardLayer(l + 1); });
+    });
+}
+
+void
+NodeTrainer::backwardLayer(std::size_t l)
+{
+    const LayerSpec &layer = _spec.layers[l];
+    // Input (error) gradients: needed by layer l-1's backward step;
+    // computed and exchanged for every layer but the first.
+    if (l == 0) {
+        backwardWeight(l);
+        return;
+    }
+    compute(l, scaled(layer.igCompute), [this, l] {
+        auto handle = issue(l, CommSlot::InputGrad);
+        const bool had_comm = handle != nullptr;
+        waitHandle(handle, l, &_stats[l].commIg, [this, l, had_comm] {
+            const Tick update =
+                had_comm ? _spec.layers[l].updateDelay(CommSlot::InputGrad)
+                         : 0;
+            compute(l, update, [this, l] { backwardWeight(l); });
+        });
+    });
+}
+
+void
+NodeTrainer::backwardWeight(std::size_t l)
+{
+    compute(l, scaled(_spec.layers[l].wgCompute), [this, l] {
+        // Fire-and-forget: the all-reduce overlaps with the rest of
+        // back-propagation; only the next iteration's forward pass (or
+        // the end of the run) waits on it.
+        _wgHandles[l] = issue(l, CommSlot::WeightGrad);
+        if (l == 0) {
+            finishPass();
+        } else {
+            backwardLayer(l - 1);
+        }
+    });
+}
+
+void
+NodeTrainer::finishPass()
+{
+    ++_pass;
+    if (_pass < _opts.numPasses) {
+        beginPass();
+        return;
+    }
+    // Final pass: all weight gradients must land before training ends.
+    drainFinalHandles(0);
+}
+
+void
+NodeTrainer::drainFinalHandles(std::size_t l)
+{
+    if (l == _spec.layers.size()) {
+        finishRun();
+        return;
+    }
+    auto handle = std::move(_wgHandles[l]);
+    _wgHandles[l] = nullptr;
+    const bool had_comm = handle != nullptr;
+    waitHandle(handle, l, &_stats[l].commWg, [this, l, had_comm] {
+        const Tick update =
+            had_comm ? _spec.layers[l].updateDelay(CommSlot::WeightGrad)
+                     : 0;
+        compute(l, update, [this, l] { drainFinalHandles(l + 1); });
+    });
+}
+
+void
+NodeTrainer::finishRun()
+{
+    _finished = true;
+    _finishedAt = _sys.now();
+    if (_onFinish)
+        _onFinish();
+}
+
+Tick
+NodeTrainer::totalExposed() const
+{
+    Tick t = 0;
+    for (const LayerRunStats &s : _stats)
+        t += s.exposed;
+    return t;
+}
+
+Tick
+NodeTrainer::totalCompute() const
+{
+    Tick t = 0;
+    for (const LayerRunStats &s : _stats)
+        t += s.compute;
+    return t;
+}
+
+// --- WorkloadRun ----------------------------------------------------------
+
+WorkloadRun::WorkloadRun(Cluster &cluster, WorkloadSpec spec,
+                         TrainerOptions opts)
+    : _cluster(cluster), _spec(std::move(spec)), _opts(std::move(opts))
+{
+    _trainers.reserve(std::size_t(cluster.numNodes()));
+    _unfinished = cluster.numNodes();
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        _trainers.push_back(std::make_unique<NodeTrainer>(
+            cluster.node(n), _spec, _opts, [this] { --_unfinished; }));
+    }
+}
+
+Tick
+WorkloadRun::run()
+{
+    for (auto &t : _trainers)
+        t->start();
+    _cluster.run();
+    if (_unfinished != 0)
+        fatal("%d trainers did not finish (deadlock?)", _unfinished);
+    _makespan = 0;
+    for (auto &t : _trainers)
+        _makespan = std::max(_makespan, t->totalTime());
+    return _makespan;
+}
+
+double
+WorkloadRun::exposedRatio() const
+{
+    if (_makespan == 0)
+        return 0;
+    return static_cast<double>(_trainers.front()->totalExposed()) /
+           static_cast<double>(_makespan);
+}
+
+double
+WorkloadRun::computeRatio() const
+{
+    if (_makespan == 0)
+        return 0;
+    return static_cast<double>(_trainers.front()->totalCompute()) /
+           static_cast<double>(_makespan);
+}
+
+} // namespace astra

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The workload layer: the distributed training loop (Sec. IV-A).
+ *
+ * Every NPU runs an identical synchronous-training loop over the
+ * workload's layers, for num-passes iterations:
+ *
+ *   forward, layer 0..L-1:
+ *     - wait for the layer's weight-gradient collective from the
+ *       previous iteration (data/hybrid parallelism) — time spent
+ *       blocked here is *exposed* communication;
+ *     - apply the local weight update (update-time x size);
+ *     - run the forward compute;
+ *     - model/hybrid: exchange output activations (blocking).
+ *   backward, layer L-1..0:
+ *     - compute the input gradient (layers > 0) and exchange it
+ *       (model/hybrid, blocking);
+ *     - compute the weight gradient;
+ *     - issue the weight-gradient collective *asynchronously* and move
+ *       on — this is the compute/communication overlap the paper's
+ *       scheduling discussion (Sec. III-E) revolves around.
+ *
+ * After the final pass the loop waits for all outstanding collectives
+ * (the weights must be consistent), so trailing communication is
+ * exposed — prominently the first layer's, which has no compute left
+ * to hide behind.
+ *
+ * Communication slots map to dimension groups by parallelism:
+ * weight gradients travel over the *data* dimensions, activations and
+ * input gradients over the *model* dimensions. DATA uses all
+ * dimensions as data dims; MODEL uses all as model dims; HYBRID
+ * defaults to the paper's Transformer setup (model-parallel across
+ * vertical, data-parallel across the rest) and is overridable.
+ */
+
+#ifndef ASTRA_WORKLOAD_TRAINER_HH
+#define ASTRA_WORKLOAD_TRAINER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "workload/layer.hh"
+
+namespace astra
+{
+
+/** Options of one training run. */
+struct TrainerOptions
+{
+    int numPasses = 1;
+    /**
+     * Compute-power multiplier relative to the baseline accelerator
+     * (Fig. 18): 2.0 halves every compute delay.
+     */
+    double computeScale = 1.0;
+    /** Dimension groups; empty = derive from the parallelism kind. */
+    std::vector<int> dataDims;
+    std::vector<int> modelDims;
+};
+
+/** Per-layer timing results, totals across all passes. */
+struct LayerRunStats
+{
+    Tick compute = 0;   //!< compute + local-update cycles
+    Tick commFwd = 0;   //!< raw forward-activation comm latency
+    Tick commIg = 0;    //!< raw input-gradient comm latency
+    Tick commWg = 0;    //!< raw weight-gradient comm latency
+    Tick exposed = 0;   //!< time the loop sat blocked on this layer
+
+    Tick commTotal() const { return commFwd + commIg + commWg; }
+};
+
+/**
+ * The training loop of one NPU.
+ */
+class NodeTrainer
+{
+  public:
+    NodeTrainer(Sys &sys, const WorkloadSpec &spec,
+                const TrainerOptions &opts,
+                std::function<void()> on_finish);
+
+    /** Kick off pass 0 (schedules events; run the cluster to advance). */
+    void start();
+
+    bool finished() const { return _finished; }
+    Tick startedAt() const { return _startedAt; }
+    Tick finishedAt() const { return _finishedAt; }
+
+    /** Wall-clock of the whole run at this node. */
+    Tick totalTime() const { return _finishedAt - _startedAt; }
+
+    const std::vector<LayerRunStats> &layerStats() const { return _stats; }
+
+    /** Sum of exposed comm across layers. */
+    Tick totalExposed() const;
+
+    /** Sum of compute across layers. */
+    Tick totalCompute() const;
+
+  private:
+    void beginPass();
+    void forwardLayer(std::size_t l);
+    void forwardCompute(std::size_t l);
+    void backwardLayer(std::size_t l);
+    void backwardWeight(std::size_t l);
+    void finishPass();
+    void drainFinalHandles(std::size_t l);
+    void finishRun();
+
+    /** Dimension group for @p slot (may be empty: no communication). */
+    const std::vector<int> &dimsFor(CommSlot slot) const;
+
+    /** Issue @p slot's collective for layer @p l; null if none. */
+    std::shared_ptr<CollectiveHandle> issue(std::size_t l, CommSlot slot);
+
+    /**
+     * Continue with @p cont once @p handle (nullable) completes,
+     * charging blocked time to layer @p l as exposed communication and
+     * accumulating the raw latency into @p raw_acc.
+     */
+    void waitHandle(const std::shared_ptr<CollectiveHandle> &handle,
+                    std::size_t l, Tick *raw_acc,
+                    std::function<void()> cont);
+
+    /** Busy the NPU for @p cycles of compute charged to layer @p l. */
+    void compute(std::size_t l, Tick cycles, std::function<void()> cont);
+
+    /** Compute delay under the compute-power scale. */
+    Tick scaled(Tick base) const;
+
+    Sys &_sys;
+    const WorkloadSpec &_spec;
+    TrainerOptions _opts;
+    std::function<void()> _onFinish;
+
+    std::vector<int> _dataDims;
+    std::vector<int> _modelDims;
+    static const std::vector<int> kNoDims;
+
+    int _pass = 0;
+    bool _finished = false;
+    Tick _startedAt = 0;
+    Tick _finishedAt = 0;
+    std::vector<LayerRunStats> _stats;
+    /** Outstanding weight-gradient handles, per layer. */
+    std::vector<std::shared_ptr<CollectiveHandle>> _wgHandles;
+};
+
+/**
+ * A cluster-wide training run: one NodeTrainer per NPU.
+ */
+class WorkloadRun
+{
+  public:
+    WorkloadRun(Cluster &cluster, WorkloadSpec spec, TrainerOptions opts);
+
+    /** Run to completion; @return the makespan (max node total time). */
+    Tick run();
+
+    const WorkloadSpec &spec() const { return _spec; }
+    const NodeTrainer &trainer(NodeId n) const
+    {
+        return *_trainers.at(std::size_t(n));
+    }
+
+    /** Node 0's per-layer stats (nodes are symmetric). */
+    const std::vector<LayerRunStats> &layerStats() const
+    {
+        return _trainers.front()->layerStats();
+    }
+
+    Tick makespan() const { return _makespan; }
+
+    /** Exposed-communication ratio: exposed / makespan (Fig. 17/18). */
+    double exposedRatio() const;
+    /** Compute ratio: compute / makespan. */
+    double computeRatio() const;
+
+  private:
+    Cluster &_cluster;
+    WorkloadSpec _spec;
+    TrainerOptions _opts;
+    std::vector<std::unique_ptr<NodeTrainer>> _trainers;
+    int _unfinished = 0;
+    Tick _makespan = 0;
+};
+
+} // namespace astra
+
+#endif // ASTRA_WORKLOAD_TRAINER_HH

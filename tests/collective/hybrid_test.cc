@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(HybridGroups, SingleDimensionCollectiveStaysInGroup)
+{
+    // An all-reduce over only the vertical dimension must not touch
+    // local or horizontal links.
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    const Tick t = cluster.runCollective(CollectiveKind::AllReduce,
+                                         128 * KiB, {2});
+    EXPECT_GT(t, 0u);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_GT(stats.counter("sent.bytes.vertical"), 0.0);
+    EXPECT_EQ(stats.counter("sent.bytes.local"), 0.0);
+    EXPECT_EQ(stats.counter("sent.bytes.horizontal"), 0.0);
+}
+
+TEST(HybridGroups, TwoDimensionSubgroup)
+{
+    SimConfig cfg;
+    cfg.torus(2, 4, 2);
+    Cluster cluster(cfg);
+    const Tick t = cluster.runCollective(CollectiveKind::AllReduce,
+                                         128 * KiB, {0, 1});
+    EXPECT_GT(t, 0u);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_GT(stats.counter("sent.bytes.local"), 0.0);
+    EXPECT_GT(stats.counter("sent.bytes.horizontal"), 0.0);
+    EXPECT_EQ(stats.counter("sent.bytes.vertical"), 0.0);
+}
+
+TEST(HybridGroups, SubgroupCollectivesAreSmallerThanGlobal)
+{
+    SimConfig cfg;
+    cfg.torus(2, 4, 4);
+    const Bytes c = 1 * MiB;
+    Tick sub, full;
+    {
+        Cluster cluster(cfg);
+        sub = cluster.runCollective(CollectiveKind::AllReduce, c, {2});
+    }
+    {
+        Cluster cluster(cfg);
+        full = cluster.runCollective(CollectiveKind::AllReduce, c);
+    }
+    EXPECT_LT(sub, full);
+}
+
+TEST(HybridGroups, DisjointGroupsRunConcurrently)
+{
+    // Vertical-dimension groups partition the machine; running them
+    // all at once should cost about the same as one (they use disjoint
+    // links), not N times more.
+    SimConfig cfg;
+    cfg.torus(2, 2, 4);
+    Cluster cluster(cfg);
+    const Tick t = cluster.runCollective(CollectiveKind::AllGather,
+                                         256 * KiB, {2});
+    SimConfig cfg2 = cfg;
+    Cluster single(cfg2);
+    // Issue on a single group only (nodes sharing local==0,h==0).
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllGather;
+    req.bytes = 256 * KiB;
+    req.dims = {2};
+    std::vector<std::shared_ptr<CollectiveHandle>> handles;
+    const Topology &topo = single.topology();
+    for (NodeId n = 0; n < single.numNodes(); ++n) {
+        Coord c = topo.coordOf(n);
+        if (c[0] == 0 && c[1] == 0)
+            handles.push_back(single.node(n).issueCollective(req));
+    }
+    single.run();
+    Tick t_single = 0;
+    for (auto &h : handles) {
+        ASSERT_TRUE(h->done());
+        t_single = std::max(t_single, h->completedAt);
+    }
+    // All groups together within 25% of a single group's time.
+    EXPECT_LT(static_cast<double>(t),
+              1.25 * static_cast<double>(t_single));
+}
+
+TEST(HybridGroups, AllToAllWithinSubgroup)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    // All-to-all across the local+vertical subgroup (4 participants).
+    const Tick t = cluster.runCollective(CollectiveKind::AllToAll,
+                                         128 * KiB, {0, 2});
+    EXPECT_GT(t, 0u);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_EQ(stats.counter("sent.bytes.horizontal"), 0.0);
+}
+
+TEST(HybridGroups, MixedConcurrentCollectivesOnDisjointDims)
+{
+    // A data-parallel-style all-reduce on {0,1} and a model-parallel
+    // all-gather on {2} issued together must both complete (they share
+    // the scheduler but not the links).
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    CollectiveRequest ar;
+    ar.kind = CollectiveKind::AllReduce;
+    ar.bytes = 256 * KiB;
+    ar.dims = {0, 1};
+    CollectiveRequest ag;
+    ag.kind = CollectiveKind::AllGather;
+    ag.bytes = 64 * KiB;
+    ag.dims = {2};
+    std::vector<std::shared_ptr<CollectiveHandle>> handles;
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        handles.push_back(cluster.node(n).issueCollective(ar));
+        handles.push_back(cluster.node(n).issueCollective(ag));
+    }
+    cluster.run();
+    for (auto &h : handles)
+        EXPECT_TRUE(h->done());
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "collective/phase_plan.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+namespace
+{
+
+Topology
+torus(int m, int n, int k)
+{
+    SimConfig cfg;
+    cfg.torus(m, n, k);
+    return Topology(cfg);
+}
+
+std::vector<int>
+allDims(const Topology &t)
+{
+    std::vector<int> d;
+    for (int i = 0; i < t.numDims(); ++i)
+        d.push_back(i);
+    return d;
+}
+
+TEST(PhasePlan, BaselineAllReduceIsPerDimension)
+{
+    Topology t = torus(4, 4, 4);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Baseline);
+    ASSERT_EQ(plan.size(), 3u);
+    // Local first, then vertical, then horizontal (Sec. III-D).
+    EXPECT_EQ(plan[0], (PhaseDesc{0, CollectiveKind::AllReduce}));
+    EXPECT_EQ(plan[1], (PhaseDesc{2, CollectiveKind::AllReduce}));
+    EXPECT_EQ(plan[2], (PhaseDesc{1, CollectiveKind::AllReduce}));
+}
+
+TEST(PhasePlan, EnhancedAllReduceIsFourPhase)
+{
+    Topology t = torus(4, 4, 4);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Enhanced);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0], (PhaseDesc{0, CollectiveKind::ReduceScatter}));
+    EXPECT_EQ(plan[1], (PhaseDesc{2, CollectiveKind::AllReduce}));
+    EXPECT_EQ(plan[2], (PhaseDesc{1, CollectiveKind::AllReduce}));
+    EXPECT_EQ(plan[3], (PhaseDesc{0, CollectiveKind::AllGather}));
+}
+
+TEST(PhasePlan, EnhancedDegeneratesWithoutLocalDimension)
+{
+    Topology t = torus(1, 8, 8);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Enhanced);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].op, CollectiveKind::AllReduce);
+    EXPECT_EQ(plan[1].op, CollectiveKind::AllReduce);
+}
+
+TEST(PhasePlan, SizeOneDimensionsAreSkipped)
+{
+    Topology t = torus(1, 64, 1);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Baseline);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].dim, 1);
+}
+
+TEST(PhasePlan, AllToAllVisitsEveryDimension)
+{
+    Topology t = torus(2, 2, 2);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllToAll,
+                                    AlgorithmFlavor::Baseline);
+    ASSERT_EQ(plan.size(), 3u);
+    for (const PhaseDesc &p : plan)
+        EXPECT_EQ(p.op, CollectiveKind::AllToAll);
+}
+
+TEST(PhasePlan, AllToAllTopologyEnhanced)
+{
+    SimConfig cfg;
+    cfg.allToAll(2, 8, 2);
+    Topology t(cfg);
+    PhasePlan plan = buildPhasePlan(t, {0, 1}, CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Enhanced);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0], (PhaseDesc{0, CollectiveKind::ReduceScatter}));
+    EXPECT_EQ(plan[1], (PhaseDesc{1, CollectiveKind::AllReduce}));
+    EXPECT_EQ(plan[2], (PhaseDesc{0, CollectiveKind::AllGather}));
+}
+
+TEST(PhasePlan, SubgroupPlansUseOnlyGivenDims)
+{
+    Topology t = torus(2, 2, 2);
+    PhasePlan plan = buildPhasePlan(t, {2}, CollectiveKind::AllGather,
+                                    AlgorithmFlavor::Baseline);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].dim, 2);
+}
+
+TEST(PhasePlan, EmptyGroupGivesEmptyPlan)
+{
+    Topology t = torus(1, 2, 1);
+    PhasePlan plan = buildPhasePlan(t, {0}, CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Baseline);
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(PhasePlan, RejectsBadDims)
+{
+    Topology t = torus(2, 2, 2);
+    EXPECT_THROW(buildPhasePlan(t, {5}, CollectiveKind::AllReduce,
+                                AlgorithmFlavor::Baseline),
+                 FatalError);
+    EXPECT_THROW(buildPhasePlan(t, {0, 0}, CollectiveKind::AllReduce,
+                                AlgorithmFlavor::Baseline),
+                 FatalError);
+    EXPECT_THROW(buildPhasePlan(t, {0}, CollectiveKind::None,
+                                AlgorithmFlavor::Baseline),
+                 FatalError);
+}
+
+TEST(PhasePlan, EntryBytesFollowScatterGatherScaling)
+{
+    Topology t = torus(4, 4, 4);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Enhanced);
+    const Bytes chunk = 64 * KiB;
+    EXPECT_EQ(phaseEntryBytes(t, plan, 0, chunk), chunk);
+    EXPECT_EQ(phaseEntryBytes(t, plan, 1, chunk), chunk / 4); // after RS
+    EXPECT_EQ(phaseEntryBytes(t, plan, 2, chunk), chunk / 4);
+    EXPECT_EQ(phaseEntryBytes(t, plan, 3, chunk), chunk / 4);
+}
+
+TEST(PhasePlan, SendVolumesMatchThePapersFig10Arithmetic)
+{
+    // Sec. V-B: baseline all-reduce sends 126/64 N on 1x64x1,
+    // 28/8 N on 1x8x8 and 36/8 N on 4x4x4.
+    const Bytes n = 64 * KiB;
+    auto total_volume = [&](int m, int h, int v) {
+        Topology t = torus(m, h, v);
+        PhasePlan plan = buildPhasePlan(t, allDims(t),
+                                        CollectiveKind::AllReduce,
+                                        AlgorithmFlavor::Baseline);
+        double vol = 0;
+        for (int d = 0; d < t.numDims(); ++d)
+            vol += planSendVolume(t, plan, n, d);
+        return vol / static_cast<double>(n);
+    };
+    EXPECT_NEAR(total_volume(1, 64, 1), 126.0 / 64, 1e-9);
+    EXPECT_NEAR(total_volume(1, 8, 8), 28.0 / 8, 1e-9);
+    EXPECT_NEAR(total_volume(2, 8, 4), 4.25, 1e-9);
+    EXPECT_NEAR(total_volume(4, 4, 4), 36.0 / 8, 1e-9);
+}
+
+TEST(PhasePlan, EnhancedCutsInterPackageVolumeByLocalSize)
+{
+    // Fig. 11: the 4-phase algorithm reduces inter-package volume 4x
+    // at local dimension size 4.
+    Topology t = torus(4, 4, 4);
+    const Bytes n = 1 * MiB;
+    PhasePlan base = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Baseline);
+    PhasePlan enh = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                   AlgorithmFlavor::Enhanced);
+    const double base_pkg = planSendVolume(t, base, n, 1) +
+                            planSendVolume(t, base, n, 2);
+    const double enh_pkg = planSendVolume(t, enh, n, 1) +
+                           planSendVolume(t, enh, n, 2);
+    EXPECT_NEAR(base_pkg / enh_pkg, 4.0, 1e-9);
+}
+
+TEST(PhasePlan, ToStringReadsAsPipeline)
+{
+    Topology t = torus(4, 4, 4);
+    PhasePlan plan = buildPhasePlan(t, allDims(t), CollectiveKind::AllReduce,
+                                    AlgorithmFlavor::Enhanced);
+    EXPECT_EQ(toString(t, plan),
+              "RS(local) -> AR(vertical) -> AR(horizontal) -> AG(local)");
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(BitVec, StartsEmpty)
+{
+    BitVec v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.all());
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, SetResetTest)
+{
+    BitVec v(130); // spans three words
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 3u);
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVec, AllDetectsFullVector)
+{
+    BitVec v(67);
+    for (std::size_t i = 0; i < 67; ++i)
+        v.set(i);
+    EXPECT_TRUE(v.all());
+    EXPECT_EQ(v.count(), 67u);
+    v.reset(66);
+    EXPECT_FALSE(v.all());
+}
+
+TEST(BitVec, UnionAndIntersection)
+{
+    BitVec a(10), b(10);
+    a.set(1);
+    a.set(3);
+    b.set(3);
+    b.set(7);
+    EXPECT_TRUE(a.intersects(b));
+    BitVec u = a;
+    u |= b;
+    EXPECT_EQ(u.count(), 3u);
+    EXPECT_TRUE(u.test(1));
+    EXPECT_TRUE(u.test(3));
+    EXPECT_TRUE(u.test(7));
+    BitVec i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(3));
+}
+
+TEST(BitVec, DisjointVectorsDoNotIntersect)
+{
+    BitVec a(128), b(128);
+    a.set(0);
+    b.set(127);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BitVec, SizeMismatchPanics)
+{
+    BitVec a(10), b(11);
+    EXPECT_THROW(a |= b, FatalError);
+    EXPECT_THROW(a &= b, FatalError);
+    EXPECT_THROW((void)a.intersects(b), FatalError);
+}
+
+TEST(BitVec, EqualityAndToString)
+{
+    BitVec a(4), b(4);
+    a.set(1);
+    b.set(1);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toString(), "0100");
+    b.set(3);
+    EXPECT_NE(a, b);
+}
+
+TEST(BitVec, ZeroSized)
+{
+    BitVec v(0);
+    EXPECT_TRUE(v.none());
+    EXPECT_TRUE(v.all()); // vacuously
+    EXPECT_EQ(v.count(), 0u);
+}
+
+} // namespace
+} // namespace astra

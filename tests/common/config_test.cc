@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Config, TableIvDefaults)
+{
+    SimConfig cfg;
+    // Intra-package (Table IV).
+    EXPECT_DOUBLE_EQ(cfg.local.bandwidth, 200.0);
+    EXPECT_EQ(cfg.local.latency, 90u);
+    EXPECT_DOUBLE_EQ(cfg.local.efficiency, 0.94);
+    EXPECT_EQ(cfg.local.packetSize, 512u);
+    EXPECT_EQ(cfg.local.rings, 2);
+    // Inter-package.
+    EXPECT_DOUBLE_EQ(cfg.package.bandwidth, 25.0);
+    EXPECT_EQ(cfg.package.latency, 200u);
+    EXPECT_EQ(cfg.package.packetSize, 256u);
+    EXPECT_EQ(cfg.package.rings, 2);
+    // NPU / NMU.
+    EXPECT_EQ(cfg.flitWidthBits, 1024);
+    EXPECT_EQ(cfg.routerLatency, 1u);
+    EXPECT_EQ(cfg.vcsPerVnet, 50);
+    EXPECT_EQ(cfg.buffersPerVc, 5000);
+    EXPECT_EQ(cfg.endpointDelay, 10u);
+}
+
+TEST(Config, TorusAndAllToAllHelpers)
+{
+    SimConfig cfg;
+    cfg.torus(4, 4, 4);
+    EXPECT_EQ(cfg.topology, TopologyKind::Torus3D);
+    EXPECT_EQ(cfg.numNpus(), 64);
+    EXPECT_EQ(cfg.numPackages(), 16);
+
+    cfg.allToAll(2, 8, 7);
+    EXPECT_EQ(cfg.topology, TopologyKind::AllToAll);
+    EXPECT_EQ(cfg.numNpus(), 16);
+    EXPECT_EQ(cfg.globalSwitches, 7);
+    EXPECT_EQ(cfg.verticalDim, 1);
+}
+
+TEST(Config, SetCoversTableIiiParameters)
+{
+    SimConfig cfg;
+    cfg.set("dnn-name", "resnet50.txt");
+    cfg.set("num-passes", "3");
+    cfg.set("algorithm", "enhanced");
+    cfg.set("topology", "AllToAll");
+    cfg.set("scheduling-policy", "FIFO");
+    cfg.set("global-switches", "7");
+    cfg.set("endpoint-delay", "25");
+    cfg.set("packet-routing", "hardware");
+    cfg.set("injection-policy", "aggressive");
+    cfg.set("preferred-set-splits", "8");
+    cfg.set("local-link-efficiency", "0.9");
+    cfg.set("package-link-efficiency", "0.8");
+    cfg.set("flit-width", "512");
+    cfg.set("local-packet-size", "1KB");
+    cfg.set("package-packet-size", "128");
+    cfg.set("vcs-per-vnet", "4");
+    cfg.set("router-latency", "2");
+    cfg.set("local-link-latency", "45");
+    cfg.set("package-link-latency", "400");
+    cfg.set("buffers-per-vc", "16");
+    cfg.set("local-rings", "4");
+    cfg.set("horizontal-rings", "3");
+
+    EXPECT_EQ(cfg.dnnName, "resnet50.txt");
+    EXPECT_EQ(cfg.numPasses, 3);
+    EXPECT_EQ(cfg.algorithm, AlgorithmFlavor::Enhanced);
+    EXPECT_EQ(cfg.topology, TopologyKind::AllToAll);
+    EXPECT_EQ(cfg.schedulingPolicy, SchedulingPolicy::FIFO);
+    EXPECT_EQ(cfg.globalSwitches, 7);
+    EXPECT_EQ(cfg.endpointDelay, 25u);
+    EXPECT_EQ(cfg.packetRouting, PacketRouting::Hardware);
+    EXPECT_EQ(cfg.injectionPolicy, InjectionPolicy::Aggressive);
+    EXPECT_EQ(cfg.preferredSetSplits, 8);
+    EXPECT_DOUBLE_EQ(cfg.local.efficiency, 0.9);
+    EXPECT_DOUBLE_EQ(cfg.package.efficiency, 0.8);
+    EXPECT_EQ(cfg.flitWidthBits, 512);
+    EXPECT_EQ(cfg.local.packetSize, 1024u);
+    EXPECT_EQ(cfg.package.packetSize, 128u);
+    EXPECT_EQ(cfg.vcsPerVnet, 4);
+    EXPECT_EQ(cfg.routerLatency, 2u);
+    EXPECT_EQ(cfg.local.latency, 45u);
+    EXPECT_EQ(cfg.package.latency, 400u);
+    EXPECT_EQ(cfg.buffersPerVc, 16);
+    EXPECT_EQ(cfg.local.rings, 4);
+    EXPECT_EQ(cfg.package.rings, 3);
+}
+
+TEST(Config, SetAcceptsUnderscoresAndCase)
+{
+    SimConfig cfg;
+    cfg.set("NUM_PASSES", "5");
+    EXPECT_EQ(cfg.numPasses, 5);
+}
+
+TEST(Config, SetRejectsUnknownKeysAndBadValues)
+{
+    SimConfig cfg;
+    EXPECT_THROW(cfg.set("no-such-param", "1"), FatalError);
+    EXPECT_THROW(cfg.set("num-passes", "abc"), FatalError);
+    EXPECT_THROW(cfg.set("num-passes", "3x"), FatalError);
+    EXPECT_THROW(cfg.set("algorithm", "fancy"), FatalError);
+    EXPECT_THROW(cfg.set("topology", "hypercube"), FatalError);
+    EXPECT_THROW(cfg.set("scheduling-policy", "random"), FatalError);
+}
+
+TEST(Config, LoadFileParsesKeyValueWithComments)
+{
+    const char *path = "/tmp/astra_config_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# a comment\n"
+            << "num-passes = 4\n"
+            << "\n"
+            << "algorithm=enhanced   # trailing comment\n"
+            << "  local-dim = 2  \n";
+    }
+    SimConfig cfg;
+    cfg.loadFile(path);
+    EXPECT_EQ(cfg.numPasses, 4);
+    EXPECT_EQ(cfg.algorithm, AlgorithmFlavor::Enhanced);
+    EXPECT_EQ(cfg.localDim, 2);
+    std::remove(path);
+}
+
+TEST(Config, LoadFileErrors)
+{
+    SimConfig cfg;
+    EXPECT_THROW(cfg.loadFile("/nonexistent/file.cfg"), FatalError);
+    const char *path = "/tmp/astra_config_bad.cfg";
+    {
+        std::ofstream out(path);
+        out << "this is not key value\n";
+    }
+    EXPECT_THROW(cfg.loadFile(path), FatalError);
+    std::remove(path);
+}
+
+TEST(Config, ApplyArgsConsumesMatchingFlags)
+{
+    SimConfig cfg;
+    const char *argv[] = {"prog", "--num-passes=2", "--topology=torus",
+                          "positional", "--unknown-flag=3"};
+    auto leftover = cfg.applyArgs(5, const_cast<char **>(argv));
+    EXPECT_EQ(cfg.numPasses, 2);
+    EXPECT_EQ(cfg.topology, TopologyKind::Torus3D);
+    EXPECT_EQ(leftover.size(), 2u);
+    EXPECT_TRUE(leftover.count("positional"));
+    EXPECT_TRUE(leftover.count("unknown-flag"));
+}
+
+TEST(Config, ValidateCatchesBadConfigurations)
+{
+    {
+        SimConfig cfg;
+        cfg.torus(1, 1, 1);
+        EXPECT_THROW(cfg.validate(), FatalError); // < 2 NPUs
+    }
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.local.bandwidth = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.local.efficiency = 1.5;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        SimConfig cfg;
+        cfg.allToAll(2, 4);
+        cfg.verticalDim = 2; // inconsistent with AllToAll family
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.preferredSetSplits = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.lsqConcurrency = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        EXPECT_NO_THROW(cfg.validate());
+    }
+}
+
+TEST(Config, ToStringMentionsKeyFacts)
+{
+    SimConfig cfg;
+    cfg.torus(4, 4, 4);
+    std::string s = cfg.toString();
+    EXPECT_NE(s.find("Torus3D"), std::string::npos);
+    EXPECT_NE(s.find("npus=64"), std::string::npos);
+    EXPECT_NE(s.find("baseline"), std::string::npos);
+}
+
+} // namespace
+} // namespace astra

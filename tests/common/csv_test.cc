@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Table, CsvWithHeader)
+{
+    Table t;
+    t.header({"a", "b"});
+    t.row().cell("1").cell("2");
+    t.row().cell("x").cell("y");
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\nx,y\n");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t;
+    t.row().cell("has,comma").cell("has\"quote").cell("plain");
+    EXPECT_EQ(t.toCsv(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Table, NumericCells)
+{
+    Table t;
+    t.row().cell(std::uint64_t{42}).cell(3.14159, "%.2f");
+    EXPECT_EQ(t.toCsv(), "42,3.14\n");
+}
+
+TEST(Table, TextAlignsColumns)
+{
+    Table t;
+    t.header({"name", "v"});
+    t.row().cell("x").cell("100");
+    t.row().cell("longer").cell("5");
+    std::string s = t.toText();
+    std::istringstream is(s);
+    std::string l1, l2, l3, l4;
+    std::getline(is, l1);
+    std::getline(is, l2); // separator
+    std::getline(is, l3);
+    std::getline(is, l4);
+    EXPECT_EQ(l2.find_first_not_of('-'), std::string::npos);
+    // Column 2 starts at the same offset in all data rows.
+    EXPECT_EQ(l3.find("100"), l1.find("v"));
+    EXPECT_EQ(l4.find("5"), l1.find("v"));
+}
+
+TEST(Table, WriteCsvRoundTrip)
+{
+    Table t;
+    t.header({"k"});
+    t.row().cell("v");
+    const char *path = "/tmp/astra_csv_test.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), "k\nv\n");
+    std::remove(path);
+}
+
+TEST(Table, WriteCsvBadPathFails)
+{
+    Table t;
+    t.row().cell("v");
+    EXPECT_THROW(t.writeCsv("/nonexistent-dir/x.csv"), FatalError);
+}
+
+} // namespace
+} // namespace astra

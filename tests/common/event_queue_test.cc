@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, /*priority=*/10);
+    eq.schedule(5, [&] { order.push_back(2); }, /*priority=*/-1);
+    eq.schedule(5, [&] { order.push_back(3); }, /*priority=*/0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(10, [] {}), FatalError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.now(), 0u); // nothing executed
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, PendingCountTracksCancellation)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.pendingEvents(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, RunMaxEventsStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(Tick(i), [&] { ++count; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pendingEvents(), 6u);
+}
+
+TEST(EventQueue, RunUntilIsInclusiveAndAdvancesTime)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(21, [&] { ++count; });
+    EXPECT_EQ(eq.runUntil(20), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    // Time advances to the requested point even with no events there.
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 50)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 50);
+    EXPECT_EQ(eq.now(), 49u);
+    EXPECT_EQ(eq.executedEvents(), 50u);
+}
+
+TEST(EventQueue, CancelFromInsideAnEvent)
+{
+    EventQueue eq;
+    bool victim_ran = false;
+    EventId victim = eq.schedule(20, [&] { victim_ran = true; });
+    eq.schedule(10, [&] { EXPECT_TRUE(eq.cancel(victim)); });
+    eq.run();
+    EXPECT_FALSE(victim_ran);
+}
+
+} // namespace
+} // namespace astra

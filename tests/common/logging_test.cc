@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsInTestMode)
+{
+    ASSERT_TRUE(loggingThrowsOnFatal());
+    try {
+        fatal("bad %s #%d", "thing", 7);
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: bad thing #7");
+    }
+}
+
+TEST(Logging, PanicThrowsInTestMode)
+{
+    try {
+        panic("invariant %d", 42);
+        FAIL() << "panic returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "panic: invariant 42");
+    }
+}
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("a=%d b=%s", 1, "x"), "a=1 b=x");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, StrprintfHandlesLongStrings)
+{
+    std::string big(10000, 'z');
+    std::string out = strprintf("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+} // namespace
+} // namespace astra

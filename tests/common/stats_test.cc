@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.total(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 0.0);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a;
+    a.sample(3);
+    a.sample(1);
+    a.sample(8);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 12.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(a.maximum(), 8.0);
+}
+
+TEST(Accumulator, MergeCombines)
+{
+    Accumulator a, b;
+    a.sample(1);
+    a.sample(2);
+    b.sample(10);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.maximum(), 10.0);
+    EXPECT_DOUBLE_EQ(a.minimum(), 1.0);
+    // Merging an empty accumulator changes nothing.
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StatGroup, CountersDefaultToZero)
+{
+    StatGroup g;
+    EXPECT_DOUBLE_EQ(g.counter("missing"), 0.0);
+    g.inc("x");
+    g.inc("x", 2.5);
+    EXPECT_DOUBLE_EQ(g.counter("x"), 3.5);
+}
+
+TEST(StatGroup, AccumulatorsByName)
+{
+    StatGroup g;
+    g.sample("lat", 5);
+    g.sample("lat", 15);
+    EXPECT_EQ(g.accumulator("lat").count(), 2u);
+    EXPECT_DOUBLE_EQ(g.accumulator("lat").mean(), 10.0);
+    EXPECT_EQ(g.accumulator("absent").count(), 0u);
+}
+
+TEST(StatGroup, MergeAddsCountersAndAccs)
+{
+    StatGroup a, b;
+    a.inc("n", 1);
+    b.inc("n", 2);
+    b.inc("only-b", 5);
+    a.sample("q", 1);
+    b.sample("q", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.counter("n"), 3.0);
+    EXPECT_DOUBLE_EQ(a.counter("only-b"), 5.0);
+    EXPECT_EQ(a.accumulator("q").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.accumulator("q").total(), 4.0);
+}
+
+TEST(StatGroup, ClearDropsEverything)
+{
+    StatGroup g;
+    g.inc("a");
+    g.sample("b", 1);
+    g.clear();
+    EXPECT_TRUE(g.counters().empty());
+    EXPECT_TRUE(g.accumulators().empty());
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+#include "workload/models.hh"
+#include "workload/trainer.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Trace, RecordsSpans)
+{
+    TraceRecorder tr;
+    tr.span(0, 0, "compute", "layer1", 100, 250);
+    tr.span(1, 2, "phase", "AR(local)", 50, 60);
+    EXPECT_EQ(tr.size(), 2u);
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(Trace, RejectsNegativeDurations)
+{
+    TraceRecorder tr;
+    EXPECT_THROW(tr.span(0, 0, "c", "n", 100, 50), FatalError);
+}
+
+TEST(Trace, JsonIsChromeTraceShaped)
+{
+    TraceRecorder tr;
+    tr.span(3, 1, "phase", "RS(local) chunk 7", 1000, 3000);
+    const std::string json = tr.toJson();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+    // ns -> us conversion.
+    EXPECT_NE(json.find("\"ts\": 1.000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 2.000"), std::string::npos);
+}
+
+TEST(Trace, EscapesSpecialCharacters)
+{
+    TraceRecorder tr;
+    tr.span(0, 0, "c", "quote\"back\\slash", 0, 1);
+    const std::string json = tr.toJson();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(Trace, ClusterRecordsCollectivePhases)
+{
+    const char *path = "/tmp/astra_trace_test.json";
+    {
+        SimConfig cfg;
+        cfg.torus(2, 2, 1);
+        cfg.traceFile = path;
+        cfg.preferredSetSplits = 2;
+        Cluster cluster(cfg);
+        cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+        ASSERT_NE(cluster.trace(), nullptr);
+        // 2 chunks x 2 phases x 4 nodes.
+        EXPECT_EQ(cluster.trace()->size(), 16u);
+        cluster.flushTrace();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("ALLREDUCE(local)"), std::string::npos);
+    std::remove(path);
+}
+
+TEST(Trace, TrainingRecordsComputeAndWaits)
+{
+    SimConfig cfg;
+    cfg.torus(1, 4, 1);
+    cfg.traceFile = "/tmp/astra_trace_train.json";
+    Cluster cluster(cfg);
+    WorkloadRun run(cluster, syntheticWorkload(4, 50'000, 4 * MiB),
+                    TrainerOptions{.numPasses = 1});
+    run.run();
+    ASSERT_NE(cluster.trace(), nullptr);
+    const std::string json = cluster.trace()->toJson();
+    EXPECT_NE(json.find("\"cat\": \"compute\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"phase\""), std::string::npos);
+    // Big collectives on a slow ring: some exposed wait must appear.
+    EXPECT_NE(json.find("\"cat\": \"wait\""), std::string::npos);
+    cluster.trace()->clear(); // avoid writing at destruction
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    Cluster cluster(cfg);
+    EXPECT_EQ(cluster.trace(), nullptr);
+    cluster.runCollective(CollectiveKind::AllReduce, 1024);
+}
+
+} // namespace
+} // namespace astra

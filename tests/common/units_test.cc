@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Units, ParsePlainBytes)
+{
+    EXPECT_EQ(parseBytes("512"), 512u);
+    EXPECT_EQ(parseBytes("512B"), 512u);
+    EXPECT_EQ(parseBytes("0"), 0u);
+}
+
+TEST(Units, ParseSuffixes)
+{
+    EXPECT_EQ(parseBytes("1KB"), 1024u);
+    EXPECT_EQ(parseBytes("1K"), 1024u);
+    EXPECT_EQ(parseBytes("1KiB"), 1024u);
+    EXPECT_EQ(parseBytes("4MB"), 4u * 1024 * 1024);
+    EXPECT_EQ(parseBytes("2GB"), 2u * 1024 * 1024 * 1024ull);
+    EXPECT_EQ(parseBytes("1.5KB"), 1536u);
+}
+
+TEST(Units, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseBytes(""), FatalError);
+    EXPECT_THROW(parseBytes("abc"), FatalError);
+    EXPECT_THROW(parseBytes("12XB"), FatalError);
+    EXPECT_THROW(parseBytes("12KBx"), FatalError);
+    EXPECT_THROW(parseBytes("-5KB"), FatalError);
+}
+
+TEST(Units, FormatRoundTripsCommonSizes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(32 * KiB), "32KB");
+    EXPECT_EQ(formatBytes(4 * MiB), "4MB");
+    EXPECT_EQ(formatBytes(GiB), "1GB");
+    EXPECT_EQ(parseBytes(formatBytes(64 * MiB)), 64 * MiB);
+}
+
+TEST(Units, BandwidthConversionIsIdentityAtOneGhz)
+{
+    // 1 cycle == 1 ns, so GB/s == B/cycle.
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerCycle(200.0), 200.0);
+    EXPECT_DOUBLE_EQ(gbpsToBytesPerCycle(25.0), 25.0);
+}
+
+TEST(Units, FormatTicksIncludesMicroseconds)
+{
+    std::string s = formatTicks(12345);
+    EXPECT_NE(s.find("12345 cycles"), std::string::npos);
+    EXPECT_NE(s.find("12.345"), std::string::npos);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Cluster, WiresOneSysPerNpu)
+{
+    SimConfig cfg;
+    cfg.torus(2, 3, 2);
+    Cluster cluster(cfg);
+    EXPECT_EQ(cluster.numNodes(), 12);
+    for (NodeId n = 0; n < 12; ++n)
+        EXPECT_EQ(cluster.node(n).id(), n);
+}
+
+TEST(Cluster, SelectsConfiguredBackend)
+{
+    for (NetworkBackend b :
+         {NetworkBackend::Analytical, NetworkBackend::GarnetLite}) {
+        SimConfig cfg;
+        cfg.torus(1, 2, 1);
+        cfg.backend = b;
+        Cluster cluster(cfg);
+        EXPECT_GT(cluster.runCollective(CollectiveKind::AllReduce, 4096),
+                  0u);
+    }
+}
+
+TEST(Cluster, SimulationsAreDeterministic)
+{
+    auto once = [] {
+        SimConfig cfg;
+        cfg.torus(2, 4, 2);
+        Cluster cluster(cfg);
+        Tick t = cluster.runCollective(CollectiveKind::AllReduce, 2 * MiB);
+        return std::make_pair(t, cluster.eventQueue().executedEvents());
+    };
+    auto a = once();
+    auto b = once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Cluster, AggregateStatsMergeAllNodes)
+{
+    SimConfig cfg;
+    cfg.torus(1, 4, 1);
+    cfg.preferredSetSplits = 2;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+    StatGroup all = cluster.aggregateStats();
+    EXPECT_DOUBLE_EQ(all.counter("issued.chunks"), 2.0 * 4);
+    EXPECT_DOUBLE_EQ(all.counter("completed.chunks"), 2.0 * 4);
+}
+
+TEST(Cluster, RunReturnsFinalTime)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 4096;
+    cluster.issueAll(req);
+    const Tick end = cluster.run();
+    EXPECT_EQ(end, cluster.eventQueue().now());
+    EXPECT_GT(end, 0u);
+}
+
+TEST(Cluster, BackendsAgreeOnCollectiveShape)
+{
+    // The two backends differ in granularity but must agree on gross
+    // behaviour: same ordering between message sizes, times within a
+    // modest factor of each other on an uncongested config.
+    SimConfig base;
+    base.torus(1, 4, 1);
+    base.preferredSetSplits = 4;
+    for (Bytes c : {256 * KiB, 2 * MiB}) {
+        SimConfig a = base;
+        a.backend = NetworkBackend::Analytical;
+        Cluster ca(a);
+        const Tick ta = ca.runCollective(CollectiveKind::AllReduce, c);
+        SimConfig g = base;
+        g.backend = NetworkBackend::GarnetLite;
+        Cluster cg(g);
+        const Tick tg = cg.runCollective(CollectiveKind::AllReduce, c);
+        const double ratio = double(tg) / double(ta);
+        EXPECT_GT(ratio, 0.7) << formatBytes(c);
+        EXPECT_LT(ratio, 1.5) << formatBytes(c);
+    }
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Scheduler, DispatcherHonorsThresholdAndWidth)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.dispatchThreshold = 2;
+    cfg.dispatchWidth = 3;
+    cfg.preferredSetSplits = 10;
+    Cluster cluster(cfg);
+    // Issue without running: dispatch happens at submit time.
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 1 * MiB;
+    auto handles = cluster.issueAll(req);
+    // Submits trickle in one at a time, so the dispatcher releases
+    // chunks until phase0Active reaches the threshold.
+    Sys &sys = cluster.node(0);
+    EXPECT_EQ(sys.scheduler().phase0Active(), 2);
+    EXPECT_EQ(sys.scheduler().readyQueueDepth(), 8u);
+    cluster.run();
+    for (auto &h : handles)
+        EXPECT_TRUE(h->done());
+}
+
+TEST(Scheduler, QueueDelayStatsArePopulated)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    cfg.preferredSetSplits = 16;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 4 * MiB);
+    StatGroup stats = cluster.aggregateStats();
+    // P0 (ready queue) samples: one per chunk per node.
+    EXPECT_EQ(stats.accumulator("queue.P0").count(), 16u * 8);
+    // Per-phase queue and network delays exist for all 3 phases.
+    for (int p = 1; p <= 3; ++p) {
+        EXPECT_EQ(stats.accumulator(strprintf("queue.P%d", p)).count(),
+                  16u * 8)
+            << "phase " << p;
+        EXPECT_EQ(stats.accumulator(strprintf("network.P%d", p)).count(),
+                  16u * 8)
+            << "phase " << p;
+        EXPECT_GT(stats.accumulator(strprintf("network.P%d", p)).mean(),
+                  0.0);
+    }
+    // No phase 4 in the baseline 3-phase plan.
+    EXPECT_EQ(stats.accumulator("queue.P4").count(), 0u);
+}
+
+TEST(Scheduler, EnhancedPlanHasFourPhases)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    cfg.algorithm = AlgorithmFlavor::Enhanced;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 1 * MiB);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_GT(stats.accumulator("queue.P4").count(), 0u);
+    EXPECT_GT(stats.accumulator("network.P4").count(), 0u);
+}
+
+TEST(Scheduler, LsqConcurrencyChangesTiming)
+{
+    auto run = [](int conc) {
+        SimConfig cfg;
+        cfg.torus(1, 8, 1);
+        cfg.lsqConcurrency = conc;
+        cfg.preferredSetSplits = 8;
+        Cluster cluster(cfg);
+        return cluster.runCollective(CollectiveKind::AllReduce, 4 * MiB);
+    };
+    const Tick serial = run(1);
+    const Tick interleaved = run(4);
+    // Interleaving chunks within a queue exploits the pipeline.
+    EXPECT_LE(interleaved, serial);
+}
+
+TEST(Scheduler, FifoAndLifoBothComplete)
+{
+    for (SchedulingPolicy pol :
+         {SchedulingPolicy::FIFO, SchedulingPolicy::LIFO}) {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.schedulingPolicy = pol;
+        Cluster cluster(cfg);
+        // Two back-to-back sets stress the ready queue ordering.
+        CollectiveRequest req;
+        req.kind = CollectiveKind::AllReduce;
+        req.bytes = 512 * KiB;
+        auto h1 = cluster.issueAll(req);
+        auto h2 = cluster.issueAll(req);
+        cluster.run();
+        for (auto &h : h1)
+            EXPECT_TRUE(h->done());
+        for (auto &h : h2)
+            EXPECT_TRUE(h->done());
+    }
+}
+
+TEST(Scheduler, LifoPrioritizesTheLatestSetWhenContended)
+{
+    // Issue a big set, then a small one. Under LIFO the small set's
+    // undispatched chunks jump the queue, so it finishes much earlier
+    // than the big one; under FIFO it waits for the backlog.
+    auto run = [](SchedulingPolicy pol) {
+        SimConfig cfg;
+        cfg.torus(1, 4, 1);
+        cfg.schedulingPolicy = pol;
+        cfg.preferredSetSplits = 32;
+        cfg.dispatchThreshold = 2;
+        cfg.dispatchWidth = 2;
+        Cluster cluster(cfg);
+        CollectiveRequest big;
+        big.kind = CollectiveKind::AllReduce;
+        big.bytes = 32 * MiB;
+        CollectiveRequest small;
+        small.kind = CollectiveKind::AllReduce;
+        small.bytes = 32 * KiB;
+        auto hb = cluster.issueAll(big);
+        auto hs = cluster.issueAll(small);
+        cluster.run();
+        Tick small_done = 0;
+        for (auto &h : hs)
+            small_done = std::max(small_done, h->completedAt);
+        return small_done;
+    };
+    EXPECT_LT(run(SchedulingPolicy::LIFO), run(SchedulingPolicy::FIFO));
+}
+
+TEST(Scheduler, LayerPriorityFavorsEarlyLayers)
+{
+    // Sec. III-E: the first layer's collective should complete before
+    // later layers' even when issued after them. Issue layer 5 first,
+    // then layer 0, under heavy contention.
+    auto run = [](SchedulingPolicy pol) {
+        SimConfig cfg;
+        cfg.torus(1, 4, 1);
+        cfg.schedulingPolicy = pol;
+        cfg.preferredSetSplits = 32;
+        cfg.dispatchThreshold = 2;
+        cfg.dispatchWidth = 2;
+        Cluster cluster(cfg);
+        CollectiveRequest late;
+        late.kind = CollectiveKind::AllReduce;
+        late.bytes = 16 * MiB;
+        late.layer = 5;
+        CollectiveRequest first;
+        first.kind = CollectiveKind::AllReduce;
+        first.bytes = 1 * MiB;
+        first.layer = 0;
+        auto hl = cluster.issueAll(late);
+        auto hf = cluster.issueAll(first);
+        cluster.run();
+        Tick done0 = 0;
+        for (auto &h : hf)
+            done0 = std::max(done0, h->completedAt);
+        return done0;
+    };
+    // Layer 0 finishes earlier under layer-priority than under FIFO.
+    EXPECT_LT(run(SchedulingPolicy::LayerPriority),
+              run(SchedulingPolicy::FIFO));
+}
+
+TEST(Scheduler, LayerPriorityUntaggedSortsLast)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.schedulingPolicy = SchedulingPolicy::LayerPriority;
+    Cluster cluster(cfg);
+    // Mixed tagged/untagged issues must all complete.
+    CollectiveRequest tagged;
+    tagged.kind = CollectiveKind::AllReduce;
+    tagged.bytes = 256 * KiB;
+    tagged.layer = 3;
+    CollectiveRequest untagged;
+    untagged.kind = CollectiveKind::AllReduce;
+    untagged.bytes = 256 * KiB;
+    auto h1 = cluster.issueAll(untagged);
+    auto h2 = cluster.issueAll(tagged);
+    cluster.run();
+    for (auto &h : h1)
+        EXPECT_TRUE(h->done());
+    for (auto &h : h2)
+        EXPECT_TRUE(h->done());
+}
+
+TEST(Scheduler, InFlightDrainsToZero)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 1 * MiB);
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        EXPECT_EQ(cluster.node(n).scheduler().inFlight(), 0);
+        EXPECT_EQ(cluster.node(n).scheduler().phase0Active(), 0);
+        EXPECT_EQ(cluster.node(n).scheduler().readyQueueDepth(), 0u);
+        EXPECT_EQ(cluster.node(n).liveStreams(), 0u);
+    }
+}
+
+} // namespace
+} // namespace astra

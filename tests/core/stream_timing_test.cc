@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+/**
+ * Per-stream timing invariants, checked through the inspector on every
+ * completed chunk: each phase is enqueued, then started, then
+ * finished, monotonically; phases follow each other; the chunk's last
+ * phase ends no later than its set's completion.
+ */
+TEST(StreamTiming, PhaseTimestampsAreMonotone)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    cfg.algorithm = AlgorithmFlavor::Enhanced; // 4 phases
+    cfg.preferredSetSplits = 8;
+    Cluster cluster(cfg);
+
+    int inspected = 0;
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        cluster.node(n).setStreamInspector([&](const Stream &s) {
+            ++inspected;
+            ASSERT_EQ(s.plan().size(), 4u);
+            ASSERT_NE(s.submittedAt, kTickInvalid);
+            Tick prev_end = s.submittedAt;
+            for (std::size_t p = 0; p < s.plan().size(); ++p) {
+                ASSERT_NE(s.enqueuedAt[p], kTickInvalid);
+                ASSERT_NE(s.startedAt[p], kTickInvalid);
+                ASSERT_NE(s.finishedAt[p], kTickInvalid);
+                EXPECT_GE(s.enqueuedAt[p], prev_end);
+                EXPECT_GE(s.startedAt[p], s.enqueuedAt[p]);
+                // A phase takes real time (messages + endpoint work).
+                EXPECT_GT(s.finishedAt[p], s.startedAt[p]);
+                prev_end = s.finishedAt[p];
+            }
+        });
+    }
+    cluster.runCollective(CollectiveKind::AllReduce, 1 * MiB);
+    EXPECT_EQ(inspected, 8 * 8);
+}
+
+TEST(StreamTiming, SetCompletesAfterItsLastChunk)
+{
+    SimConfig cfg;
+    cfg.torus(1, 4, 1);
+    cfg.preferredSetSplits = 4;
+    Cluster cluster(cfg);
+
+    Tick last_finish = 0;
+    cluster.node(0).setStreamInspector([&](const Stream &s) {
+        last_finish =
+            std::max(last_finish, s.finishedAt[s.plan().size() - 1]);
+    });
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 256 * KiB;
+    auto handles = cluster.issueAll(req);
+    cluster.run();
+    EXPECT_EQ(handles[0]->completedAt, last_finish);
+    EXPECT_GE(handles[0]->completedAt, handles[0]->issuedAt);
+}
+
+TEST(StreamTiming, QueueDelaysExplainStartLag)
+{
+    // The per-phase queue-delay samples must equal startedAt -
+    // enqueuedAt summed over all chunks (the Fig. 12b bookkeeping is
+    // exact, not estimated).
+    SimConfig cfg;
+    cfg.torus(1, 8, 1);
+    cfg.preferredSetSplits = 16;
+    cfg.lsqConcurrency = 1; // force visible queueing
+    Cluster cluster(cfg);
+
+    double expected = 0;
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        cluster.node(n).setStreamInspector([&](const Stream &s) {
+            expected += static_cast<double>(s.startedAt[0] -
+                                            s.enqueuedAt[0]);
+        });
+    }
+    cluster.runCollective(CollectiveKind::AllReduce, 2 * MiB);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_DOUBLE_EQ(stats.accumulator("queue.P1").total(), expected);
+    EXPECT_GT(expected, 0.0);
+}
+
+TEST(StreamTiming, NetworkDelaysMatchPhaseDurations)
+{
+    SimConfig cfg;
+    cfg.torus(1, 4, 1);
+    cfg.preferredSetSplits = 4;
+    Cluster cluster(cfg);
+
+    double expected = 0;
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        cluster.node(n).setStreamInspector([&](const Stream &s) {
+            expected += static_cast<double>(s.finishedAt[0] -
+                                            s.startedAt[0]);
+        });
+    }
+    cluster.runCollective(CollectiveKind::AllGather, 512 * KiB);
+    StatGroup stats = cluster.aggregateStats();
+    EXPECT_DOUBLE_EQ(stats.accumulator("network.P1").total(), expected);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Sys, RejectsBadRequests)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::None;
+    req.bytes = 100;
+    EXPECT_THROW(cluster.node(0).issueCollective(req), FatalError);
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 0;
+    EXPECT_THROW(cluster.node(0).issueCollective(req), FatalError);
+}
+
+TEST(Sys, HandleTracksLifecycle)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.preferredSetSplits = 4;
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 4096;
+    req.layer = 7;
+    auto handles = cluster.issueAll(req);
+    auto &h = handles[0];
+    EXPECT_FALSE(h->done());
+    EXPECT_EQ(h->remainingChunks, 4);
+    EXPECT_EQ(h->layer, 7);
+    EXPECT_EQ(h->kind, CollectiveKind::AllReduce);
+    EXPECT_EQ(h->totalBytes, 4096u);
+    cluster.run();
+    EXPECT_TRUE(h->done());
+    EXPECT_EQ(h->remainingChunks, 0);
+    EXPECT_GT(h->duration(), 0u);
+}
+
+TEST(Sys, CompletionCallbackFiresOncePerNode)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    Cluster cluster(cfg);
+    int calls = 0;
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllGather;
+    req.bytes = 1024;
+    req.onComplete = [&calls] { ++calls; };
+    cluster.issueAll(req);
+    cluster.run();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Sys, SingleParticipantGroupCompletesWithoutTraffic)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1); // horizontal only; local dim is size 1
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 4096;
+    req.dims = {0}; // the degenerate dimension
+    auto handles = cluster.issueAll(req);
+    cluster.run();
+    for (auto &h : handles)
+        EXPECT_TRUE(h->done());
+    EXPECT_EQ(cluster.network().deliveredMessages(), 0u);
+}
+
+TEST(Sys, StatsCountIssuesAndCompletions)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.preferredSetSplits = 4;
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 64 * KiB;
+    cluster.issueAll(req);
+    cluster.run();
+    const StatGroup &s = cluster.node(0).stats();
+    EXPECT_DOUBLE_EQ(s.counter("issued.sets"), 1.0);
+    EXPECT_DOUBLE_EQ(s.counter("issued.chunks"), 4.0);
+    EXPECT_DOUBLE_EQ(s.counter("completed.sets"), 1.0);
+    EXPECT_DOUBLE_EQ(s.counter("completed.chunks"), 4.0);
+    EXPECT_DOUBLE_EQ(s.counter("issued.bytes"), 64.0 * KiB);
+    EXPECT_GT(s.counter("sent.bytes"), 0.0);
+    EXPECT_GT(s.counter("sent.messages"), 0.0);
+}
+
+TEST(Sys, SentBytesMatchRingAllReduceVolume)
+{
+    // One chunk, ring of 4, C bytes: RS sends 3 messages of C/4, AG
+    // sends 3 of C/4 -> 1.5 C per node.
+    SimConfig cfg;
+    cfg.torus(1, 4, 1);
+    cfg.preferredSetSplits = 1;
+    Cluster cluster(cfg);
+    const Bytes c = 64 * KiB;
+    cluster.runCollective(CollectiveKind::AllReduce, c);
+    const StatGroup &s = cluster.node(0).stats();
+    EXPECT_DOUBLE_EQ(s.counter("sent.bytes"), 1.5 * double(c));
+    EXPECT_DOUBLE_EQ(s.counter("sent.messages"), 6.0);
+}
+
+TEST(Sys, BackToBackSetsComplete)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    Cluster cluster(cfg);
+    std::vector<std::shared_ptr<CollectiveHandle>> all;
+    for (int i = 0; i < 5; ++i) {
+        CollectiveRequest req;
+        req.kind = (i % 2) ? CollectiveKind::AllToAll
+                           : CollectiveKind::AllReduce;
+        req.bytes = 128 * KiB;
+        auto hs = cluster.issueAll(req);
+        all.insert(all.end(), hs.begin(), hs.end());
+    }
+    cluster.run();
+    for (auto &h : all)
+        EXPECT_TRUE(h->done());
+}
+
+TEST(Sys, ChainedIssueFromCompletionCallback)
+{
+    // Issuing a new collective from inside onComplete must work (the
+    // workload layer does exactly this).
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    Cluster cluster(cfg);
+    int completed = 0;
+    std::function<void(NodeId)> issue_next = [&](NodeId n) {
+        CollectiveRequest req;
+        req.kind = CollectiveKind::AllReduce;
+        req.bytes = 4096;
+        req.onComplete = [&completed] { ++completed; };
+        cluster.node(n).issueCollective(req);
+    };
+    CollectiveRequest first;
+    first.kind = CollectiveKind::AllReduce;
+    first.bytes = 4096;
+    first.onComplete = [&] {
+        // Each node chains one more collective.
+        static int fired = 0;
+        issue_next(fired++ % 2);
+    };
+    cluster.issueAll(first);
+    cluster.run();
+    EXPECT_EQ(completed, 2);
+}
+
+TEST(Sys, InspectorSeesEveryChunk)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.preferredSetSplits = 3;
+    Cluster cluster(cfg);
+    int seen = 0;
+    cluster.node(0).setStreamInspector([&](const Stream &s) {
+        ++seen;
+        EXPECT_EQ(s.kind(), CollectiveKind::AllReduce);
+        EXPECT_EQ(s.plan().size(), 1u);
+    });
+    cluster.runCollective(CollectiveKind::AllReduce, 3000);
+    EXPECT_EQ(seen, 3);
+}
+
+} // namespace
+} // namespace astra

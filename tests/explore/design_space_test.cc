@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "explore/design_space.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(DesignSpace, EnumeratesAndRanks)
+{
+    ExploreSpec spec;
+    spec.modules = 8;
+    spec.bytes = 1 * MiB;
+    auto results = exploreDesignSpace(spec);
+    ASSERT_GT(results.size(), 4u);
+    // Ranked ascending by time.
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_GE(results[i].commTime, results[i - 1].commTime);
+    // Every candidate actually ran.
+    for (const auto &r : results) {
+        EXPECT_GT(r.commTime, 0u);
+        EXPECT_GT(r.energyUj, 0.0);
+        EXPECT_FALSE(r.label.empty());
+        EXPECT_EQ(r.cfg.numNpus(), 8);
+    }
+}
+
+TEST(DesignSpace, BestMatchesFrontOfRanking)
+{
+    ExploreSpec spec;
+    spec.modules = 8;
+    spec.bytes = 256 * KiB;
+    auto all = exploreDesignSpace(spec);
+    auto best = bestDesign(spec);
+    EXPECT_EQ(best.label, all.front().label);
+    EXPECT_EQ(best.commTime, all.front().commTime);
+}
+
+TEST(DesignSpace, EnhancedWinsOnAsymmetricFabricAtLargeSizes)
+{
+    ExploreSpec spec;
+    spec.modules = 16;
+    spec.localDims = {4};
+    spec.includeAllToAll = false;
+    spec.bytes = 16 * MiB;
+    auto best = bestDesign(spec);
+    // With 8x local bandwidth and a big payload the 4-phase algorithm
+    // must be part of the winning design (Fig. 11's conclusion).
+    EXPECT_NE(best.label.find("enhanced"), std::string::npos);
+}
+
+TEST(DesignSpace, ChunkSweepIsHonored)
+{
+    ExploreSpec spec;
+    spec.modules = 8;
+    spec.localDims = {1};
+    spec.includeAllToAll = false;
+    spec.sweepFlavors = false;
+    spec.setSplits = {1, 16};
+    spec.bytes = 4 * MiB;
+    auto results = exploreDesignSpace(spec);
+    // Two candidates per platform; the chunked one wins (pipelining).
+    bool found_1 = false, found_16 = false;
+    for (const auto &r : results) {
+        if (r.label.find("/1ch") != std::string::npos)
+            found_1 = true;
+        if (r.label.find("/16ch") != std::string::npos)
+            found_16 = true;
+    }
+    EXPECT_TRUE(found_1);
+    EXPECT_TRUE(found_16);
+    EXPECT_NE(results.front().label.find("/16ch"), std::string::npos);
+}
+
+TEST(DesignSpace, RejectsBadSpecs)
+{
+    ExploreSpec spec;
+    spec.modules = 1;
+    EXPECT_THROW(exploreDesignSpace(spec), FatalError);
+    spec.modules = 8;
+    spec.bytes = 0;
+    EXPECT_THROW(exploreDesignSpace(spec), FatalError);
+    spec.bytes = 1024;
+    spec.localDims = {16}; // does not divide 8
+    EXPECT_THROW(exploreDesignSpace(spec), FatalError);
+}
+
+TEST(DesignSpace, AllToAllCandidatesAppear)
+{
+    ExploreSpec spec;
+    spec.modules = 8;
+    spec.localDims = {1};
+    spec.bytes = 64 * KiB;
+    spec.kind = CollectiveKind::AllToAll;
+    auto results = exploreDesignSpace(spec);
+    bool has_a2a = false;
+    for (const auto &r : results)
+        has_a2a |= r.label.rfind("a2a-", 0) == 0;
+    EXPECT_TRUE(has_a2a);
+    // For the all-to-all collective at small sizes, the alltoall
+    // platform wins (Fig. 9a).
+    EXPECT_EQ(results.front().label.rfind("a2a-", 0), 0u);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+/**
+ * Deterministic configuration fuzzing: random (but seeded) platform
+ * shapes, knobs and collectives. Sys's built-in Fig. 4 post-condition
+ * checks and the no-leftover-messages invariant run on every chunk, so
+ * plain completion is a strong correctness statement; the harness also
+ * checks that the scheduler drained and the network went idle.
+ */
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzSweep, RandomConfigurationsRunClean)
+{
+    Rng rng(GetParam());
+
+    SimConfig cfg;
+    if (rng.below(4) == 0) {
+        cfg.allToAll(1 + int(rng.below(3)), 2 + int(rng.below(6)),
+                     1 + int(rng.below(4)));
+    } else {
+        cfg.torus(1 + int(rng.below(4)), 1 + int(rng.below(5)),
+                  1 + int(rng.below(5)));
+        if (cfg.numNpus() < 2)
+            cfg.horizontalDim += 1;
+    }
+    if (rng.below(4) == 0)
+        cfg.scaleoutDimSize = 2 + int(rng.below(2));
+    cfg.algorithm = rng.below(2) ? AlgorithmFlavor::Enhanced
+                                 : AlgorithmFlavor::Baseline;
+    switch (rng.below(3)) {
+      case 0: cfg.schedulingPolicy = SchedulingPolicy::LIFO; break;
+      case 1: cfg.schedulingPolicy = SchedulingPolicy::FIFO; break;
+      default:
+        cfg.schedulingPolicy = SchedulingPolicy::LayerPriority;
+    }
+    cfg.preferredSetSplits = 1 + int(rng.below(20));
+    cfg.lsqConcurrency = 1 + int(rng.below(4));
+    cfg.dispatchThreshold = 1 + int(rng.below(12));
+    cfg.dispatchWidth = 1 + int(rng.below(20));
+    cfg.local.rings = 1 + int(rng.below(3));
+    cfg.package.rings = 1 + int(rng.below(3));
+    cfg.endpointDelay = rng.below(50);
+    if (rng.below(4) == 0)
+        cfg.backend = NetworkBackend::GarnetLite;
+    if (rng.below(3) == 0)
+        cfg.packetRouting = PacketRouting::Hardware;
+
+    Cluster cluster(cfg);
+
+    // 2-4 back-to-back collectives of random kinds and sizes.
+    const int ops = 2 + int(rng.below(3));
+    std::vector<std::shared_ptr<CollectiveHandle>> handles;
+    for (int i = 0; i < ops; ++i) {
+        CollectiveRequest req;
+        const CollectiveKind kinds[] = {
+            CollectiveKind::AllReduce, CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter, CollectiveKind::AllToAll};
+        req.kind = kinds[rng.below(4)];
+        req.bytes = 1 + rng.below(512 * KiB);
+        req.layer = static_cast<LayerId>(rng.below(8));
+        auto hs = cluster.issueAll(req);
+        handles.insert(handles.end(), hs.begin(), hs.end());
+    }
+    cluster.run();
+
+    for (const auto &h : handles)
+        ASSERT_TRUE(h->done()) << cfg.toString();
+    for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+        EXPECT_EQ(cluster.node(n).liveStreams(), 0u);
+        EXPECT_EQ(cluster.node(n).scheduler().inFlight(), 0);
+        EXPECT_EQ(cluster.node(n).scheduler().readyQueueDepth(), 0u);
+    }
+    EXPECT_TRUE(cluster.eventQueue().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+} // namespace
+} // namespace astra

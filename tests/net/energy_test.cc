@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Energy, SingleHopMatchesTheBitCost)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.preferredSetSplits = 1;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllGather, 1000);
+    // All-gather on a 2-ring: each node sends its 500 B block once.
+    const auto &e = cluster.network().energy();
+    const double bits = 2 * 500 * 8;
+    EXPECT_DOUBLE_EQ(e.packageLinkPj, bits * cfg.energy.packagePjPerBit);
+    EXPECT_DOUBLE_EQ(e.localLinkPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.routerPj,
+                     bits / cfg.flitWidthBits *
+                         cfg.energy.routerPjPerFlit);
+    EXPECT_GT(e.totalPj(), 0.0);
+    EXPECT_DOUBLE_EQ(e.totalUj(), e.totalPj() * 1e-6);
+}
+
+TEST(Energy, SplitsByLinkClass)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+    const auto &e = cluster.network().energy();
+    EXPECT_GT(e.localLinkPj, 0.0);
+    EXPECT_GT(e.packageLinkPj, 0.0);
+    // Inter-package bits cost more per bit by configuration.
+    EXPECT_GT(cfg.energy.packagePjPerBit, cfg.energy.localPjPerBit);
+}
+
+TEST(Energy, EnhancedAlgorithmSavesInterPackageEnergy)
+{
+    // The 4-phase algorithm moves 4x less data over the expensive
+    // inter-package links (Fig. 11's mechanism) — the energy model
+    // makes the saving directly measurable.
+    SimConfig cfg;
+    cfg.torus(4, 4, 4);
+    const Bytes c = 4 * MiB;
+    double base_pkg, enh_pkg;
+    {
+        SimConfig b = cfg;
+        b.algorithm = AlgorithmFlavor::Baseline;
+        Cluster cluster(b);
+        cluster.runCollective(CollectiveKind::AllReduce, c);
+        base_pkg = cluster.network().energy().packageLinkPj;
+    }
+    {
+        SimConfig e = cfg;
+        e.algorithm = AlgorithmFlavor::Enhanced;
+        Cluster cluster(e);
+        cluster.runCollective(CollectiveKind::AllReduce, c);
+        enh_pkg = cluster.network().energy().packageLinkPj;
+    }
+    EXPECT_NEAR(base_pkg / enh_pkg, 4.0, 0.1);
+}
+
+TEST(Energy, BothBackendsChargeComparableEnergy)
+{
+    SimConfig base;
+    base.torus(1, 4, 1);
+    double ea, eg;
+    {
+        SimConfig cfg = base;
+        cfg.backend = NetworkBackend::Analytical;
+        Cluster cluster(cfg);
+        cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+        ea = cluster.network().energy().totalPj();
+    }
+    {
+        SimConfig cfg = base;
+        cfg.backend = NetworkBackend::GarnetLite;
+        Cluster cluster(cfg);
+        cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+        eg = cluster.network().energy().totalPj();
+    }
+    EXPECT_GT(ea, 0.0);
+    // Garnet-lite charges whole flits per packet, so it is slightly
+    // higher, never lower.
+    EXPECT_GE(eg, ea * 0.99);
+    EXPECT_LT(eg, ea * 1.3);
+}
+
+TEST(Energy, ParametersAreConfigurable)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    cfg.preferredSetSplits = 1;
+    cfg.set("package-pj-per-bit", "10.0");
+    cfg.set("router-pj-per-flit", "0");
+    cfg.set("local-pj-per-bit", "0.1");
+    EXPECT_DOUBLE_EQ(cfg.energy.packagePjPerBit, 10.0);
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllGather, 1000);
+    const auto &e = cluster.network().energy();
+    EXPECT_DOUBLE_EQ(e.routerPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.packageLinkPj, 2 * 500 * 8 * 10.0);
+}
+
+} // namespace
+} // namespace astra

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Shared gtest main: fatal()/panic() throw FatalError so error paths
+ * are testable, and status output is silenced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    astra::setLoggingThrowOnFatal(true);
+    astra::setLoggingQuiet(true);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "compute/systolic.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Systolic, SingleTileCost)
+{
+    SystolicParams p;
+    p.rows = 256;
+    p.cols = 256;
+    // A 256x256x256 GEMM is one tile: K + rows + cols - 2 cycles.
+    GemmShape s{256, 256, 256};
+    EXPECT_EQ(systolicComputeCycles(p, s), 256u + 256 + 256 - 2);
+}
+
+TEST(Systolic, TilesMultiplyCost)
+{
+    SystolicParams p;
+    GemmShape one{256, 128, 256};
+    GemmShape four{512, 128, 512};
+    EXPECT_EQ(systolicComputeCycles(p, four),
+              4 * systolicComputeCycles(p, one));
+}
+
+TEST(Systolic, PartialTilesRoundUp)
+{
+    SystolicParams p;
+    GemmShape s{257, 64, 1};
+    // ceil(257/256) * ceil(1/256) = 2 tiles.
+    EXPECT_EQ(systolicComputeCycles(p, s),
+              2 * (64u + 256 + 256 - 2));
+}
+
+TEST(Systolic, MemoryCyclesFollowTraffic)
+{
+    SystolicParams p;
+    p.dramBandwidth = 100.0;
+    p.dtypeBytes = 2;
+    GemmShape s{100, 200, 300};
+    const double bytes = (100.0 * 200 + 200 * 300 + 100 * 300) * 2;
+    EXPECT_EQ(systolicMemoryCycles(p, s),
+              static_cast<Tick>(std::ceil(bytes / 100.0)));
+}
+
+TEST(Systolic, LatencyIsRooflinePlusOverhead)
+{
+    SystolicParams p;
+    p.layerOverhead = 500;
+    p.clockGhz = 1.0;
+    // Compute bound: many tiles with deep accumulation reuse operands.
+    GemmShape cb{2048, 4096, 2048};
+    EXPECT_EQ(systolicGemmLatency(p, cb),
+              systolicComputeCycles(p, cb) + 500);
+    // Memory bound: big matrices with tiny accumulation depth.
+    SystolicParams slow = p;
+    slow.dramBandwidth = 1.0;
+    GemmShape mb{4096, 1, 4096};
+    EXPECT_EQ(systolicGemmLatency(slow, mb),
+              systolicMemoryCycles(slow, mb) + 500);
+}
+
+TEST(Systolic, MonotoneInEveryDimension)
+{
+    SystolicParams p;
+    GemmShape base{512, 512, 512};
+    const Tick t0 = systolicGemmLatency(p, base);
+    for (GemmShape bigger : {GemmShape{1024, 512, 512},
+                             GemmShape{512, 1024, 512},
+                             GemmShape{512, 512, 1024}}) {
+        EXPECT_GE(systolicGemmLatency(p, bigger), t0);
+    }
+}
+
+TEST(Systolic, RejectsDegenerateShapes)
+{
+    SystolicParams p;
+    EXPECT_THROW(systolicComputeCycles(p, GemmShape{0, 1, 1}), FatalError);
+    EXPECT_THROW(systolicMemoryCycles(p, GemmShape{1, -1, 1}), FatalError);
+    EXPECT_THROW(systolicGemmLatency(p, GemmShape{1, 1, 0}), FatalError);
+    SystolicParams bad;
+    bad.clockGhz = 0;
+    EXPECT_THROW(systolicGemmLatency(bad, GemmShape{1, 1, 1}), FatalError);
+}
+
+TEST(Systolic, FasterClockShortensLatency)
+{
+    SystolicParams slow;
+    slow.clockGhz = 1.0;
+    SystolicParams fast;
+    fast.clockGhz = 4.0;
+    GemmShape s{2048, 2048, 2048};
+    EXPECT_LT(systolicGemmLatency(fast, s), systolicGemmLatency(slow, s));
+    // Roughly 4x, modulo the fixed overhead.
+    const double ratio =
+        double(systolicGemmLatency(slow, s) - slow.layerOverhead) /
+        double(systolicGemmLatency(fast, s) - fast.layerOverhead);
+    EXPECT_NEAR(ratio, 4.0, 0.01);
+}
+
+} // namespace
+} // namespace astra

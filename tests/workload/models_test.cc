@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workload/models.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(Models, Resnet50HasTheRightShape)
+{
+    WorkloadSpec spec = resnet50Workload();
+    EXPECT_EQ(spec.parallelism, ParallelismKind::Data);
+    // 53 convolutions + fc1000.
+    EXPECT_EQ(spec.layers.size(), 54u);
+    EXPECT_EQ(spec.layers.front().name, "conv1");
+    EXPECT_EQ(spec.layers.back().name, "fc1000");
+    // Data parallel: only weight gradients are communicated (Table I).
+    for (const LayerSpec &l : spec.layers) {
+        EXPECT_EQ(l.fwdComm, CollectiveKind::None) << l.name;
+        EXPECT_EQ(l.igComm, CollectiveKind::None) << l.name;
+        EXPECT_EQ(l.wgComm, CollectiveKind::AllReduce) << l.name;
+        EXPECT_GT(l.wgCommSize, 0u) << l.name;
+        EXPECT_GT(l.fwdCompute, 0u) << l.name;
+    }
+}
+
+TEST(Models, Resnet50ParameterCountIsRight)
+{
+    // Conv + FC weights of ResNet-50 are ~25.0M parameters (the full
+    // model's 25.6M includes BN and biases, which carry no GEMM).
+    WorkloadSpec spec = resnet50Workload();
+    Bytes grad_bytes = 0;
+    for (const LayerSpec &l : spec.layers)
+        grad_bytes += l.wgCommSize;
+    const double params = static_cast<double>(grad_bytes) / 4;
+    EXPECT_GT(params, 23.0e6);
+    EXPECT_LT(params, 26.5e6);
+}
+
+TEST(Models, Resnet50EarlyLayersAreSmallerInWeights)
+{
+    WorkloadSpec spec = resnet50Workload();
+    // conv1 (7x7x3x64 = ~9.4k params) vs the last 1x1 (512x2048 ~ 1M).
+    EXPECT_LT(spec.layers.front().wgCommSize, 64 * 1024u);
+    Bytes last_stage = 0;
+    for (const LayerSpec &l : spec.layers) {
+        if (l.name.rfind("conv5", 0) == 0)
+            last_stage = std::max(last_stage, l.wgCommSize);
+    }
+    EXPECT_GT(last_stage, 4 * 1024 * 1024u);
+}
+
+TEST(Models, TransformerEncoderLayersAreUniform)
+{
+    WorkloadSpec spec = transformerWorkload();
+    EXPECT_EQ(spec.parallelism, ParallelismKind::Hybrid);
+    ASSERT_EQ(spec.layers.size(), 8u); // embedding + 6 encoders + output
+    // Fig. 13: layers 1-6 are structurally identical.
+    const LayerSpec &ref = spec.layers[1];
+    for (std::size_t i = 2; i <= 6; ++i) {
+        EXPECT_EQ(spec.layers[i].fwdCompute, ref.fwdCompute);
+        EXPECT_EQ(spec.layers[i].fwdCommSize, ref.fwdCommSize);
+        EXPECT_EQ(spec.layers[i].wgCommSize, ref.wgCommSize);
+    }
+    // The embedding layer has no communication.
+    EXPECT_EQ(spec.layers[0].fwdComm, CollectiveKind::None);
+    EXPECT_EQ(spec.layers[0].wgComm, CollectiveKind::None);
+    // Encoder layers exchange activations and gradients.
+    EXPECT_EQ(ref.fwdComm, CollectiveKind::AllGather);
+    EXPECT_EQ(ref.igComm, CollectiveKind::AllGather);
+    EXPECT_EQ(ref.wgComm, CollectiveKind::AllReduce);
+}
+
+TEST(Models, TransformerShardingDividesWork)
+{
+    TransformerConfig one;
+    one.modelShards = 1;
+    TransformerConfig four;
+    four.modelShards = 4;
+    WorkloadSpec w1 = transformerWorkload(one);
+    WorkloadSpec w4 = transformerWorkload(four);
+    EXPECT_GT(w1.layers[1].fwdCompute, w4.layers[1].fwdCompute);
+    EXPECT_EQ(w1.layers[1].wgCommSize, 4 * w4.layers[1].wgCommSize);
+    EXPECT_EQ(w1.layers[1].fwdCommSize, 4 * w4.layers[1].fwdCommSize);
+}
+
+TEST(Models, DlrmUsesAllToAllForEmbeddings)
+{
+    WorkloadSpec spec = dlrmWorkload();
+    bool found = false;
+    for (const LayerSpec &l : spec.layers) {
+        if (l.name == "embedding_exchange") {
+            found = true;
+            EXPECT_EQ(l.fwdComm, CollectiveKind::AllToAll);
+            EXPECT_EQ(l.igComm, CollectiveKind::AllToAll);
+            EXPECT_GT(l.fwdCommSize, 0u);
+        }
+    }
+    EXPECT_TRUE(found);
+    // MLP layers are data-parallel style.
+    EXPECT_EQ(spec.layers.front().wgComm, CollectiveKind::AllReduce);
+}
+
+TEST(Models, GptDecoderLayersAreUniformAndSharded)
+{
+    WorkloadSpec spec = gptWorkload();
+    EXPECT_EQ(spec.parallelism, ParallelismKind::Hybrid);
+    // embedding + 12 decoders + lm head.
+    ASSERT_EQ(spec.layers.size(), 14u);
+    const LayerSpec &ref = spec.layers[1];
+    EXPECT_EQ(ref.fwdComm, CollectiveKind::AllReduce);
+    EXPECT_EQ(ref.igComm, CollectiveKind::AllReduce);
+    for (std::size_t i = 2; i <= 12; ++i) {
+        EXPECT_EQ(spec.layers[i].fwdCompute, ref.fwdCompute);
+        EXPECT_EQ(spec.layers[i].wgCommSize, ref.wgCommSize);
+    }
+    // More shards -> less per-shard compute and fewer grad bytes.
+    GptConfig four;
+    four.modelShards = 4;
+    WorkloadSpec sharded = gptWorkload(four);
+    EXPECT_LT(sharded.layers[1].fwdCompute, ref.fwdCompute);
+    EXPECT_EQ(ref.wgCommSize, 2 * sharded.layers[1].wgCommSize);
+}
+
+TEST(Models, Gpt2ParameterCountIsRight)
+{
+    // GPT-2 small: ~124M params; our GEMM-only accounting (12 layers
+    // x 12 d^2 + d x vocab) lands at ~123M with shards = 1.
+    GptConfig gc;
+    gc.modelShards = 1;
+    WorkloadSpec spec = gptWorkload(gc);
+    Bytes grad = 0;
+    for (const LayerSpec &l : spec.layers)
+        grad += l.wgCommSize;
+    const double params = static_cast<double>(grad) / 4;
+    EXPECT_GT(params, 110e6);
+    EXPECT_LT(params, 135e6);
+}
+
+TEST(Models, Vgg16IsFcDominated)
+{
+    WorkloadSpec spec = vgg16Workload();
+    EXPECT_EQ(spec.parallelism, ParallelismKind::Data);
+    ASSERT_EQ(spec.layers.size(), 16u); // 13 convs + 3 FCs
+    Bytes conv_bytes = 0, fc_bytes = 0;
+    for (const LayerSpec &l : spec.layers) {
+        if (l.name.rfind("fc", 0) == 0)
+            fc_bytes += l.wgCommSize;
+        else
+            conv_bytes += l.wgCommSize;
+    }
+    // VGG-16's defining property: FC weights dwarf conv weights.
+    EXPECT_GT(fc_bytes, 5 * conv_bytes);
+    // Total ~138M params.
+    const double params =
+        static_cast<double>(conv_bytes + fc_bytes) / 4;
+    EXPECT_GT(params, 130e6);
+    EXPECT_LT(params, 145e6);
+}
+
+TEST(Models, SyntheticWorkloadMatchesRequest)
+{
+    WorkloadSpec s =
+        syntheticWorkload(5, 1000, 2048, ParallelismKind::Model);
+    EXPECT_EQ(s.layers.size(), 5u);
+    EXPECT_EQ(s.parallelism, ParallelismKind::Model);
+    for (const LayerSpec &l : s.layers) {
+        EXPECT_EQ(l.fwdCompute, 1000u);
+        EXPECT_EQ(l.fwdComm, CollectiveKind::AllGather);
+        EXPECT_EQ(l.wgComm, CollectiveKind::None);
+    }
+    WorkloadSpec d = syntheticWorkload(2, 10, 64, ParallelismKind::Data);
+    EXPECT_EQ(d.layers[0].wgComm, CollectiveKind::AllReduce);
+    EXPECT_EQ(d.layers[0].fwdComm, CollectiveKind::None);
+    EXPECT_THROW(syntheticWorkload(0, 1, 1), FatalError);
+}
+
+TEST(Models, GeneratedSpecsSurviveTheFileFormat)
+{
+    for (const WorkloadSpec &spec :
+         {resnet50Workload(), transformerWorkload(), dlrmWorkload()}) {
+        std::istringstream in(spec.serialize());
+        WorkloadSpec back = WorkloadSpec::parse(in, spec.name);
+        EXPECT_EQ(back.layers.size(), spec.layers.size());
+        EXPECT_EQ(back.parallelism, spec.parallelism);
+        EXPECT_EQ(back.totalCompute(), spec.totalCompute());
+        EXPECT_EQ(back.totalCommBytes(), spec.totalCommBytes());
+    }
+}
+
+TEST(Models, BiggerBatchMeansMoreCompute)
+{
+    ModelConfig small;
+    small.batch = 16;
+    ModelConfig big;
+    big.batch = 64;
+    EXPECT_GT(resnet50Workload(big).totalCompute(),
+              resnet50Workload(small).totalCompute());
+    // Weight gradient sizes do not depend on batch.
+    EXPECT_EQ(resnet50Workload(big).totalCommBytes(),
+              resnet50Workload(small).totalCommBytes());
+}
+
+} // namespace
+} // namespace astra

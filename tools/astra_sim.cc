@@ -1,0 +1,308 @@
+/**
+ * @file
+ * astra-sim — the command-line front end of the simulator.
+ *
+ * Two modes:
+ *
+ *  Workload mode (the paper's end-to-end flow, Fig. 6):
+ *      astra-sim --workload=resnet50.txt --num-passes=2 \
+ *                --topology=torus --local-dim=2 --num-packages=4 \
+ *                --package-rows=4 [--key=value ...]
+ *      astra-sim --model=resnet50|transformer|dlrm  (generate instead
+ *                of reading a Fig. 8 workload file)
+ *
+ *  Collective mode (the Sec. V-A..V-D studies):
+ *      astra-sim --collective=allreduce --bytes=4MB [--key=value ...]
+ *
+ * Output: platform summary, per-layer compute/comm/exposed table (or
+ * collective timing), the P0..P4 queue/network breakdown, network
+ * energy, and totals. --report-csv=FILE exports the per-layer table.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/cluster.hh"
+#include "workload/models.hh"
+#include "workload/pipeline.hh"
+#include "workload/trainer.hh"
+
+using namespace astra;
+
+namespace
+{
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [mode] [--key=value ...]\n"
+        "\n"
+        "workload mode:\n"
+        "  --workload=FILE        Fig. 8 workload description\n"
+        "  --model=NAME           resnet50 | transformer | dlrm | gpt2 | vgg16\n"
+        "  --num-passes=N         training iterations (default 1)\n"
+        "  --compute-scale=X      compute-power multiplier (Fig. 18)\n"
+        "  --pipeline=M           pipeline-parallel with M microbatches\n"
+        "  --write-workload=FILE  dump the generated model and exit\n"
+        "\n"
+        "collective mode:\n"
+        "  --collective=KIND      allreduce|allgather|reducescatter|"
+        "alltoall\n"
+        "  --bytes=SIZE           payload per node (e.g. 4MB)\n"
+        "\n"
+        "common:\n"
+        "  --config=FILE          load key=value parameters\n"
+        "  --report-csv=FILE      export the per-layer table as CSV\n"
+        "  --key=value            override any Table III parameter\n"
+        "  (topology: --topology=torus|alltoall --local-dim=M\n"
+        "   --num-packages=N --package-rows=K --global-switches=S)\n",
+        prog);
+}
+
+struct CliOptions
+{
+    std::string workloadFile;
+    std::string model;
+    std::string writeWorkload;
+    std::string configFile;
+    std::string reportCsv;
+    std::string collective;
+    Bytes bytes = 4 * MiB;
+    int numPasses = 1;
+    double computeScale = 1.0;
+    int pipelineMicrobatches = 0; //!< > 0 selects pipeline parallelism
+};
+
+void
+printBreakdown(const StatGroup &stats)
+{
+    Table t;
+    t.header({"stage", "queue_mean", "queue_max", "network_mean",
+              "network_max", "chunk_phases"});
+    for (int p = 0; p <= 4; ++p) {
+        const Accumulator &q =
+            stats.accumulator(strprintf("queue.P%d", p));
+        const Accumulator &n =
+            stats.accumulator(strprintf("network.P%d", p));
+        if (q.count() == 0 && n.count() == 0)
+            continue;
+        t.row()
+            .cell(strprintf("P%d", p))
+            .cell(q.mean(), "%.0f")
+            .cell(q.maximum(), "%.0f")
+            .cell(n.mean(), "%.0f")
+            .cell(n.maximum(), "%.0f")
+            .cell(std::uint64_t(std::max(q.count(), n.count())));
+    }
+    std::printf("pipeline-stage delays [cycles]:\n");
+    t.print();
+}
+
+void
+printEnergy(const NetworkApi::Energy &e)
+{
+    std::printf("network energy: %.2f uJ (local links %.2f, "
+                "package links %.2f, routers %.2f)\n",
+                e.totalUj(), e.localLinkPj * 1e-6,
+                e.packageLinkPj * 1e-6, e.routerPj * 1e-6);
+}
+
+int
+runCollectiveMode(const CliOptions &opts, SimConfig cfg)
+{
+    const CollectiveKind kind =
+        parseCollectiveKind(opts.collective.c_str());
+    Cluster cluster(cfg);
+    std::printf("platform:\n%s\n", cfg.toString().c_str());
+    const Tick t = cluster.runCollective(kind, opts.bytes);
+    std::printf("%s %s: %s\n\n", formatBytes(opts.bytes).c_str(),
+                toString(kind), formatTicks(t).c_str());
+    StatGroup stats = cluster.aggregateStats();
+    printBreakdown(stats);
+    printEnergy(cluster.network().energy());
+    const double gbps = static_cast<double>(opts.bytes) /
+                        static_cast<double>(t);
+    std::printf("effective per-node algorithm bandwidth: %.2f GB/s\n",
+                gbps);
+    return 0;
+}
+
+int
+runWorkloadMode(const CliOptions &opts, SimConfig cfg)
+{
+    WorkloadSpec spec;
+    if (!opts.workloadFile.empty()) {
+        spec = WorkloadSpec::parseFile(opts.workloadFile);
+    } else if (opts.model == "resnet50") {
+        spec = resnet50Workload();
+    } else if (opts.model == "transformer") {
+        TransformerConfig tc;
+        tc.modelShards = cfg.topology == TopologyKind::Torus3D
+                             ? cfg.verticalDim
+                             : cfg.localDim;
+        spec = transformerWorkload(tc);
+    } else if (opts.model == "dlrm") {
+        spec = dlrmWorkload();
+    } else if (opts.model == "gpt2") {
+        GptConfig gc;
+        gc.modelShards = cfg.topology == TopologyKind::Torus3D
+                             ? cfg.verticalDim
+                             : cfg.localDim;
+        spec = gptWorkload(gc);
+    } else if (opts.model == "vgg16") {
+        spec = vgg16Workload();
+    } else {
+        fatal("unknown --model '%s' "
+              "(resnet50/transformer/dlrm/gpt2/vgg16)",
+              opts.model.c_str());
+    }
+
+    if (!opts.writeWorkload.empty()) {
+        spec.writeFile(opts.writeWorkload);
+        std::printf("wrote %s (%zu layers)\n",
+                    opts.writeWorkload.c_str(), spec.layers.size());
+        return 0;
+    }
+
+    std::printf("platform:\n%s\n", cfg.toString().c_str());
+    std::printf("workload: %s, %s parallelism, %zu layers, "
+                "%d pass(es), compute scale %.2gx\n\n",
+                spec.name.c_str(), toString(spec.parallelism),
+                spec.layers.size(), opts.numPasses, opts.computeScale);
+
+    Cluster cluster(cfg);
+
+    if (opts.pipelineMicrobatches > 0) {
+        PipelineRun run(cluster, spec,
+                        PipelineOptions{
+                            .numPasses = opts.numPasses,
+                            .microbatches = opts.pipelineMicrobatches,
+                            .computeScale = opts.computeScale});
+        const Tick makespan = run.run();
+        Table t;
+        t.header({"stage", "layers", "compute", "bubble", "wg_comm"});
+        for (int s = 0; s < run.numStages(); ++s) {
+            const StageStats &st = run.stage(s);
+            t.row()
+                .cell(std::uint64_t(s))
+                .cell(std::uint64_t(st.layers))
+                .cell(std::uint64_t(st.compute))
+                .cell(std::uint64_t(st.bubble))
+                .cell(std::uint64_t(st.commWg));
+        }
+        t.print();
+        if (!opts.reportCsv.empty())
+            t.writeCsv(opts.reportCsv);
+        std::printf("\n");
+        printEnergy(cluster.network().energy());
+        std::printf("\nmakespan: %s, pipeline bubble: %.1f%%\n",
+                    formatTicks(makespan).c_str(),
+                    100 * run.bubbleRatio());
+        return 0;
+    }
+
+    WorkloadRun run(cluster, spec,
+                    TrainerOptions{.numPasses = opts.numPasses,
+                                   .computeScale = opts.computeScale});
+    const Tick makespan = run.run();
+
+    Table t;
+    t.header({"layer", "name", "compute", "comm_fwd", "comm_ig",
+              "comm_wg", "exposed"});
+    const auto &stats = run.layerStats();
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        t.row()
+            .cell(std::uint64_t(i))
+            .cell(spec.layers[i].name)
+            .cell(std::uint64_t(stats[i].compute))
+            .cell(std::uint64_t(stats[i].commFwd))
+            .cell(std::uint64_t(stats[i].commIg))
+            .cell(std::uint64_t(stats[i].commWg))
+            .cell(std::uint64_t(stats[i].exposed));
+    }
+    t.print();
+    if (!opts.reportCsv.empty())
+        t.writeCsv(opts.reportCsv);
+
+    std::printf("\n");
+    printBreakdown(cluster.aggregateStats());
+    printEnergy(cluster.network().energy());
+    std::printf("\nmakespan: %s\n", formatTicks(makespan).c_str());
+    std::printf("compute: %.1f%%  exposed communication: %.1f%%\n",
+                100 * run.computeRatio(), 100 * run.exposedRatio());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts;
+    SimConfig cfg;
+    cfg.torus(2, 2, 2); // a small default platform
+
+    // First pass: CLI-level options; everything else goes to SimConfig.
+    std::vector<std::pair<std::string, std::string>> cfg_args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        }
+        auto eq = arg.find('=');
+        if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 1;
+        }
+        const std::string key = arg.substr(2, eq - 2);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "workload") {
+            opts.workloadFile = value;
+        } else if (key == "model") {
+            opts.model = value;
+        } else if (key == "write-workload") {
+            opts.writeWorkload = value;
+        } else if (key == "config") {
+            opts.configFile = value;
+        } else if (key == "report-csv") {
+            opts.reportCsv = value;
+        } else if (key == "collective") {
+            opts.collective = value;
+        } else if (key == "bytes") {
+            opts.bytes = parseBytes(value);
+        } else if (key == "num-passes") {
+            opts.numPasses = std::atoi(value.c_str());
+        } else if (key == "compute-scale") {
+            opts.computeScale = std::atof(value.c_str());
+        } else if (key == "pipeline") {
+            opts.pipelineMicrobatches = std::atoi(value.c_str());
+        } else {
+            cfg_args.emplace_back(key, value);
+        }
+    }
+
+    if (!opts.configFile.empty())
+        cfg.loadFile(opts.configFile);
+    for (const auto &[k, v] : cfg_args)
+        cfg.set(k, v);
+    cfg.numPasses = opts.numPasses;
+    cfg.validate();
+
+    if (!opts.collective.empty())
+        return runCollectiveMode(opts, cfg);
+    if (opts.workloadFile.empty() && opts.model.empty()) {
+        std::fprintf(stderr,
+                     "need --workload, --model or --collective\n");
+        usage(argv[0]);
+        return 1;
+    }
+    return runWorkloadMode(opts, cfg);
+}
