@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libastra_bench_support.a"
+  "../lib/libastra_bench_support.pdb"
+  "CMakeFiles/astra_bench_support.dir/support.cc.o"
+  "CMakeFiles/astra_bench_support.dir/support.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

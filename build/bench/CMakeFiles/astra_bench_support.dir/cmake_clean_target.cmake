@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libastra_bench_support.a"
+)

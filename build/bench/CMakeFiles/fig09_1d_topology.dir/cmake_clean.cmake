@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_1d_topology.dir/fig09_1d_topology.cc.o"
+  "CMakeFiles/fig09_1d_topology.dir/fig09_1d_topology.cc.o.d"
+  "fig09_1d_topology"
+  "fig09_1d_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_1d_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

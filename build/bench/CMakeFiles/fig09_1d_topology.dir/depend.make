@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_1d_topology.
+# This may be replaced when dependencies are built.

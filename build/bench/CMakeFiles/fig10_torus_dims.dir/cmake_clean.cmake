@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_torus_dims.dir/fig10_torus_dims.cc.o"
+  "CMakeFiles/fig10_torus_dims.dir/fig10_torus_dims.cc.o.d"
+  "fig10_torus_dims"
+  "fig10_torus_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_torus_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_asymmetric.dir/fig11_asymmetric.cc.o"
+  "CMakeFiles/fig11_asymmetric.dir/fig11_asymmetric.cc.o.d"
+  "fig11_asymmetric"
+  "fig11_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_transformer.dir/fig13_transformer.cc.o"
+  "CMakeFiles/fig13_transformer.dir/fig13_transformer.cc.o.d"
+  "fig13_transformer"
+  "fig13_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

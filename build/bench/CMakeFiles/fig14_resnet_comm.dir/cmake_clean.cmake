@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_resnet_comm.dir/fig14_resnet_comm.cc.o"
+  "CMakeFiles/fig14_resnet_comm.dir/fig14_resnet_comm.cc.o.d"
+  "fig14_resnet_comm"
+  "fig14_resnet_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_resnet_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_resnet_detail.dir/fig15_resnet_detail.cc.o"
+  "CMakeFiles/fig15_resnet_detail.dir/fig15_resnet_detail.cc.o.d"
+  "fig15_resnet_detail"
+  "fig15_resnet_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_resnet_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

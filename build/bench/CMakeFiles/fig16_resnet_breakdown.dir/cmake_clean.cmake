@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_resnet_breakdown.dir/fig16_resnet_breakdown.cc.o"
+  "CMakeFiles/fig16_resnet_breakdown.dir/fig16_resnet_breakdown.cc.o.d"
+  "fig16_resnet_breakdown"
+  "fig16_resnet_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_resnet_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

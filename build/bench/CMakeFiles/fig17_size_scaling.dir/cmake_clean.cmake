@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_size_scaling.dir/fig17_size_scaling.cc.o"
+  "CMakeFiles/fig17_size_scaling.dir/fig17_size_scaling.cc.o.d"
+  "fig17_size_scaling"
+  "fig17_size_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_size_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig18_compute_power.cc" "bench/CMakeFiles/fig18_compute_power.dir/fig18_compute_power.cc.o" "gcc" "bench/CMakeFiles/fig18_compute_power.dir/fig18_compute_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/astra_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/astra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/astra_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/astra_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astra_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/astra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_compute_power.dir/fig18_compute_power.cc.o"
+  "CMakeFiles/fig18_compute_power.dir/fig18_compute_power.cc.o.d"
+  "fig18_compute_power"
+  "fig18_compute_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_compute_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

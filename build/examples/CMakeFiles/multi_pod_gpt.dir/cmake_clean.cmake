@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_pod_gpt.dir/multi_pod_gpt.cpp.o"
+  "CMakeFiles/multi_pod_gpt.dir/multi_pod_gpt.cpp.o.d"
+  "multi_pod_gpt"
+  "multi_pod_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_pod_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

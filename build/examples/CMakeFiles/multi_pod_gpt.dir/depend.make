@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_pod_gpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_training.dir/resnet50_training.cpp.o"
+  "CMakeFiles/resnet50_training.dir/resnet50_training.cpp.o.d"
+  "resnet50_training"
+  "resnet50_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

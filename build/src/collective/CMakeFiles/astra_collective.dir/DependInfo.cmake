@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/algorithm_factory.cc" "src/collective/CMakeFiles/astra_collective.dir/algorithm_factory.cc.o" "gcc" "src/collective/CMakeFiles/astra_collective.dir/algorithm_factory.cc.o.d"
+  "/root/repo/src/collective/chunk_state.cc" "src/collective/CMakeFiles/astra_collective.dir/chunk_state.cc.o" "gcc" "src/collective/CMakeFiles/astra_collective.dir/chunk_state.cc.o.d"
+  "/root/repo/src/collective/direct_algorithms.cc" "src/collective/CMakeFiles/astra_collective.dir/direct_algorithms.cc.o" "gcc" "src/collective/CMakeFiles/astra_collective.dir/direct_algorithms.cc.o.d"
+  "/root/repo/src/collective/phase_plan.cc" "src/collective/CMakeFiles/astra_collective.dir/phase_plan.cc.o" "gcc" "src/collective/CMakeFiles/astra_collective.dir/phase_plan.cc.o.d"
+  "/root/repo/src/collective/ring_algorithms.cc" "src/collective/CMakeFiles/astra_collective.dir/ring_algorithms.cc.o" "gcc" "src/collective/CMakeFiles/astra_collective.dir/ring_algorithms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/astra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astra_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astra_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

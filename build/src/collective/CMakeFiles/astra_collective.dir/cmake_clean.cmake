@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_collective.dir/algorithm_factory.cc.o"
+  "CMakeFiles/astra_collective.dir/algorithm_factory.cc.o.d"
+  "CMakeFiles/astra_collective.dir/chunk_state.cc.o"
+  "CMakeFiles/astra_collective.dir/chunk_state.cc.o.d"
+  "CMakeFiles/astra_collective.dir/direct_algorithms.cc.o"
+  "CMakeFiles/astra_collective.dir/direct_algorithms.cc.o.d"
+  "CMakeFiles/astra_collective.dir/phase_plan.cc.o"
+  "CMakeFiles/astra_collective.dir/phase_plan.cc.o.d"
+  "CMakeFiles/astra_collective.dir/ring_algorithms.cc.o"
+  "CMakeFiles/astra_collective.dir/ring_algorithms.cc.o.d"
+  "libastra_collective.a"
+  "libastra_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_common.dir/bitvec.cc.o"
+  "CMakeFiles/astra_common.dir/bitvec.cc.o.d"
+  "CMakeFiles/astra_common.dir/config.cc.o"
+  "CMakeFiles/astra_common.dir/config.cc.o.d"
+  "CMakeFiles/astra_common.dir/csv.cc.o"
+  "CMakeFiles/astra_common.dir/csv.cc.o.d"
+  "CMakeFiles/astra_common.dir/event_queue.cc.o"
+  "CMakeFiles/astra_common.dir/event_queue.cc.o.d"
+  "CMakeFiles/astra_common.dir/logging.cc.o"
+  "CMakeFiles/astra_common.dir/logging.cc.o.d"
+  "CMakeFiles/astra_common.dir/stats.cc.o"
+  "CMakeFiles/astra_common.dir/stats.cc.o.d"
+  "CMakeFiles/astra_common.dir/trace.cc.o"
+  "CMakeFiles/astra_common.dir/trace.cc.o.d"
+  "CMakeFiles/astra_common.dir/types.cc.o"
+  "CMakeFiles/astra_common.dir/types.cc.o.d"
+  "CMakeFiles/astra_common.dir/units.cc.o"
+  "CMakeFiles/astra_common.dir/units.cc.o.d"
+  "libastra_common.a"
+  "libastra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

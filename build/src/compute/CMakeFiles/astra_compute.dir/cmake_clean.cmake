@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_compute.dir/systolic.cc.o"
+  "CMakeFiles/astra_compute.dir/systolic.cc.o.d"
+  "libastra_compute.a"
+  "libastra_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

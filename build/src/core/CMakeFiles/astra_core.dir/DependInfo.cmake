@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/astra_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/group_info.cc" "src/core/CMakeFiles/astra_core.dir/group_info.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/group_info.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/astra_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/core/CMakeFiles/astra_core.dir/stream.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/stream.cc.o.d"
+  "/root/repo/src/core/sys.cc" "src/core/CMakeFiles/astra_core.dir/sys.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/sys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/astra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astra_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/astra_collective.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_core.dir/cluster.cc.o"
+  "CMakeFiles/astra_core.dir/cluster.cc.o.d"
+  "CMakeFiles/astra_core.dir/group_info.cc.o"
+  "CMakeFiles/astra_core.dir/group_info.cc.o.d"
+  "CMakeFiles/astra_core.dir/scheduler.cc.o"
+  "CMakeFiles/astra_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/astra_core.dir/stream.cc.o"
+  "CMakeFiles/astra_core.dir/stream.cc.o.d"
+  "CMakeFiles/astra_core.dir/sys.cc.o"
+  "CMakeFiles/astra_core.dir/sys.cc.o.d"
+  "libastra_core.a"
+  "libastra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

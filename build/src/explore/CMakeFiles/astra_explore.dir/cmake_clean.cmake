@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_explore.dir/design_space.cc.o"
+  "CMakeFiles/astra_explore.dir/design_space.cc.o.d"
+  "libastra_explore.a"
+  "libastra_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/analytical.cc" "src/net/CMakeFiles/astra_net.dir/analytical.cc.o" "gcc" "src/net/CMakeFiles/astra_net.dir/analytical.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/astra_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/astra_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/garnet_lite.cc" "src/net/CMakeFiles/astra_net.dir/garnet_lite.cc.o" "gcc" "src/net/CMakeFiles/astra_net.dir/garnet_lite.cc.o.d"
+  "/root/repo/src/net/network_api.cc" "src/net/CMakeFiles/astra_net.dir/network_api.cc.o" "gcc" "src/net/CMakeFiles/astra_net.dir/network_api.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/astra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astra_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_net.dir/analytical.cc.o"
+  "CMakeFiles/astra_net.dir/analytical.cc.o.d"
+  "CMakeFiles/astra_net.dir/fabric.cc.o"
+  "CMakeFiles/astra_net.dir/fabric.cc.o.d"
+  "CMakeFiles/astra_net.dir/garnet_lite.cc.o"
+  "CMakeFiles/astra_net.dir/garnet_lite.cc.o.d"
+  "CMakeFiles/astra_net.dir/network_api.cc.o"
+  "CMakeFiles/astra_net.dir/network_api.cc.o.d"
+  "libastra_net.a"
+  "libastra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_topo.dir/topology.cc.o"
+  "CMakeFiles/astra_topo.dir/topology.cc.o.d"
+  "libastra_topo.a"
+  "libastra_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

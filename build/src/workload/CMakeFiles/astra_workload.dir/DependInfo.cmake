@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/layer.cc" "src/workload/CMakeFiles/astra_workload.dir/layer.cc.o" "gcc" "src/workload/CMakeFiles/astra_workload.dir/layer.cc.o.d"
+  "/root/repo/src/workload/models.cc" "src/workload/CMakeFiles/astra_workload.dir/models.cc.o" "gcc" "src/workload/CMakeFiles/astra_workload.dir/models.cc.o.d"
+  "/root/repo/src/workload/pipeline.cc" "src/workload/CMakeFiles/astra_workload.dir/pipeline.cc.o" "gcc" "src/workload/CMakeFiles/astra_workload.dir/pipeline.cc.o.d"
+  "/root/repo/src/workload/trainer.cc" "src/workload/CMakeFiles/astra_workload.dir/trainer.cc.o" "gcc" "src/workload/CMakeFiles/astra_workload.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/astra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/astra_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/astra_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/astra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/astra_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

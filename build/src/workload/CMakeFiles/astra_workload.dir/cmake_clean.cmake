@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_workload.dir/layer.cc.o"
+  "CMakeFiles/astra_workload.dir/layer.cc.o.d"
+  "CMakeFiles/astra_workload.dir/models.cc.o"
+  "CMakeFiles/astra_workload.dir/models.cc.o.d"
+  "CMakeFiles/astra_workload.dir/pipeline.cc.o"
+  "CMakeFiles/astra_workload.dir/pipeline.cc.o.d"
+  "CMakeFiles/astra_workload.dir/trainer.cc.o"
+  "CMakeFiles/astra_workload.dir/trainer.cc.o.d"
+  "libastra_workload.a"
+  "libastra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_test_main.dir/test_main.cc.o"
+  "CMakeFiles/astra_test_main.dir/test_main.cc.o.d"
+  "libastra_test_main.a"
+  "libastra_test_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_test_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective.dir/collective/chunk_state_test.cc.o"
+  "CMakeFiles/test_collective.dir/collective/chunk_state_test.cc.o.d"
+  "CMakeFiles/test_collective.dir/collective/closed_form_test.cc.o"
+  "CMakeFiles/test_collective.dir/collective/closed_form_test.cc.o.d"
+  "CMakeFiles/test_collective.dir/collective/collectives_test.cc.o"
+  "CMakeFiles/test_collective.dir/collective/collectives_test.cc.o.d"
+  "CMakeFiles/test_collective.dir/collective/hybrid_test.cc.o"
+  "CMakeFiles/test_collective.dir/collective/hybrid_test.cc.o.d"
+  "CMakeFiles/test_collective.dir/collective/phase_plan_test.cc.o"
+  "CMakeFiles/test_collective.dir/collective/phase_plan_test.cc.o.d"
+  "test_collective"
+  "test_collective.pdb"
+  "test_collective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cluster_test.cc.o"
+  "CMakeFiles/test_core.dir/core/cluster_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/group_info_test.cc.o"
+  "CMakeFiles/test_core.dir/core/group_info_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/stream_timing_test.cc.o"
+  "CMakeFiles/test_core.dir/core/stream_timing_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/sys_test.cc.o"
+  "CMakeFiles/test_core.dir/core/sys_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_collective[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(cli_collective_mode "/root/repo/build/tools/astra-sim" "--collective=allreduce" "--bytes=1MB" "--config=/root/repo/configs/asymmetric_4x4x4.cfg")
+set_tests_properties(cli_collective_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_workload_mode "/root/repo/build/tools/astra-sim" "--model=transformer" "--num-passes=1")
+set_tests_properties(cli_workload_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;81;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_pipeline_mode "/root/repo/build/tools/astra-sim" "--model=resnet50" "--pipeline=2" "--num-passes=1" "--local-dim=2" "--num-packages=4" "--package-rows=1")
+set_tests_properties(cli_pipeline_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_scaleout_config "/root/repo/build/tools/astra-sim" "--collective=allreduce" "--bytes=256KB" "--config=/root/repo/configs/two_pod_scaleout.cfg")
+set_tests_properties(cli_scaleout_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;86;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_table4_config "/root/repo/build/tools/astra-sim" "--collective=alltoall" "--bytes=256KB" "--config=/root/repo/configs/table4_defaults.cfg")
+set_tests_properties(cli_table4_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;89;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;92;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_custom_workload "/root/repo/build/examples/custom_workload")
+set_tests_properties(example_custom_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;93;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_multi_pod_gpt "/root/repo/build/examples/multi_pod_gpt")
+set_tests_properties(example_multi_pod_gpt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;94;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bench_fig09_quick "/root/repo/build/bench/fig09_1d_topology" "--quick")
+set_tests_properties(bench_fig09_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bench_fig12_quick "/root/repo/build/bench/fig12_scaling" "--quick")
+set_tests_properties(bench_fig12_quick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra-sim.dir/astra_sim.cc.o"
+  "CMakeFiles/astra-sim.dir/astra_sim.cc.o.d"
+  "astra-sim"
+  "astra-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
