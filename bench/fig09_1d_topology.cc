@@ -54,18 +54,27 @@ main(int argc, char **argv)
 
     for (CollectiveKind kind :
          {CollectiveKind::AllToAll, CollectiveKind::AllReduce}) {
-        Table t;
-        t.header({"size", "alltoall_cycles", "torus_cycles",
-                  "alltoall/torus"});
+        // Every (topology, size) cell is an independent simulation:
+        // build the flat job list and fan it out across --jobs workers.
+        std::vector<CollectiveJob> sweep;
         for (Bytes size : sizes) {
             SimConfig a2a = allToAllConfig();
             SimConfig torus = torusConfig();
             applyOverrides(args, a2a);
             applyOverrides(args, torus);
-            const Tick ta = timeCollective(a2a, kind, size);
-            const Tick tt = timeCollective(torus, kind, size);
+            sweep.push_back({a2a, kind, size});
+            sweep.push_back({torus, kind, size});
+        }
+        const std::vector<Tick> times = timeCollectives(args, sweep);
+
+        Table t;
+        t.header({"size", "alltoall_cycles", "torus_cycles",
+                  "alltoall/torus"});
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const Tick ta = times[2 * i];
+            const Tick tt = times[2 * i + 1];
             t.row()
-                .cell(formatBytes(size))
+                .cell(formatBytes(sizes[i]))
                 .cell(std::uint64_t(ta))
                 .cell(std::uint64_t(tt))
                 .cell(double(ta) / double(tt), "%.3f");

@@ -40,10 +40,9 @@ main(int argc, char **argv)
     const auto sizes = args.quick ? sizeSweep(256 * KiB, 4 * MiB)
                                   : sizeSweep(64 * KiB, 64 * MiB);
 
-    Table t;
-    t.header({"size", "1x64x1", "1x8x8", "2x8x4", "4x4x4"});
+    // Independent (size, shape) simulations, fanned out over --jobs.
+    std::vector<CollectiveJob> sweep;
     for (Bytes size : sizes) {
-        auto &row = t.row().cell(formatBytes(size));
         for (const Shape &s : shapes) {
             SimConfig cfg;
             cfg.torus(s.m, s.h, s.v);
@@ -51,9 +50,18 @@ main(int argc, char **argv)
             cfg.local = cfg.package;
             cfg.algorithm = AlgorithmFlavor::Baseline;
             applyOverrides(args, cfg);
-            row.cell(std::uint64_t(
-                timeCollective(cfg, CollectiveKind::AllReduce, size)));
+            sweep.push_back({cfg, CollectiveKind::AllReduce, size});
         }
+    }
+    const std::vector<Tick> times = timeCollectives(args, sweep);
+
+    const std::size_t nshapes = std::size(shapes);
+    Table t;
+    t.header({"size", "1x64x1", "1x8x8", "2x8x4", "4x4x4"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        auto &row = t.row().cell(formatBytes(sizes[i]));
+        for (std::size_t j = 0; j < nshapes; ++j)
+            row.cell(std::uint64_t(times[i * nshapes + j]));
     }
     emitTable(args, "fig10_allreduce.csv", t);
     return 0;

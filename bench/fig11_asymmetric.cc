@@ -51,26 +51,35 @@ main(int argc, char **argv)
     const auto sizes = args.quick ? sizeSweep(256 * KiB, 4 * MiB)
                                   : sizeSweep(64 * KiB, 64 * MiB);
 
+    // All five columns of both tables are independent simulations:
+    // one flat job list, fanned out across --jobs workers.
+    std::vector<CollectiveJob> sweep;
+    for (Bytes size : sizes) {
+        SimConfig sym = makeConfig(false, AlgorithmFlavor::Baseline);
+        SimConfig ab = makeConfig(true, AlgorithmFlavor::Baseline);
+        SimConfig ae = makeConfig(true, AlgorithmFlavor::Enhanced);
+        applyOverrides(args, sym);
+        applyOverrides(args, ab);
+        applyOverrides(args, ae);
+        sweep.push_back({sym, CollectiveKind::AllReduce, size});
+        sweep.push_back({ab, CollectiveKind::AllReduce, size});
+        sweep.push_back({ae, CollectiveKind::AllReduce, size});
+        sweep.push_back({sym, CollectiveKind::AllToAll, size});
+        sweep.push_back({ab, CollectiveKind::AllToAll, size});
+    }
+    const std::vector<Tick> times = timeCollectives(args, sweep);
+
     // All-reduce: the headline comparison.
     {
         Table t;
         t.header({"size", "sym_baseline", "asym_baseline(3ph)",
                   "asym_enhanced(4ph)", "enh_speedup"});
-        for (Bytes size : sizes) {
-            SimConfig sym = makeConfig(false, AlgorithmFlavor::Baseline);
-            SimConfig ab = makeConfig(true, AlgorithmFlavor::Baseline);
-            SimConfig ae = makeConfig(true, AlgorithmFlavor::Enhanced);
-            applyOverrides(args, sym);
-            applyOverrides(args, ab);
-            applyOverrides(args, ae);
-            const Tick ts =
-                timeCollective(sym, CollectiveKind::AllReduce, size);
-            const Tick tb =
-                timeCollective(ab, CollectiveKind::AllReduce, size);
-            const Tick te =
-                timeCollective(ae, CollectiveKind::AllReduce, size);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const Tick ts = times[5 * i];
+            const Tick tb = times[5 * i + 1];
+            const Tick te = times[5 * i + 2];
             t.row()
-                .cell(formatBytes(size))
+                .cell(formatBytes(sizes[i]))
                 .cell(std::uint64_t(ts))
                 .cell(std::uint64_t(tb))
                 .cell(std::uint64_t(te))
@@ -84,17 +93,11 @@ main(int argc, char **argv)
     {
         Table t;
         t.header({"size", "symmetric", "asymmetric", "speedup"});
-        for (Bytes size : sizes) {
-            SimConfig sym = makeConfig(false, AlgorithmFlavor::Baseline);
-            SimConfig asym = makeConfig(true, AlgorithmFlavor::Baseline);
-            applyOverrides(args, sym);
-            applyOverrides(args, asym);
-            const Tick ts =
-                timeCollective(sym, CollectiveKind::AllToAll, size);
-            const Tick ta =
-                timeCollective(asym, CollectiveKind::AllToAll, size);
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const Tick ts = times[5 * i + 3];
+            const Tick ta = times[5 * i + 4];
             t.row()
-                .cell(formatBytes(size))
+                .cell(formatBytes(sizes[i]))
                 .cell(std::uint64_t(ts))
                 .cell(std::uint64_t(ta))
                 .cell(double(ts) / double(ta), "%.3f");

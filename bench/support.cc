@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "explore/sweep_runner.hh"
 
 namespace astra::bench
 {
@@ -16,8 +17,11 @@ parseArgs(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--quick] [--csv=DIR] [--key=value ...]\n"
+                "usage: %s [--quick] [--jobs=N] [--csv=DIR] "
+                "[--key=value ...]\n"
                 "  --quick      reduced sweep (CI)\n"
+                "  --jobs=N     parallel simulations (default: all\n"
+                "               hardware threads; results identical)\n"
                 "  --csv=DIR    also write series as CSV into DIR\n"
                 "  --key=value  override any simulator parameter\n",
                 argv[0]);
@@ -25,6 +29,10 @@ parseArgs(int argc, char **argv)
         }
         if (arg == "--quick") {
             args.quick = true;
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            args.jobs = std::atoi(arg.c_str() + 7);
             continue;
         }
         if (arg.rfind("--csv=", 0) == 0) {
@@ -71,6 +79,19 @@ timeCollective(const SimConfig &cfg, CollectiveKind kind, Bytes bytes)
 {
     Cluster cluster(cfg);
     return cluster.runCollective(kind, bytes);
+}
+
+std::vector<Tick>
+timeCollectives(const BenchArgs &args,
+                const std::vector<CollectiveJob> &jobs_list)
+{
+    std::vector<Tick> out(jobs_list.size(), 0);
+    SweepRunner runner(args.jobs);
+    runner.forEach(jobs_list.size(), [&](std::size_t i) {
+        const CollectiveJob &job = jobs_list[i];
+        out[i] = timeCollective(job.cfg, job.kind, job.bytes);
+    });
+    return out;
 }
 
 void

@@ -30,6 +30,7 @@ struct BenchArgs
     SimConfig overrides;   //!< parsed --key=value overrides
     std::string csvDir;    //!< --csv=<dir>, empty = stdout only
     bool quick = false;    //!< --quick: reduced sweeps
+    int jobs = 0;          //!< --jobs=N sweep workers; 0 = all threads
 
     /** Raw overrides to re-apply onto per-experiment configs. */
     std::vector<std::pair<std::string, std::string>> rawOverrides;
@@ -50,6 +51,23 @@ std::vector<Bytes> sizeSweep(Bytes lo, Bytes hi, int factor = 4);
 /** Run one collective on a fresh cluster; returns comm time. */
 Tick timeCollective(const SimConfig &cfg, CollectiveKind kind,
                     Bytes bytes);
+
+/** One independent simulation of a figure sweep. */
+struct CollectiveJob
+{
+    SimConfig cfg;
+    CollectiveKind kind;
+    Bytes bytes;
+};
+
+/**
+ * Time every job, fanning the simulations out across args.jobs worker
+ * threads (SweepRunner). Results are indexed like @p jobs_list — the
+ * numbers and their order are identical to calling timeCollective in
+ * a serial loop, only the wall-clock changes.
+ */
+std::vector<Tick> timeCollectives(const BenchArgs &args,
+                                  const std::vector<CollectiveJob> &jobs_list);
 
 /** Emit @p table to stdout and, when requested, to <csvDir>/<name>. */
 void emitTable(const BenchArgs &args, const std::string &name,

@@ -1,20 +1,46 @@
 #include "common/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace astra
 {
 
+namespace
+{
+
+struct EntryGreater
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        return a > b;
+    }
+};
+
+} // namespace
+
 EventId
 EventQueue::schedule(Tick when, EventCallback cb, int priority)
 {
     if (when < _now) {
-        panic("event scheduled in the past (when=%llu now=%llu)",
+        // A past-dated event would fire "now" but after everything
+        // already run this tick, silently corrupting the
+        // non-decreasing-time ordering every layer assumes. This is a
+        // caller bug expressed through user-facing APIs (e.g. a
+        // negative delay computed from a bad config), so fail loudly.
+        fatal("event scheduled in the past (when=%llu now=%llu): "
+              "delays must be non-negative",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(_now));
     }
     EventId id = _nextId++;
-    _heap.push(Entry{when, priority, _seq++, id, std::move(cb)});
+    if (_heap.empty() && _heap.capacity() < kInitialReserve)
+        _heap.reserve(kInitialReserve);
+    _heap.push_back(Entry{when, priority, _seq++, id, std::move(cb)});
+    std::push_heap(_heap.begin(), _heap.end(), EntryGreater{});
     _live.insert(id);
     return id;
 }
@@ -23,16 +49,38 @@ bool
 EventQueue::cancel(EventId id)
 {
     // An id is cancellable exactly while it is live: still in the heap
-    // and not yet fired. Cancelled/fired entries are simply skipped at
-    // pop time.
-    return _live.erase(id) > 0;
+    // and not yet fired. Cancelled entries stay in the heap and are
+    // skipped at pop time — unless they pile up, in which case
+    // maybePurge() compacts them away in bulk.
+    if (_live.erase(id) == 0)
+        return false;
+    ++_cancelledInHeap;
+    maybePurge();
+    return true;
+}
+
+void
+EventQueue::maybePurge()
+{
+    if (_heap.size() < kPurgeMinHeap ||
+        _cancelledInHeap * 2 < _heap.size()) {
+        return;
+    }
+    std::erase_if(_heap, [this](const Entry &e) {
+        return _live.find(e.id) == _live.end();
+    });
+    std::make_heap(_heap.begin(), _heap.end(), EntryGreater{});
+    _cancelledInHeap = 0;
 }
 
 void
 EventQueue::skim()
 {
-    while (!_heap.empty() && !_live.count(_heap.top().id))
-        _heap.pop();
+    while (!_heap.empty() && !_live.count(_heap.front().id)) {
+        std::pop_heap(_heap.begin(), _heap.end(), EntryGreater{});
+        _heap.pop_back();
+        --_cancelledInHeap;
+    }
 }
 
 bool
@@ -41,8 +89,9 @@ EventQueue::popNext(Entry &out)
     skim();
     if (_heap.empty())
         return false;
-    out = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
+    std::pop_heap(_heap.begin(), _heap.end(), EntryGreater{});
+    out = std::move(_heap.back());
+    _heap.pop_back();
     _live.erase(out.id);
     return true;
 }
@@ -74,7 +123,7 @@ EventQueue::runUntil(Tick until)
     std::uint64_t n = 0;
     while (true) {
         skim();
-        if (_heap.empty() || _heap.top().when > until)
+        if (_heap.empty() || _heap.front().when > until)
             break;
         Entry e;
         if (!popNext(e))

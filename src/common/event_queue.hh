@@ -4,7 +4,10 @@
  *
  * ASTRA-SIM maintains its own event queue in the system layer and
  * exposes it to the workload layer to schedule events. All three layers
- * (workload / system / network) share one EventQueue instance.
+ * (workload / system / network) share one EventQueue instance. Each
+ * simulated platform owns a *private* EventQueue — queues are never
+ * shared across simulations, which is what lets the sweep engine run
+ * independent simulations on separate threads with no locking here.
  *
  * Ordering guarantees:
  *  - events fire in non-decreasing tick order;
@@ -12,16 +15,31 @@
  *  - events with equal (tick, priority) fire in insertion (FIFO) order.
  *
  * The FIFO tiebreak makes simulations bit-for-bit deterministic, which
- * the repeatability tests rely on.
+ * the repeatability tests (and the sweep engine's determinism
+ * contract, DESIGN.md) rely on.
+ *
+ * Hot-path design, in per-event cost order:
+ *  - EventCallback stores small callables inline (48 bytes of
+ *    in-object storage) instead of heap-allocating through
+ *    std::function — nearly every callback in the simulator captures
+ *    only a pointer or two plus an id;
+ *  - the heap is an explicit std::vector kept warm across events with
+ *    an up-front reservation, rather than a std::priority_queue whose
+ *    container restarts cold on every simulation phase;
+ *  - cancelled entries are lazily skipped at pop time, but when they
+ *    come to dominate the heap they are purged eagerly in one O(n)
+ *    compaction so sift costs track *live* events, not dead ones.
  */
 
 #ifndef ASTRA_COMMON_EVENT_QUEUE_HH
 #define ASTRA_COMMON_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -29,8 +47,127 @@
 namespace astra
 {
 
-/** Callback type executed when an event fires. */
-using EventCallback = std::function<void()>;
+/**
+ * Move-only callable with small-buffer storage.
+ *
+ * Drop-in for the scheduling subset of std::function<void()>: any
+ * callable whose state fits kInlineBytes and moves without throwing
+ * lives inside the EventQueue entry itself; larger callables fall back
+ * to one heap allocation, exactly like std::function.
+ */
+class EventCallback
+{
+  public:
+    /** Inline storage: enough for several pointers/ids per capture. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename Fn = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<Fn, EventCallback> &&
+                  std::is_invocable_r_v<void, Fn &>>>
+    EventCallback(F &&f) // NOLINT: implicit by design, like std::function
+    {
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
+            _ops = &kInlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(_buf) = new Fn(std::forward<F>(f));
+            _ops = &kHeapOps<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&o) noexcept { moveFrom(o); }
+
+    EventCallback &
+    operator=(EventCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    explicit operator bool() const noexcept { return _ops != nullptr; }
+
+    /** True when the callable lives in the inline buffer (no heap). */
+    bool storedInline() const noexcept { return _ops && _ops->isInline; }
+
+    void operator()() { _ops->invoke(_buf); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool isInline;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) noexcept {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        },
+        /*isInline=*/true,
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *dst, void *src) noexcept {
+            *reinterpret_cast<Fn **>(dst) = *reinterpret_cast<Fn **>(src);
+        },
+        [](void *p) noexcept { delete *reinterpret_cast<Fn **>(p); },
+        /*isInline=*/false,
+    };
+
+    void
+    moveFrom(EventCallback &o) noexcept
+    {
+        _ops = o._ops;
+        if (_ops) {
+            _ops->relocate(_buf, o._buf);
+            o._ops = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(_buf);
+            _ops = nullptr;
+        }
+    }
+
+    const Ops *_ops = nullptr;
+    alignas(std::max_align_t) unsigned char _buf[kInlineBytes];
+};
 
 /** Opaque handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
@@ -54,7 +191,9 @@ class EventQueue
     /**
      * Schedule @p cb to run at absolute time @p when.
      *
-     * @param when  Absolute tick; must be >= now().
+     * @param when  Absolute tick; must be >= now(). Scheduling into
+     *              the past is a fatal() error — it would silently
+     *              violate the non-decreasing-time guarantee.
      * @param cb    Callback to invoke.
      * @param priority  Lower fires first within a tick.
      * @return a handle usable with cancel().
@@ -105,6 +244,9 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executedEvents() const { return _executed; }
 
+    /** Heap slots currently occupied by cancelled entries (for tests). */
+    std::size_t cancelledInHeap() const { return _cancelledInHeap; }
+
   private:
     struct Entry
     {
@@ -125,15 +267,25 @@ class EventQueue
         }
     };
 
+    /** Initial heap reservation: skips the early doubling ramp. */
+    static constexpr std::size_t kInitialReserve = 1024;
+
+    /** Below this heap size the lazy skim is always cheap enough. */
+    static constexpr std::size_t kPurgeMinHeap = 64;
+
     /** Pop the next live entry; false if drained. */
     bool popNext(Entry &out);
 
     /** Drop cancelled entries off the top of the heap. */
     void skim();
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _heap;
+    /** Compact the heap when cancelled entries dominate it. */
+    void maybePurge();
+
+    std::vector<Entry> _heap; //!< binary min-heap (std::*_heap helpers)
     std::unordered_set<EventId> _live; //!< ids scheduled and not yet
                                        //!< fired or cancelled
+    std::size_t _cancelledInHeap = 0; //!< dead entries still in _heap
     Tick _now = 0;
     std::uint64_t _seq = 0;
     EventId _nextId = 1;

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,8 +11,10 @@ namespace astra
 namespace
 {
 
-bool throwOnFatal = false;
-bool quiet = false;
+// Atomic so sweep worker threads can read the flags while a test or
+// driver on another thread configures them, without a data race.
+std::atomic<bool> throwOnFatal{false};
+std::atomic<bool> quiet{false};
 
 } // namespace
 

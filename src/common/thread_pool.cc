@@ -1,0 +1,116 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace astra
+{
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreads();
+    _workers.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _workCv.notify_all();
+    for (std::thread &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _jobs.push_back(std::move(job));
+    }
+    _workCv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idleCv.wait(lock, [this] { return _jobs.empty() && _inFlight == 0; });
+    if (_firstError) {
+        std::exception_ptr e = _firstError;
+        _firstError = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (true) {
+        _workCv.wait(lock, [this] { return _stop || !_jobs.empty(); });
+        if (_jobs.empty()) {
+            // _stop and drained: exit.
+            return;
+        }
+        std::function<void()> job = std::move(_jobs.front());
+        _jobs.pop_front();
+        ++_inFlight;
+        lock.unlock();
+
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        lock.lock();
+        if (error && !_firstError)
+            _firstError = error;
+        --_inFlight;
+        if (_jobs.empty() && _inFlight == 0)
+            _idleCv.notify_all();
+    }
+}
+
+void
+parallelFor(int jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 0)
+        jobs = ThreadPool::defaultThreads();
+    jobs = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), count));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(jobs);
+    for (int w = 0; w < jobs; ++w) {
+        pool.submit([&] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1)) {
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace astra

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning independent simulations
+ * out across cores (the sweep engine's execution substrate).
+ *
+ * Deliberately work-stealing-free: jobs are pulled from one shared
+ * FIFO under a mutex. Sweep jobs are whole-cluster simulations
+ * (milliseconds to seconds each), so queue contention is irrelevant
+ * and the simple design is easy to reason about under TSan.
+ *
+ * Determinism note: the pool itself guarantees nothing about
+ * completion order. Callers that need deterministic output (the sweep
+ * engine's contract, see DESIGN.md) must address results by job index,
+ * as parallelFor() does.
+ */
+
+#ifndef ASTRA_COMMON_THREAD_POOL_HH
+#define ASTRA_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace astra
+{
+
+/**
+ * Fixed-size FIFO thread pool.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 selects defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(_workers.size()); }
+
+    /** std::thread::hardware_concurrency(), never less than 1. */
+    static int defaultThreads();
+
+    /** Enqueue @p job; runs on some worker in FIFO order. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrows the first captured exception (the others are dropped).
+     * The pool stays usable after wait().
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _jobs;
+    std::mutex _mutex;
+    std::condition_variable _workCv; //!< workers: a job or stop arrived
+    std::condition_variable _idleCv; //!< wait(): everything drained
+    std::size_t _inFlight = 0;       //!< jobs popped but not finished
+    bool _stop = false;
+    std::exception_ptr _firstError;
+};
+
+/**
+ * Run fn(i) for every i in [0, count) on up to @p jobs threads.
+ *
+ * Indices are claimed from an atomic counter, so each runs exactly
+ * once; with jobs <= 1 (or count <= 1) everything runs inline on the
+ * calling thread with no pool at all — the serial and parallel paths
+ * execute the same per-index work. Rethrows the first exception any
+ * index threw (remaining indices may still run).
+ *
+ * @param jobs  worker budget; <= 0 selects ThreadPool::defaultThreads().
+ */
+void parallelFor(int jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_THREAD_POOL_HH

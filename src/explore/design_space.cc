@@ -1,9 +1,11 @@
 #include "explore/design_space.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "common/logging.hh"
 #include "core/cluster.hh"
+#include "explore/sweep_runner.hh"
 
 namespace astra
 {
@@ -15,6 +17,11 @@ std::vector<std::pair<std::string, SimConfig>>
 enumeratePlatforms(const ExploreSpec &spec)
 {
     std::vector<std::pair<std::string, SimConfig>> out;
+    // The label fully encodes a platform (family + dimensions), so a
+    // label seen twice — repeated or unit factors in localDims
+    // multiplying out to the same shape — is an exact-duplicate
+    // SimConfig and is skipped.
+    std::set<std::string> seen;
     for (int m : spec.localDims) {
         if (m < 1 || spec.modules % m)
             continue;
@@ -25,18 +32,24 @@ enumeratePlatforms(const ExploreSpec &spec)
             const int v = packages / h;
             if (h < v)
                 continue; // mirror-symmetric duplicate
+            std::string name = strprintf("torus-%dx%dx%d", m, h, v);
+            if (!seen.insert(name).second)
+                continue;
             SimConfig cfg;
             cfg.torus(m, h, v);
             cfg.local.bandwidth =
                 spec.localBandwidthRatio * cfg.package.bandwidth;
-            out.emplace_back(strprintf("torus-%dx%dx%d", m, h, v), cfg);
+            out.emplace_back(std::move(name), cfg);
         }
         if (spec.includeAllToAll && packages >= 2 && packages <= 64) {
+            std::string name = strprintf("a2a-%dx%d", m, packages);
+            if (!seen.insert(name).second)
+                continue;
             SimConfig cfg;
             cfg.allToAll(m, packages, std::min(packages - 1, 7));
             cfg.local.bandwidth =
                 spec.localBandwidthRatio * cfg.package.bandwidth;
-            out.emplace_back(strprintf("a2a-%dx%d", m, packages), cfg);
+            out.emplace_back(std::move(name), cfg);
         }
     }
     if (out.empty())
@@ -49,7 +62,7 @@ enumeratePlatforms(const ExploreSpec &spec)
 } // namespace
 
 std::vector<CandidateResult>
-exploreDesignSpace(const ExploreSpec &spec)
+enumerateCandidates(const ExploreSpec &spec)
 {
     if (spec.modules < 2)
         fatal("need at least 2 modules to explore");
@@ -63,7 +76,7 @@ exploreDesignSpace(const ExploreSpec &spec)
     if (splits.empty())
         splits.push_back(0); // configuration default
 
-    std::vector<CandidateResult> results;
+    std::vector<CandidateResult> candidates;
     for (const auto &[name, platform] : enumeratePlatforms(spec)) {
         for (AlgorithmFlavor flavor : flavors) {
             for (int split : splits) {
@@ -75,29 +88,38 @@ exploreDesignSpace(const ExploreSpec &spec)
                 r.label = name + "/" + toString(flavor);
                 if (split > 0)
                     r.label += strprintf("/%dch", split);
-
-                Cluster cluster(r.cfg);
-                r.commTime =
-                    cluster.runCollective(spec.kind, spec.bytes);
-                r.energyUj = cluster.network().energy().totalUj();
-                results.push_back(std::move(r));
+                candidates.push_back(std::move(r));
             }
         }
     }
+    return candidates;
+}
 
-    std::sort(results.begin(), results.end(),
-              [](const CandidateResult &a, const CandidateResult &b) {
-                  if (a.commTime != b.commTime)
-                      return a.commTime < b.commTime;
-                  return a.energyUj < b.energyUj;
-              });
+std::vector<CandidateResult>
+exploreDesignSpace(const ExploreSpec &spec, int jobs)
+{
+    std::vector<CandidateResult> results = enumerateCandidates(spec);
+
+    // Simulations run on private event queues and land in enumeration
+    // order whatever the worker count; a stable sort on top keeps the
+    // final ranking independent of jobs even among exact ties.
+    SweepRunner runner(jobs);
+    runner.evaluate(results, spec.kind, spec.bytes);
+
+    std::stable_sort(
+        results.begin(), results.end(),
+        [](const CandidateResult &a, const CandidateResult &b) {
+            if (a.commTime != b.commTime)
+                return a.commTime < b.commTime;
+            return a.energyUj < b.energyUj;
+        });
     return results;
 }
 
 CandidateResult
-bestDesign(const ExploreSpec &spec)
+bestDesign(const ExploreSpec &spec, int jobs)
 {
-    return exploreDesignSpace(spec).front();
+    return exploreDesignSpace(spec, jobs).front();
 }
 
 } // namespace astra

@@ -55,14 +55,31 @@ struct CandidateResult
 };
 
 /**
+ * Enumerate the candidate list (cfg and label filled, timings zero)
+ * without simulating anything. Exact-duplicate platforms — possible
+ * when localDims contains repeated or unit factors that multiply out
+ * to the same configuration — are emitted once. fatal()s on an
+ * unsatisfiable spec.
+ */
+std::vector<CandidateResult> enumerateCandidates(const ExploreSpec &spec);
+
+/**
  * Enumerate, simulate and rank all candidates (best first).
  * fatal()s on an unsatisfiable spec (e.g. a prime module budget with
  * no matching factorization is still fine — 1xNx1 always exists).
+ *
+ * @param jobs  Worker threads for the sweep: 1 (the default) runs the
+ *              classic serial loop, 0 uses every hardware thread, N
+ *              uses N. Results are bit-for-bit identical for every
+ *              value — candidates are simulated on private event
+ *              queues and collected in enumeration order (see
+ *              SweepRunner).
  */
-std::vector<CandidateResult> exploreDesignSpace(const ExploreSpec &spec);
+std::vector<CandidateResult> exploreDesignSpace(const ExploreSpec &spec,
+                                                int jobs = 1);
 
 /** Convenience: the winning candidate. */
-CandidateResult bestDesign(const ExploreSpec &spec);
+CandidateResult bestDesign(const ExploreSpec &spec, int jobs = 1);
 
 } // namespace astra
 

@@ -1,0 +1,33 @@
+#include "explore/sweep_runner.hh"
+
+#include "common/thread_pool.hh"
+#include "core/cluster.hh"
+
+namespace astra
+{
+
+SweepRunner::SweepRunner(int jobs)
+    : _jobs(jobs <= 0 ? ThreadPool::defaultThreads() : jobs)
+{
+}
+
+void
+SweepRunner::evaluate(std::vector<CandidateResult> &candidates,
+                      CollectiveKind kind, Bytes bytes) const
+{
+    forEach(candidates.size(), [&](std::size_t i) {
+        CandidateResult &r = candidates[i];
+        Cluster cluster(r.cfg);
+        r.commTime = cluster.runCollective(kind, bytes);
+        r.energyUj = cluster.network().energy().totalUj();
+    });
+}
+
+void
+SweepRunner::forEach(std::size_t count,
+                     const std::function<void(std::size_t)> &fn) const
+{
+    parallelFor(_jobs, count, fn);
+}
+
+} // namespace astra

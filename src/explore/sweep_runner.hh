@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SweepRunner — parallel execution engine for design-space sweeps.
+ *
+ * A sweep is a list of independent candidate platforms, each simulated
+ * on its own Cluster (and therefore its own private EventQueue — no
+ * simulator state is shared between candidates). The runner fans the
+ * candidates out across a ThreadPool and writes each result into the
+ * slot matching the candidate's index, so the output order — and every
+ * simulated number in it — is bit-for-bit identical to running the
+ * same list serially. Worker scheduling affects only wall-clock time,
+ * never results (the determinism contract, see DESIGN.md).
+ */
+
+#ifndef ASTRA_EXPLORE_SWEEP_RUNNER_HH
+#define ASTRA_EXPLORE_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "explore/design_space.hh"
+
+namespace astra
+{
+
+/**
+ * Runs candidate simulations across worker threads, results in
+ * candidate order.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker budget; <= 0 selects all hardware threads. */
+    explicit SweepRunner(int jobs = 0);
+
+    /** The resolved worker budget (>= 1). */
+    int jobs() const { return _jobs; }
+
+    /**
+     * Simulate every candidate's collective, filling commTime and
+     * energyUj in place. cfg and label must already be set.
+     */
+    void evaluate(std::vector<CandidateResult> &candidates,
+                  CollectiveKind kind, Bytes bytes) const;
+
+    /**
+     * General fan-out: run fn(i) for every i in [0, count) across the
+     * worker budget. fn must only write state owned by index i.
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    int _jobs;
+};
+
+} // namespace astra
+
+#endif // ASTRA_EXPLORE_SWEEP_RUNNER_HH

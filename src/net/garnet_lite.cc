@@ -97,7 +97,7 @@ GarnetLiteNetwork::injectNext(
     if (ms->msg.bytes == 0)
         bytes = 0; // zero-byte control message: one minimal packet
 
-    auto pkt = std::make_shared<Packet>();
+    Packet *pkt = allocPacket();
     pkt->parent = ms;
     pkt->path = path;
     pkt->hop = 0;
@@ -167,7 +167,7 @@ GarnetLiteNetwork::pump(LinkId l)
 }
 
 void
-GarnetLiteNetwork::arrive(const PacketRef &pkt, LinkId l)
+GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
 {
     ++pkt->hop;
     if (pkt->hop == pkt->path->size()) {
@@ -175,13 +175,37 @@ GarnetLiteNetwork::arrive(const PacketRef &pkt, LinkId l)
         _links[std::size_t(l)].bufferOcc -= pkt->flits;
         schedulePump(l, _eq.now());
         ++_deliveredPackets;
-        if (--pkt->parent->packetsLeft == 0)
-            deliver(pkt->parent->msg);
+        MessageRef parent = pkt->parent;
+        recyclePacket(pkt);
+        if (--parent->packetsLeft == 0)
+            deliver(parent->msg);
         return;
     }
     const LinkId next = (*pkt->path)[pkt->hop];
     _links[std::size_t(next)].waiting.push_back(pkt);
     pump(next);
+}
+
+auto
+GarnetLiteNetwork::allocPacket() -> Packet *
+{
+    if (_packetFree.empty()) {
+        _packetArena.push_back(std::make_unique<Packet>());
+        return _packetArena.back().get();
+    }
+    Packet *pkt = _packetFree.back();
+    _packetFree.pop_back();
+    return pkt;
+}
+
+void
+GarnetLiteNetwork::recyclePacket(Packet *pkt)
+{
+    // Release the message/path references now so recycling a packet
+    // cannot pin a completed message's payload in memory.
+    pkt->parent.reset();
+    pkt->path.reset();
+    _packetFree.push_back(pkt);
 }
 
 } // namespace astra

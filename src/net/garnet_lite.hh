@@ -63,6 +63,13 @@ class GarnetLiteNetwork : public NetworkApi
     /** Peak flit occupancy seen in any input buffer (for tests). */
     int peakBufferOccupancy() const { return _peakOccupancy; }
 
+    /**
+     * Packet objects ever allocated (pool high-water mark). Bounded by
+     * the peak number of concurrently in-flight packets, not by the
+     * delivered-packet count — the free-list test relies on this.
+     */
+    std::size_t allocatedPackets() const { return _packetArena.size(); }
+
   private:
     struct MessageState
     {
@@ -72,6 +79,16 @@ class GarnetLiteNetwork : public NetworkApi
     };
     using MessageRef = std::shared_ptr<MessageState>;
 
+    /**
+     * One packet in flight. At any instant a packet is referenced from
+     * exactly one place — either some link's waiting queue or the one
+     * arrive() event scheduled for it — so packets are plain pointers
+     * into an arena owned by the network, recycled through a free
+     * list instead of being heap-allocated per packet. Packetizing a
+     * multi-megabyte message no longer churns the allocator: steady
+     * state reuses as many Packet objects as are concurrently in
+     * flight.
+     */
     struct Packet
     {
         MessageRef parent;
@@ -80,7 +97,7 @@ class GarnetLiteNetwork : public NetworkApi
         int flits = 0;
         Bytes bytes = 0;
     };
-    using PacketRef = std::shared_ptr<Packet>;
+    using PacketRef = Packet *;
 
     struct LinkState
     {
@@ -103,7 +120,7 @@ class GarnetLiteNetwork : public NetworkApi
     void schedulePump(LinkId l, Tick when);
 
     /** Packet fully arrived at the downstream end of link @p l. */
-    void arrive(const PacketRef &pkt, LinkId l);
+    void arrive(PacketRef pkt, LinkId l);
 
     /** Begin injecting @p ms (after any transport-layer delay). */
     void inject(const MessageRef &ms,
@@ -119,6 +136,12 @@ class GarnetLiteNetwork : public NetworkApi
     /** Serialization time of @p flits on a link of class @p cls. */
     Tick flitTxTime(LinkClass cls, int flits) const;
 
+    /** Take a Packet from the free list (grows the arena if dry). */
+    Packet *allocPacket();
+
+    /** Return a finished Packet to the free list. */
+    void recyclePacket(Packet *pkt);
+
     EventQueue &_eq;
     Fabric _fabric;
     InjectionPolicy _injection;
@@ -127,6 +150,10 @@ class GarnetLiteNetwork : public NetworkApi
     int _bufferCapacityFlits;
     Tick _protocolDelay; //!< scale-out transport cost per message
     std::vector<LinkState> _links;
+    /** Every Packet ever allocated; owns the storage _packetFree and
+     *  in-flight PacketRefs point into. */
+    std::vector<std::unique_ptr<Packet>> _packetArena;
+    std::vector<Packet *> _packetFree; //!< recycled, ready for reuse
     std::uint64_t _deliveredPackets = 0;
     int _peakOccupancy = 0;
 };

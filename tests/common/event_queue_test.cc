@@ -72,6 +72,95 @@ TEST(EventQueue, SchedulingInThePastPanics)
     EXPECT_THROW(eq.schedule(10, [] {}), FatalError);
 }
 
+TEST(EventQueue, RejectedPastEventLeavesQueueIntact)
+{
+    // Regression: a past-dated schedule() must fail loudly *and*
+    // atomically — no ghost entry may survive to corrupt ordering.
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.run();
+    eq.schedule(100, [] {});
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_THROW(eq.schedule(10, [] {}), FatalError);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(50, [&] { eq.schedule(eq.now(), [&] { ran = true; }); });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, SmallCallbacksNeedNoHeapAllocation)
+{
+    // The scheduling hot path: a capture of a couple of pointers/ids
+    // must live in EventCallback's inline buffer.
+    int a = 0;
+    int *p = &a;
+    std::uint64_t id = 7;
+    EventCallback small([p, id] { *p = int(id); });
+    EXPECT_TRUE(small.storedInline());
+    small();
+    EXPECT_EQ(a, 7);
+
+    // Oversized captures transparently fall back to the heap.
+    struct Big
+    {
+        char bytes[96];
+    } big{};
+    EventCallback large([big, p] { *p = big.bytes[0]; });
+    EXPECT_FALSE(large.storedInline());
+    large();
+    EXPECT_EQ(a, 0);
+}
+
+TEST(EventQueue, MassCancellationPurgesTheHeap)
+{
+    EventQueue eq;
+    std::vector<EventId> victims;
+    for (int i = 0; i < 1000; ++i)
+        victims.push_back(eq.schedule(Tick(10 + i), [] {}));
+    int survivors = 0;
+    eq.schedule(2000, [&] { ++survivors; });
+    for (EventId id : victims)
+        EXPECT_TRUE(eq.cancel(id));
+    // Eager purge: dead entries no longer dominate the heap.
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_LT(eq.cancelledInHeap(), 1000u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(survivors, 1);
+    EXPECT_EQ(eq.now(), 2000u);
+}
+
+TEST(EventQueue, CancellationKeepsOrderingDeterministic)
+{
+    // Interleave schedules and cancels and check the survivors still
+    // fire in exact (tick, priority, FIFO) order.
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> cancel_later;
+    for (int i = 0; i < 200; ++i) {
+        EventId id =
+            eq.schedule(Tick(100 + i % 7), [&order, i] { order.push_back(i); });
+        if (i % 3 == 0)
+            cancel_later.push_back(id);
+    }
+    for (EventId id : cancel_later)
+        eq.cancel(id);
+    eq.run();
+    std::vector<int> expect;
+    for (int tick = 0; tick < 7; ++tick)
+        for (int i = 0; i < 200; ++i)
+            if (i % 7 == tick && i % 3 != 0)
+                expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
 TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue eq;

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace astra
+{
+namespace
+{
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        // No wait(): the destructor must finish the queue.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool stays usable.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (int jobs : {1, 2, 4, 8}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallelFor(jobs, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, SerialAndParallelProduceIdenticalOutput)
+{
+    auto compute = [](int jobs) {
+        std::vector<std::uint64_t> out(1000);
+        parallelFor(jobs, out.size(),
+                    [&](std::size_t i) { out[i] = i * i + 7; });
+        return out;
+    };
+    EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ParallelFor, ZeroCountIsANoop)
+{
+    bool ran = false;
+    parallelFor(4, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(4, 100,
+                             [](std::size_t i) {
+                                 if (i == 42)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace astra

@@ -208,5 +208,24 @@ TEST(GarnetLite, ContendingFlowsShareALink)
     EXPECT_GT(later, lone);
 }
 
+TEST(GarnetLite, PacketPoolRecyclesAcrossMessages)
+{
+    SimConfig cfg;
+    cfg.torus(1, 2, 1);
+    Harness h(cfg);
+    // Many sequential messages of many packets each: the free list
+    // must keep the arena near the peak in-flight count instead of
+    // allocating one Packet per delivered packet.
+    for (int i = 0; i < 20; ++i) {
+        h.send(0, 1, 64 * 1024, RouteHint{1, 0});
+        h.eq.run();
+    }
+    EXPECT_EQ(h.net.deliveredMessages(), 20u);
+    EXPECT_GT(h.net.deliveredPackets(), h.net.allocatedPackets());
+    // 64 KiB / 256 B = 256 packets per message; one message's worth of
+    // concurrently-live packets bounds the arena.
+    EXPECT_LE(h.net.allocatedPackets(), 256u);
+}
+
 } // namespace
 } // namespace astra

@@ -14,6 +14,10 @@
  *  Collective mode (the Sec. V-A..V-D studies):
  *      astra-sim --collective=allreduce --bytes=4MB [--key=value ...]
  *
+ *  Explore mode (the paper's co-design exploration, parallelized):
+ *      astra-sim --explore=64 --bytes=4MB --jobs=8 \
+ *                [--local-dims=1,2,4] [--set-splits=1,4,16]
+ *
  * Output: platform summary, per-layer compute/comm/exposed table (or
  * collective timing), the P0..P4 queue/network breakdown, network
  * energy, and totals. --report-csv=FILE exports the per-layer table.
@@ -27,6 +31,8 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "core/cluster.hh"
+#include "explore/design_space.hh"
+#include "explore/sweep_runner.hh"
 #include "workload/models.hh"
 #include "workload/pipeline.hh"
 #include "workload/trainer.hh"
@@ -55,6 +61,18 @@ usage(const char *prog)
         "alltoall\n"
         "  --bytes=SIZE           payload per node (e.g. 4MB)\n"
         "\n"
+        "explore mode:\n"
+        "  --explore=MODULES      rank candidate platforms for a\n"
+        "                         module budget (uses --collective and\n"
+        "                         --bytes as the target operation)\n"
+        "  --local-dims=LIST      candidate local dims (default 1,2,4)\n"
+        "  --set-splits=LIST      chunk counts to sweep (default: the\n"
+        "                         configuration default only)\n"
+        "  --top=N                print only the N best (default all)\n"
+        "  --jobs=N               parallel candidate simulations\n"
+        "                         (default: all hardware threads; the\n"
+        "                         ranking is identical for every N)\n"
+        "\n"
         "common:\n"
         "  --config=FILE          load key=value parameters\n"
         "  --report-csv=FILE      export the per-layer table as CSV\n"
@@ -76,7 +94,41 @@ struct CliOptions
     int numPasses = 1;
     double computeScale = 1.0;
     int pipelineMicrobatches = 0; //!< > 0 selects pipeline parallelism
+
+    int exploreModules = 0; //!< > 0 selects explore mode
+    std::vector<int> exploreLocalDims;
+    std::vector<int> exploreSetSplits;
+    int exploreTop = 0; //!< 0 = print every candidate
+    int jobs = 0;       //!< sweep workers; 0 = hardware_concurrency
 };
+
+std::vector<int>
+parseIntList(const std::string &value, const char *what)
+{
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        const std::size_t comma = value.find(',', pos);
+        const std::string item =
+            value.substr(pos, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - pos);
+        if (item.empty())
+            fatal("empty element in %s list '%s'", what, value.c_str());
+        if (item.find_first_not_of("0123456789") != std::string::npos ||
+            std::atoi(item.c_str()) <= 0) {
+            fatal("%s expects positive integers, got '%s'", what,
+                  item.c_str());
+        }
+        out.push_back(std::atoi(item.c_str()));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (out.empty())
+        fatal("%s needs at least one value", what);
+    return out;
+}
 
 void
 printBreakdown(const StatGroup &stats)
@@ -129,6 +181,52 @@ runCollectiveMode(const CliOptions &opts, SimConfig cfg)
                         static_cast<double>(t);
     std::printf("effective per-node algorithm bandwidth: %.2f GB/s\n",
                 gbps);
+    return 0;
+}
+
+int
+runExploreMode(const CliOptions &opts)
+{
+    ExploreSpec spec;
+    spec.modules = opts.exploreModules;
+    if (!opts.exploreLocalDims.empty())
+        spec.localDims = opts.exploreLocalDims;
+    spec.setSplits = opts.exploreSetSplits;
+    spec.bytes = opts.bytes;
+    if (!opts.collective.empty())
+        spec.kind = parseCollectiveKind(opts.collective.c_str());
+
+    SweepRunner runner(opts.jobs);
+    const auto candidates = enumerateCandidates(spec);
+    std::printf("explore: %d modules, %zu candidates, %s of %s, "
+                "%d worker thread(s)\n\n",
+                spec.modules, candidates.size(), toString(spec.kind),
+                formatBytes(spec.bytes).c_str(), runner.jobs());
+
+    auto results = exploreDesignSpace(spec, runner.jobs());
+    Table t;
+    t.header({"rank", "candidate", "comm_cycles", "energy_uJ",
+              "vs_best"});
+    const std::size_t limit =
+        opts.exploreTop > 0
+            ? std::min<std::size_t>(std::size_t(opts.exploreTop),
+                                    results.size())
+            : results.size();
+    for (std::size_t i = 0; i < limit; ++i) {
+        const CandidateResult &r = results[i];
+        t.row()
+            .cell(std::uint64_t(i + 1))
+            .cell(r.label)
+            .cell(std::uint64_t(r.commTime))
+            .cell(r.energyUj, "%.2f")
+            .cell(double(r.commTime) / double(results[0].commTime),
+                  "%.3f");
+    }
+    t.print();
+    if (!opts.reportCsv.empty())
+        t.writeCsv(opts.reportCsv);
+    std::printf("\nbest: %s (%s)\n", results[0].label.c_str(),
+                formatTicks(results[0].commTime).c_str());
     return 0;
 }
 
@@ -284,6 +382,16 @@ main(int argc, char **argv)
             opts.computeScale = std::atof(value.c_str());
         } else if (key == "pipeline") {
             opts.pipelineMicrobatches = std::atoi(value.c_str());
+        } else if (key == "explore") {
+            opts.exploreModules = std::atoi(value.c_str());
+        } else if (key == "local-dims") {
+            opts.exploreLocalDims = parseIntList(value, "--local-dims");
+        } else if (key == "set-splits") {
+            opts.exploreSetSplits = parseIntList(value, "--set-splits");
+        } else if (key == "top") {
+            opts.exploreTop = std::atoi(value.c_str());
+        } else if (key == "jobs") {
+            opts.jobs = std::atoi(value.c_str());
         } else {
             cfg_args.emplace_back(key, value);
         }
@@ -296,11 +404,13 @@ main(int argc, char **argv)
     cfg.numPasses = opts.numPasses;
     cfg.validate();
 
+    if (opts.exploreModules > 0)
+        return runExploreMode(opts);
     if (!opts.collective.empty())
         return runCollectiveMode(opts, cfg);
     if (opts.workloadFile.empty() && opts.model.empty()) {
-        std::fprintf(stderr,
-                     "need --workload, --model or --collective\n");
+        std::fprintf(stderr, "need --workload, --model, --collective "
+                             "or --explore\n");
         usage(argv[0]);
         return 1;
     }

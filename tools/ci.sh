@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI driver: build and test the normal configuration, then prove the
+# sweep engine race-free under ThreadSanitizer.
+#
+#   tools/ci.sh          # normal build + full ctest, TSan build +
+#                        # concurrency-focused ctest subset
+#   tools/ci.sh --full   # also run the *full* suite under TSan (slow)
+#
+# Build trees: build/ (normal) and build-tsan/ (TSan), both gitignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+        --full) FULL_TSAN=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== normal build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "=== normal ctest ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== TSan build (-DASTRA_SANITIZE=thread) ==="
+cmake -B build-tsan -S . -DASTRA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+
+# TSan aborts the process on the first detected race.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+if [ "$FULL_TSAN" -eq 1 ]; then
+    echo "=== TSan ctest (full suite) ==="
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+    # The concurrency surface: the sweep engine, the thread pool, and
+    # the event queue they drive, plus the parallelized CLI/bench paths.
+    echo "=== TSan ctest (concurrency subset) ==="
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+        -R 'Sweep|ThreadPool|ParallelFor|EventQueue|DesignSpace|cli_explore_mode|bench_sweep_quick'
+fi
+
+echo "=== ci.sh: all green ==="
