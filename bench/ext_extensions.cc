@@ -27,7 +27,7 @@ namespace
 {
 
 void
-schedulingAblation(const BenchArgs &args)
+schedulingAblation(BenchArgs &args)
 {
     // Expected outcome: all three policies coincide. The paper makes
     // the same observation for LIFO vs FIFO (Fig. 16) and our
@@ -56,6 +56,7 @@ schedulingAblation(const BenchArgs &args)
         WorkloadRun run(cluster, resnet50Workload(),
                         TrainerOptions{.numPasses = 2});
         const Tick makespan = run.run();
+        mergeReport(args, cluster);
         t.row()
             .cell(toString(pol))
             .cell(std::uint64_t(makespan))
@@ -66,7 +67,7 @@ schedulingAblation(const BenchArgs &args)
 }
 
 void
-scaleOutScaling(const BenchArgs &args)
+scaleOutScaling(BenchArgs &args)
 {
     std::printf("(b) scale-out fabric: 64 modules as 1/2/4 pods, "
                 "16MB all-reduce\n");
@@ -94,6 +95,7 @@ scaleOutScaling(const BenchArgs &args)
         const Bytes size = args.quick ? 2 * MiB : 16 * MiB;
         const Tick tick =
             cluster.runCollective(CollectiveKind::AllReduce, size);
+        mergeReport(args, cluster);
         const auto &e = cluster.network().energy();
         t.row()
             .cell(s.name)
@@ -106,7 +108,7 @@ scaleOutScaling(const BenchArgs &args)
 }
 
 void
-pipelineBubbles(const BenchArgs &args)
+pipelineBubbles(BenchArgs &args)
 {
     std::printf("(c) pipeline parallelism: bubble ratio vs "
                 "microbatches (8 stages, ResNet-50)\n");
@@ -122,6 +124,7 @@ pipelineBubbles(const BenchArgs &args)
                         PipelineOptions{.numPasses = 2,
                                         .microbatches = m});
         const Tick makespan = run.run();
+        mergeReport(args, cluster);
         t.row()
             .cell(std::uint64_t(m))
             .cell(std::uint64_t(makespan))
@@ -141,5 +144,6 @@ main(int argc, char **argv)
     schedulingAblation(args);
     scaleOutScaling(args);
     pipelineBubbles(args);
+    writeReport(args);
     return 0;
 }

@@ -83,5 +83,6 @@ main(int argc, char **argv)
         emitTable(args,
                   std::string("fig09_") + toString(kind) + ".csv", t);
     }
+    writeReport(args);
     return 0;
 }

@@ -64,5 +64,6 @@ main(int argc, char **argv)
             row.cell(std::uint64_t(times[i * nshapes + j]));
     }
     emitTable(args, "fig10_allreduce.csv", t);
+    writeReport(args);
     return 0;
 }

@@ -105,5 +105,6 @@ main(int argc, char **argv)
         std::printf("collective: ALLTOALL\n");
         emitTable(args, "fig11_alltoall.csv", t);
     }
+    writeReport(args);
     return 0;
 }

@@ -57,6 +57,7 @@ main(int argc, char **argv)
         Cluster cluster(cfg);
         const Tick t =
             cluster.runCollective(CollectiveKind::AllReduce, size);
+        mergeReport(args, cluster);
         total.row()
             .cell(s.name)
             .cell(std::uint64_t(s.m * s.h * s.v))
@@ -77,5 +78,6 @@ main(int argc, char **argv)
     emitTable(args, "fig12a_total.csv", total);
     std::printf("(b) average queue/network delay per stage [cycles]\n");
     emitTable(args, "fig12b_breakdown.csv", breakdown);
+    writeReport(args);
     return 0;
 }

@@ -40,6 +40,7 @@ main(int argc, char **argv)
     WorkloadRun run(cluster, transformerWorkload(tc),
                     TrainerOptions{.numPasses = 2});
     const Tick makespan = run.run();
+    mergeReport(args, cluster);
 
     Table t;
     t.header({"layer", "name", "fwd_comm", "ig_comm", "wg_comm",
@@ -59,5 +60,6 @@ main(int argc, char **argv)
     std::printf("makespan: %s, exposed ratio: %.1f%%\n\n",
                 formatTicks(makespan).c_str(),
                 100 * run.exposedRatio());
+    writeReport(args);
     return 0;
 }

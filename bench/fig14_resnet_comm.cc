@@ -32,6 +32,7 @@ main(int argc, char **argv)
     WorkloadRun run(cluster, resnet50Workload(),
                     TrainerOptions{.numPasses = 2});
     const Tick makespan = run.run();
+    mergeReport(args, cluster);
 
     Table t;
     t.header({"layer", "name", "wg_bytes", "wg_comm_cycles"});
@@ -46,5 +47,6 @@ main(int argc, char **argv)
     }
     emitTable(args, "fig14_resnet_comm.csv", t);
     std::printf("makespan: %s\n\n", formatTicks(makespan).c_str());
+    writeReport(args);
     return 0;
 }

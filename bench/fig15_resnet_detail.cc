@@ -34,6 +34,7 @@ main(int argc, char **argv)
     WorkloadRun run(cluster, resnet50Workload(),
                     TrainerOptions{.numPasses = 2});
     const Tick makespan = run.run();
+    mergeReport(args, cluster);
 
     Table t;
     t.header({"layer", "name", "compute", "comm", "exposed_comm"});
@@ -54,5 +55,6 @@ main(int argc, char **argv)
                 formatTicks(makespan).c_str(),
                 formatTicks(exposed_total).c_str(),
                 100 * run.exposedRatio());
+    writeReport(args);
     return 0;
 }

@@ -24,19 +24,20 @@ namespace
 {
 
 void
-runPolicy(const BenchArgs &args, SchedulingPolicy policy)
+runPolicy(BenchArgs &args, SchedulingPolicy policy)
 {
     SimConfig cfg;
     cfg.torus(2, 4, 4);
     cfg.local.bandwidth = 8 * cfg.package.bandwidth;
     cfg.algorithm = AlgorithmFlavor::Enhanced;
     cfg.schedulingPolicy = policy;
-    applyOverrides(const_cast<BenchArgs &>(args), cfg);
+    applyOverrides(args, cfg);
 
     Cluster cluster(cfg);
     WorkloadRun run(cluster, resnet50Workload(),
                     TrainerOptions{.numPasses = 2});
     const Tick makespan = run.run();
+    mergeReport(args, cluster);
     StatGroup stats = cluster.aggregateStats();
 
     Table t;
@@ -80,5 +81,6 @@ main(int argc, char **argv)
                       "FIFO vs LIFO");
     runPolicy(args, SchedulingPolicy::LIFO);
     runPolicy(args, SchedulingPolicy::FIFO);
+    writeReport(args);
     return 0;
 }

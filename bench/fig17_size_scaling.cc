@@ -49,6 +49,7 @@ main(int argc, char **argv)
         Cluster cluster(cfg);
         WorkloadRun run(cluster, spec, TrainerOptions{.numPasses = 2});
         const Tick makespan = run.run();
+        mergeReport(args, cluster);
         t.row()
             .cell(s.name)
             .cell(std::uint64_t(s.m * s.h * s.v))
@@ -57,5 +58,6 @@ main(int argc, char **argv)
             .cell(100 * run.exposedRatio(), "%.1f%%");
     }
     emitTable(args, "fig17_size_scaling.csv", t);
+    writeReport(args);
     return 0;
 }

@@ -41,6 +41,7 @@ main(int argc, char **argv)
                         TrainerOptions{.numPasses = 2,
                                        .computeScale = scale});
         const Tick makespan = run.run();
+        mergeReport(args, cluster);
         t.row()
             .cell(strprintf("%.1fx", scale))
             .cell(std::uint64_t(makespan))
@@ -48,5 +49,6 @@ main(int argc, char **argv)
             .cell(100 * run.exposedRatio(), "%.1f%%");
     }
     emitTable(args, "fig18_compute_power.csv", t);
+    writeReport(args);
     return 0;
 }

@@ -18,11 +18,13 @@ parseArgs(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--quick] [--jobs=N] [--csv=DIR] "
-                "[--key=value ...]\n"
+                "[--report-json=FILE] [--key=value ...]\n"
                 "  --quick      reduced sweep (CI)\n"
                 "  --jobs=N     parallel simulations (default: all\n"
                 "               hardware threads; results identical)\n"
                 "  --csv=DIR    also write series as CSV into DIR\n"
+                "  --report-json=FILE  write the merged metric registry\n"
+                "               of every simulated run as JSON\n"
                 "  --key=value  override any simulator parameter\n",
                 argv[0]);
             std::exit(0);
@@ -37,6 +39,10 @@ parseArgs(int argc, char **argv)
         }
         if (arg.rfind("--csv=", 0) == 0) {
             args.csvDir = arg.substr(6);
+            continue;
+        }
+        if (arg.rfind("--report-json=", 0) == 0) {
+            args.reportJson = arg.substr(14);
             continue;
         }
         if (arg.rfind("--", 0) == 0) {
@@ -75,22 +81,33 @@ sizeSweep(Bytes lo, Bytes hi, int factor)
 }
 
 Tick
-timeCollective(const SimConfig &cfg, CollectiveKind kind, Bytes bytes)
+timeCollective(const SimConfig &cfg, CollectiveKind kind, Bytes bytes,
+               MetricRegistry *metrics)
 {
     Cluster cluster(cfg);
-    return cluster.runCollective(kind, bytes);
+    const Tick t = cluster.runCollective(kind, bytes);
+    if (metrics)
+        metrics->merge(cluster.exportMetrics());
+    return t;
 }
 
 std::vector<Tick>
-timeCollectives(const BenchArgs &args,
+timeCollectives(BenchArgs &args,
                 const std::vector<CollectiveJob> &jobs_list)
 {
     std::vector<Tick> out(jobs_list.size(), 0);
+    const bool want_metrics = !args.reportJson.empty();
+    // Workers fill private slots; the merge into the shared report
+    // happens serially afterwards (deterministic, no locking).
+    std::vector<MetricRegistry> regs(want_metrics ? jobs_list.size() : 0);
     SweepRunner runner(args.jobs);
     runner.forEach(jobs_list.size(), [&](std::size_t i) {
         const CollectiveJob &job = jobs_list[i];
-        out[i] = timeCollective(job.cfg, job.kind, job.bytes);
+        out[i] = timeCollective(job.cfg, job.kind, job.bytes,
+                                want_metrics ? &regs[i] : nullptr);
     });
+    for (const MetricRegistry &r : regs)
+        args.report.merge(r);
     return out;
 }
 
@@ -102,6 +119,23 @@ emitTable(const BenchArgs &args, const std::string &name,
     std::printf("\n");
     if (!args.csvDir.empty())
         table.writeCsv(args.csvDir + "/" + name);
+}
+
+void
+mergeReport(BenchArgs &args, const Cluster &cluster)
+{
+    if (args.reportJson.empty())
+        return;
+    args.report.merge(cluster.exportMetrics());
+}
+
+void
+writeReport(const BenchArgs &args)
+{
+    if (args.reportJson.empty())
+        return;
+    args.report.writeFile(args.reportJson);
+    std::printf("wrote metric report: %s\n", args.reportJson.c_str());
 }
 
 } // namespace astra::bench

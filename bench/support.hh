@@ -18,6 +18,7 @@
 
 #include "common/config.hh"
 #include "common/csv.hh"
+#include "common/stats.hh"
 #include "common/units.hh"
 #include "core/cluster.hh"
 
@@ -31,9 +32,17 @@ struct BenchArgs
     std::string csvDir;    //!< --csv=<dir>, empty = stdout only
     bool quick = false;    //!< --quick: reduced sweeps
     int jobs = 0;          //!< --jobs=N sweep workers; 0 = all threads
+    std::string reportJson; //!< --report-json=<path>, empty = off
 
     /** Raw overrides to re-apply onto per-experiment configs. */
     std::vector<std::pair<std::string, std::string>> rawOverrides;
+
+    /**
+     * Merged metric registries of every simulation the harness ran
+     * (filled by timeCollectives/mergeReport when --report-json is
+     * given); writeReport serializes it at the end of the run.
+     */
+    MetricRegistry report;
 };
 
 /** Parse argv; exits on --help. */
@@ -48,9 +57,12 @@ void banner(const std::string &fig, const std::string &what);
 /** Geometric size sweep [lo, hi] with the given factor. */
 std::vector<Bytes> sizeSweep(Bytes lo, Bytes hi, int factor = 4);
 
-/** Run one collective on a fresh cluster; returns comm time. */
+/**
+ * Run one collective on a fresh cluster; returns comm time. When
+ * @p metrics is non-null the run's full registry is merged into it.
+ */
 Tick timeCollective(const SimConfig &cfg, CollectiveKind kind,
-                    Bytes bytes);
+                    Bytes bytes, MetricRegistry *metrics = nullptr);
 
 /** One independent simulation of a figure sweep. */
 struct CollectiveJob
@@ -66,12 +78,22 @@ struct CollectiveJob
  * numbers and their order are identical to calling timeCollective in
  * a serial loop, only the wall-clock changes.
  */
-std::vector<Tick> timeCollectives(const BenchArgs &args,
+std::vector<Tick> timeCollectives(BenchArgs &args,
                                   const std::vector<CollectiveJob> &jobs_list);
 
 /** Emit @p table to stdout and, when requested, to <csvDir>/<name>. */
 void emitTable(const BenchArgs &args, const std::string &name,
                const Table &table);
+
+/**
+ * Merge @p cluster's metric registry into args.report (no-op unless
+ * --report-json was given). Call after running a cluster the harness
+ * drives directly, outside timeCollectives.
+ */
+void mergeReport(BenchArgs &args, const Cluster &cluster);
+
+/** Write args.report to --report-json=<path>; no-op when unset. */
+void writeReport(const BenchArgs &args);
 
 } // namespace astra::bench
 

@@ -122,6 +122,7 @@ ChunkState::applyRangePayload(const RangePayload &payload)
             _valid[std::size_t(e)] = true;
         }
     }
+    ++_payloadsApplied;
 }
 
 void
@@ -154,6 +155,7 @@ void
 ChunkState::addBlocks(const std::vector<std::pair<int, int>> &blocks)
 {
     _blocks.insert(_blocks.end(), blocks.begin(), blocks.end());
+    ++_payloadsApplied;
 }
 
 bool

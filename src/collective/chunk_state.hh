@@ -161,6 +161,13 @@ class ChunkState
      */
     bool allToAllComplete() const;
 
+    /**
+     * Payload applications (applyRangePayload + addBlocks calls) this
+     * chunk absorbed — a data-movement count the observability layer
+     * reports alongside chunk latency.
+     */
+    std::uint64_t payloadsApplied() const { return _payloadsApplied; }
+
   private:
     int _e;
     int _myRank;
@@ -169,6 +176,7 @@ class ChunkState
     std::vector<BitVec> _contribs;
     std::vector<bool> _valid;
     std::vector<std::pair<int, int>> _blocks;
+    std::uint64_t _payloadsApplied = 0;
 };
 
 } // namespace astra

@@ -231,6 +231,15 @@ SimConfig::set(const std::string &key, const std::string &value)
         dnnName = value;
     } else if (k == "trace-file") {
         traceFile = value;
+    } else if (k == "net-metrics") {
+        std::string v = lower(value);
+        if (v == "1" || v == "true" || v == "on" || v == "yes")
+            netMetrics = true;
+        else if (v == "0" || v == "false" || v == "off" || v == "no")
+            netMetrics = false;
+        else
+            fatal("parameter 'net-metrics': '%s' is not a boolean",
+                  value.c_str());
     } else if (k == "num-passes") {
         numPasses = parseInt(k, value);
     } else if (k == "algorithm") {

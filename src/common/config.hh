@@ -114,6 +114,14 @@ struct SimConfig
     /** Chrome-trace output path; empty disables tracing. */
     std::string traceFile;
 
+    /**
+     * Detailed network-layer metrics (per-link usage, per-hop latency
+     * histograms). On by default; bench/metrics_bench turns it off to
+     * measure the instrumentation overhead. Purely observational —
+     * toggling it never changes simulated time.
+     */
+    bool netMetrics = true;
+
     // --- System level ------------------------------------------------
     AlgorithmFlavor algorithm = AlgorithmFlavor::Baseline; //!< #3
     TopologyKind topology = TopologyKind::Torus3D;         //!< #8

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal JSON output helpers shared by every serializer in the tree
+ * (trace recorder, metric registry, report writers).
+ *
+ * Only *emission* lives here — the simulator never parses JSON. The
+ * helpers guarantee the two properties a hand-rolled writer usually
+ * gets wrong: every control character in a string is escaped (invalid
+ * JSON otherwise), and every double renders as a finite JSON number
+ * (NaN/Inf have no JSON spelling).
+ */
+
+#ifndef ASTRA_COMMON_JSON_HH
+#define ASTRA_COMMON_JSON_HH
+
+#include <string>
+
+namespace astra
+{
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal. Handles the
+ * two-character escapes ("\n", "\"" ...) and renders every other byte
+ * below 0x20 as \u00XX.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render @p v as a JSON number token. NaN and infinities — which JSON
+ * cannot represent — render as 0 (observer output must never make a
+ * report unparsable).
+ */
+std::string jsonNumber(double v);
+
+} // namespace astra
+
+#endif // ASTRA_COMMON_JSON_HH

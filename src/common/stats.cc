@@ -1,7 +1,45 @@
 #include "common/stats.hh"
 
+#include <cstdio>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
 namespace astra
 {
+
+double
+Histogram::percentile(double p) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    if (p <= 0.0)
+        return minimum();
+    if (p >= 100.0)
+        return maximum();
+
+    // Rank of the requested percentile (1-based, nearest-rank style).
+    const double rank = p / 100.0 * static_cast<double>(n);
+    double below = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const double c = static_cast<double>(_buckets[std::size_t(i)]);
+        if (c == 0)
+            continue;
+        if (below + c >= rank) {
+            // Linear interpolation inside the bucket, clamped to the
+            // exact observed range.
+            const double frac = (rank - below) / c;
+            const double lo = lowerBound(i);
+            const double hi = upperBound(i);
+            const double est = lo + frac * (hi - lo);
+            return std::clamp(est, minimum(), maximum());
+        }
+        below += c;
+    }
+    return maximum(); // unreachable: counts always cover the rank
+}
 
 void
 StatGroup::merge(const StatGroup &o)
@@ -10,6 +48,132 @@ StatGroup::merge(const StatGroup &o)
         _counters[name] += v;
     for (const auto &[name, acc] : o._accs)
         _accs[name].merge(acc);
+    for (const auto &[name, h] : o._hists)
+        _hists[name].merge(h);
+}
+
+namespace
+{
+
+std::string
+pad(int indent)
+{
+    return std::string(std::size_t(indent), ' ');
+}
+
+void
+appendAccumulator(std::string &out, const Accumulator &a)
+{
+    out += "{\"count\": " + jsonNumber(double(a.count())) +
+           ", \"total\": " + jsonNumber(a.total()) +
+           ", \"mean\": " + jsonNumber(a.mean()) +
+           ", \"min\": " + jsonNumber(a.minimum()) +
+           ", \"max\": " + jsonNumber(a.maximum()) + "}";
+}
+
+void
+appendHistogram(std::string &out, const Histogram &h, int indent)
+{
+    const std::string in = pad(indent);
+    out += "{\n";
+    out += in + "  \"count\": " + jsonNumber(double(h.count())) + ",\n";
+    out += in + "  \"total\": " + jsonNumber(h.total()) + ",\n";
+    out += in + "  \"mean\": " + jsonNumber(h.mean()) + ",\n";
+    out += in + "  \"min\": " + jsonNumber(h.minimum()) + ",\n";
+    out += in + "  \"max\": " + jsonNumber(h.maximum()) + ",\n";
+    out += in + "  \"p50\": " + jsonNumber(h.percentile(50)) + ",\n";
+    out += in + "  \"p90\": " + jsonNumber(h.percentile(90)) + ",\n";
+    out += in + "  \"p99\": " + jsonNumber(h.percentile(99)) + ",\n";
+    out += in + "  \"buckets\": [";
+    bool first = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        if (h.bucketCount(i) == 0)
+            continue; // only occupied buckets appear in the report
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "[" + jsonNumber(Histogram::lowerBound(i)) + ", " +
+               jsonNumber(Histogram::upperBound(i)) + ", " +
+               jsonNumber(double(h.bucketCount(i))) + "]";
+    }
+    out += "]\n";
+    out += in;
+    out += "}";
+}
+
+template <typename Map, typename Fn>
+void
+appendSection(std::string &out, const char *title, const Map &entries,
+              int indent, bool last, Fn &&append_value)
+{
+    const std::string in = pad(indent);
+    out += in + "\"" + title + "\": {";
+    bool first = true;
+    for (const auto &[name, value] : entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += in + "  \"" + jsonEscape(name) + "\": ";
+        append_value(out, value);
+    }
+    if (!first)
+        out += "\n" + in;
+    out += last ? "}\n" : "},\n";
+}
+
+} // namespace
+
+std::string
+StatGroup::toJson(int indent) const
+{
+    const std::string in = pad(indent);
+    std::string out = "{\n";
+    appendSection(out, "counters", _counters, indent + 2, false,
+                  [](std::string &o, double v) { o += jsonNumber(v); });
+    appendSection(out, "accumulators", _accs, indent + 2, false,
+                  [](std::string &o, const Accumulator &a) {
+                      appendAccumulator(o, a);
+                  });
+    appendSection(out, "histograms", _hists, indent + 2, true,
+                  [indent](std::string &o, const Histogram &h) {
+                      appendHistogram(o, h, indent + 4);
+                  });
+    out += in + "}";
+    return out;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &o)
+{
+    for (const auto &[name, g] : o._groups)
+        _groups[name].merge(g);
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    std::string out = "{\n  \"schema\": \"astra-metrics-v1\",\n"
+                      "  \"groups\": {";
+    bool first = true;
+    for (const auto &[name, g] : _groups) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(name) + "\": " + g.toJson(4);
+    }
+    if (!first)
+        out += "\n  ";
+    out += "}\n}\n";
+    return out;
+}
+
+void
+MetricRegistry::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open report file '%s' for writing", path.c_str());
+    const std::string json = toJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
 }
 
 } // namespace astra

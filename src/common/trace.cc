@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace astra
@@ -15,37 +16,33 @@ TraceRecorder::span(NodeId node, int lane, const std::string &category,
         panic("trace span ends (%llu) before it starts (%llu)",
               static_cast<unsigned long long>(end),
               static_cast<unsigned long long>(start));
+    _events.push_back(Event{Kind::Span, node, lane, category, name, start,
+                            end - start, 0.0});
+    ++_spans;
+}
+
+void
+TraceRecorder::counter(int pid, const std::string &name, Tick at,
+                       double value)
+{
     _events.push_back(
-        Event{node, lane, category, name, start, end - start});
+        Event{Kind::Counter, pid, 0, {}, name, at, 0, value});
+    ++_counters;
 }
 
-namespace
+void
+TraceRecorder::processName(int pid, const std::string &name)
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
+    _events.push_back(
+        Event{Kind::Meta, pid, 0, "process_name", name, 0, 0, 0.0});
 }
 
-} // namespace
+void
+TraceRecorder::threadName(int pid, int tid, const std::string &name)
+{
+    _events.push_back(
+        Event{Kind::Meta, pid, tid, "thread_name", name, 0, 0, 0.0});
+}
 
 std::string
 TraceRecorder::toJson() const
@@ -55,13 +52,36 @@ TraceRecorder::toJson() const
     std::string out = "[\n";
     for (std::size_t i = 0; i < _events.size(); ++i) {
         const Event &e = _events[i];
-        out += strprintf(
-            "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-            "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": %d}%s\n",
-            jsonEscape(e.name).c_str(), jsonEscape(e.category).c_str(),
-            static_cast<double>(e.start) / 1e3,
-            static_cast<double>(e.duration) / 1e3, e.node, e.lane,
-            i + 1 == _events.size() ? "" : ",");
+        const char *sep = i + 1 == _events.size() ? "" : ",";
+        switch (e.kind) {
+          case Kind::Span:
+            out += strprintf(
+                "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %d, \"tid\": "
+                "%d}%s\n",
+                jsonEscape(e.name).c_str(),
+                jsonEscape(e.category).c_str(),
+                static_cast<double>(e.start) / 1e3,
+                static_cast<double>(e.duration) / 1e3, e.node, e.lane,
+                sep);
+            break;
+          case Kind::Counter:
+            out += strprintf(
+                "  {\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, "
+                "\"pid\": %d, \"args\": {\"value\": %s}}%s\n",
+                jsonEscape(e.name).c_str(),
+                static_cast<double>(e.start) / 1e3, e.node,
+                jsonNumber(e.value).c_str(), sep);
+            break;
+          case Kind::Meta:
+            out += strprintf(
+                "  {\"name\": \"%s\", \"ph\": \"M\", \"ts\": 0, "
+                "\"pid\": %d, \"tid\": %d, \"args\": {\"name\": "
+                "\"%s\"}}%s\n",
+                jsonEscape(e.category).c_str(), e.node, e.lane,
+                jsonEscape(e.name).c_str(), sep);
+            break;
+        }
     }
     out += "]\n";
     return out;

@@ -8,6 +8,17 @@
  * the Chrome Trace Event JSON format, one process lane per NPU.
  * Loading the file in Perfetto gives the classic compute/communication
  * overlap picture the paper's Figs. 15/16 aggregate.
+ *
+ * Besides spans the recorder supports:
+ *  - counter events ("ph":"C"): time series such as per-dimension link
+ *    utilization or a node's ready-queue depth, rendered by Perfetto
+ *    as timeline graphs next to the spans;
+ *  - metadata events ("ph":"M"): process/thread display names, so the
+ *    lanes read "npu3" / "network" instead of bare pids.
+ *
+ * Recording is observer-only: it appends to an in-memory vector and
+ * never touches the event queue, so an enabled trace cannot change a
+ * single simulated tick (see DESIGN.md).
  */
 
 #ifndef ASTRA_COMMON_TRACE_HH
@@ -22,7 +33,8 @@ namespace astra
 {
 
 /**
- * Collects complete ("ph":"X") trace events.
+ * Collects complete ("ph":"X"), counter ("ph":"C") and metadata
+ * ("ph":"M") trace events.
  */
 class TraceRecorder
 {
@@ -41,8 +53,27 @@ class TraceRecorder
     void span(NodeId node, int lane, const std::string &category,
               const std::string &name, Tick start, Tick end);
 
-    /** Number of recorded events. */
+    /**
+     * Record one counter sample: the series @p name of process @p pid
+     * takes value @p value at tick @p at. Perfetto draws one graph
+     * track per (pid, name).
+     */
+    void counter(int pid, const std::string &name, Tick at, double value);
+
+    /** Name the process lane @p pid (metadata event). */
+    void processName(int pid, const std::string &name);
+
+    /** Name thread lane (@p pid, @p tid) (metadata event). */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** Number of recorded events (all kinds). */
     std::size_t size() const { return _events.size(); }
+
+    /** Number of recorded "ph":"X" span events only. */
+    std::size_t spanCount() const { return _spans; }
+
+    /** Number of recorded "ph":"C" counter events only. */
+    std::size_t counterCount() const { return _counters; }
 
     /** Serialize as a Chrome Trace Event JSON array document. */
     std::string toJson() const;
@@ -51,20 +82,37 @@ class TraceRecorder
     void writeFile(const std::string &path) const;
 
     /** Drop all recorded events. */
-    void clear() { _events.clear(); }
+    void
+    clear()
+    {
+        _events.clear();
+        _spans = 0;
+        _counters = 0;
+    }
 
   private:
+    enum class Kind
+    {
+        Span,
+        Counter,
+        Meta,
+    };
+
     struct Event
     {
-        NodeId node;
-        int lane;
-        std::string category;
+        Kind kind;
+        NodeId node; //!< pid of the event
+        int lane;    //!< tid (spans, thread metadata)
+        std::string category; //!< span category / metadata key
         std::string name;
         Tick start;
         Tick duration;
+        double value; //!< counter value
     };
 
     std::vector<Event> _events;
+    std::size_t _spans = 0;
+    std::size_t _counters = 0;
 };
 
 } // namespace astra

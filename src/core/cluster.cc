@@ -34,8 +34,16 @@ Cluster::Cluster(const SimConfig &cfg) : _cfg(cfg), _topo(cfg)
 
     if (!_cfg.traceFile.empty()) {
         _trace = std::make_unique<TraceRecorder>();
-        for (auto &node : _nodes)
+        // Lane names: one process per NPU plus one for the network's
+        // utilization counter lanes (pid = numNodes, above all NPUs).
+        const int net_pid = _topo.numNodes();
+        _trace->processName(net_pid, "network");
+        for (auto &node : _nodes) {
+            _trace->processName(int(node->id()),
+                                strprintf("npu%d", int(node->id())));
             node->setTrace(_trace.get());
+        }
+        _net->setTrace(_trace.get(), net_pid);
     }
 }
 
@@ -107,6 +115,21 @@ Cluster::aggregateStats() const
     for (const auto &node : _nodes)
         all.merge(node->stats());
     return all;
+}
+
+MetricRegistry
+Cluster::exportMetrics() const
+{
+    MetricRegistry reg;
+    reg.group("sys") = aggregateStats();
+    _net->exportStats(reg.group("net"));
+
+    StatGroup &cl = reg.group("cluster");
+    cl.set("elapsed.ticks", static_cast<double>(_eq.now()));
+    cl.set("events.executed",
+           static_cast<double>(_eq.executedEvents()));
+    cl.set("nodes", double(_topo.numNodes()));
+    return reg;
 }
 
 } // namespace astra

@@ -80,6 +80,17 @@ class Cluster
     /** Merge of all per-node stat groups. */
     StatGroup aggregateStats() const;
 
+    /**
+     * Snapshot the whole platform's metrics as one registry:
+     *  - "sys": all per-node StatGroups merged (queue/network delays,
+     *    chunk latency histograms, issued/completed totals);
+     *  - "net": the backend's exportStats (per-link utilization,
+     *    backend-specific histograms, energy);
+     *  - "cluster": elapsed ticks, executed events, node count.
+     * This is what --report-json serializes.
+     */
+    MetricRegistry exportMetrics() const;
+
     /** The trace recorder, or nullptr when tracing is disabled. */
     TraceRecorder *trace() { return _trace.get(); }
 

@@ -51,6 +51,7 @@ Scheduler::submit(Stream *stream)
       }
     }
     dispatch();
+    traceReadyDepth();
 }
 
 void
@@ -79,9 +80,21 @@ Scheduler::sampleReadyDelay(Stream *s, Tick now)
 {
     const double wait = static_cast<double>(now - s->submittedAt);
     _sys.stats().sample("queue.P0", wait);
+    _sys.stats().record("queue.P0", wait);
     if (s->handle()->layer >= 0) {
         _sys.stats().sample(
             strprintf("layer%d.queue.P0", s->handle()->layer), wait);
+    }
+}
+
+void
+Scheduler::traceReadyDepth()
+{
+    // Observer-only: one counter sample per depth change makes the
+    // dispatcher's backlog visible as a Perfetto graph lane.
+    if (TraceRecorder *tr = _sys.trace()) {
+        tr->counter(_sys.id(), "ready_queue.depth", _sys.now(),
+                    static_cast<double>(_ready.size()));
     }
 }
 
@@ -127,6 +140,7 @@ Scheduler::admit(Stream *s, const LsqKey &key)
     const double wait = static_cast<double>(
         now - s->enqueuedAt[std::size_t(key.phase)]);
     _sys.stats().sample(strprintf("queue.P%d", key.phase + 1), wait);
+    _sys.stats().record(strprintf("queue.P%d", key.phase + 1), wait);
     if (s->handle()->layer >= 0) {
         _sys.stats().sample(strprintf("layer%d.queue.P%d",
                                       s->handle()->layer, key.phase + 1),
@@ -152,6 +166,7 @@ Scheduler::promoteIfWaiting(Stream *stream, int p)
         sampleReadyDelay(stream, now);
         stream->enterPhase(0, now);
         enqueue(stream, 0);
+        traceReadyDepth();
         return;
     }
     if (stream->phase() != p || stream->phaseStarted())
@@ -178,7 +193,10 @@ Scheduler::onPhaseFinished(Stream *stream, int p, bool stream_complete)
     --q.active;
     if (p == 0) {
         --_phase0Active;
+        const std::size_t depth = _ready.size();
         dispatch();
+        if (_ready.size() != depth)
+            traceReadyDepth();
     }
     if (stream_complete)
         --_inFlight;

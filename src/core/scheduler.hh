@@ -109,6 +109,9 @@ class Scheduler
     /** Record ready-queue (P0) delay, globally and per layer. */
     void sampleReadyDelay(Stream *s, Tick now);
 
+    /** Emit a ready-queue depth trace counter (no-op without trace). */
+    void traceReadyDepth();
+
     /** Move ready-queue chunks into phase-0 LSQs per the T/P rule. */
     void dispatch();
 

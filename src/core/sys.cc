@@ -230,6 +230,7 @@ Sys::streamPhaseDone(Stream &stream)
     const double active =
         static_cast<double>(t - stream.startedAt[std::size_t(p)]);
     _stats.sample(strprintf("network.P%d", p + 1), active);
+    _stats.record(strprintf("network.P%d", p + 1), active);
     if (_trace) {
         const PhaseDesc &ph = stream.phaseDesc();
         const char *op = toString(ph.op);
@@ -317,6 +318,15 @@ Sys::finishStream(Stream &stream)
 
     auto handle = stream.handle();
     _stats.inc("completed.chunks");
+
+    // End-to-end chunk latency (submit -> all phases complete), overall
+    // and per collective kind, plus the data-movement count.
+    const double latency =
+        static_cast<double>(now() - stream.submittedAt);
+    _stats.record("chunk.latency", latency);
+    _stats.record(strprintf("chunk.latency.%s", toString(stream.kind())),
+                  latency);
+    _stats.inc("chunk.payloads", static_cast<double>(d.payloadsApplied()));
 
     // Erase before firing callbacks: onComplete may issue collectives.
     _streams.erase(stream.id());

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace astra
@@ -52,6 +53,12 @@ struct CandidateResult
     SimConfig cfg;       //!< the full platform configuration
     Tick commTime = 0;   //!< simulated collective time
     double energyUj = 0; //!< interconnect energy
+    /**
+     * Full metric snapshot of the candidate's run (Cluster::
+     * exportMetrics), filled by SweepRunner::evaluate. Serialized per
+     * candidate by --report-json in explore mode.
+     */
+    MetricRegistry metrics;
 };
 
 /**

@@ -20,6 +20,7 @@ SweepRunner::evaluate(std::vector<CandidateResult> &candidates,
         Cluster cluster(r.cfg);
         r.commTime = cluster.runCollective(kind, bytes);
         r.energyUj = cluster.network().energy().totalUj();
+        r.metrics = cluster.exportMetrics();
     });
 }
 

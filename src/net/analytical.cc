@@ -11,9 +11,20 @@ AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
     : _eq(eq), _fabric(topo, cfg, one_to_one), _routing(cfg.packetRouting),
       _routerLatency(cfg.routerLatency),
       _protocolDelay(cfg.scaleoutProtocolDelay),
-      _freeAt(std::size_t(_fabric.numLinks()), 0)
+      _freeAt(std::size_t(_fabric.numLinks()), 0),
+      _metrics(cfg.netMetrics),
+      _usage(std::size_t(_fabric.numLinks()))
 {
     setEnergyParams(cfg.energy, cfg.flitWidthBits);
+
+    const Topology &t = _fabric.topology();
+    std::vector<std::string> names;
+    std::vector<int> counts(std::size_t(t.numDims()), 0);
+    for (int d = 0; d < t.numDims(); ++d)
+        names.push_back(t.dim(d).name);
+    for (LinkId l = 0; l < _fabric.numLinks(); ++l)
+        ++counts[std::size_t(_fabric.link(l).dim)];
+    setupUtilLanes(std::move(names), std::move(counts));
 }
 
 void
@@ -58,6 +69,13 @@ AnalyticalNetwork::hop(Message msg,
 
     const Tick now = _eq.now();
     if (free_at > now) {
+        if (_metrics) {
+            // The wait accrues in segments: a transfer pre-empted by an
+            // earlier FIFO waiter re-enters here and adds the next leg.
+            LinkUsage &u = _usage[std::size_t(l)];
+            u.queueWait += free_at - now;
+            _waitHist.record(static_cast<double>(free_at - now));
+        }
         // Link busy: retry when it frees up. FIFO order is preserved by
         // the event queue's deterministic tiebreak.
         _eq.schedule(free_at,
@@ -71,6 +89,15 @@ AnalyticalNetwork::hop(Message msg,
     const Tick start = now;
     free_at = start + tx;
     accountHop(msg.bytes, desc.cls);
+    if (_metrics) {
+        LinkUsage &u = _usage[std::size_t(l)];
+        u.busy += tx;
+        u.bytes += msg.bytes;
+        ++u.grants;
+        _txHist.record(static_cast<double>(tx));
+        addDimBusy(desc.dim, tx);
+        maybeEmitUtilCounters(now);
+    }
 
     const bool last = (idx + 1 == path->size());
     if (last) {
@@ -96,6 +123,17 @@ AnalyticalNetwork::hop(Message msg,
                  [this, msg = std::move(msg), path, idx]() mutable {
                      hop(std::move(msg), path, idx + 1);
                  });
+}
+
+void
+AnalyticalNetwork::exportStats(StatGroup &g, Tick elapsed) const
+{
+    NetworkApi::exportStats(g);
+    g.set("backend", 0); // 0 = analytical, 1 = garnet-lite
+    g.set("elapsed.ticks", double(elapsed));
+    exportLinkUsage(_fabric, _usage, elapsed, g);
+    g.histogramRef("hop.tx_time").merge(_txHist);
+    g.histogramRef("hop.queue_wait").merge(_waitHist);
 }
 
 } // namespace astra

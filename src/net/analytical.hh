@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "net/fabric.hh"
 #include "net/network_api.hh"
 
@@ -62,6 +63,28 @@ class AnalyticalNetwork : public NetworkApi
     /** Busy-until tick of link @p id (for tests). */
     Tick linkFreeAt(LinkId id) const { return _freeAt[std::size_t(id)]; }
 
+    /** Usage tallies of link @p id (zeroes when net-metrics is off). */
+    const LinkUsage &
+    linkUsage(LinkId id) const
+    {
+        return _usage[std::size_t(id)];
+    }
+
+    /**
+     * Publish link utilization (per link and per dimension),
+     * serialization-time and queue-wait histograms, and the base
+     * delivery/energy totals into @p g. @p elapsed is the observation
+     * window (usually the cluster's final tick); zero yields 0.0
+     * utilization, never NaN.
+     */
+    void exportStats(StatGroup &g, Tick elapsed) const;
+
+    void
+    exportStats(StatGroup &g) const override
+    {
+        exportStats(g, _eq.now());
+    }
+
   private:
     /**
      * Message @p msg is ready to claim link path[idx] at the current
@@ -76,6 +99,13 @@ class AnalyticalNetwork : public NetworkApi
     Tick _routerLatency;
     Tick _protocolDelay; //!< scale-out transport cost per message
     std::vector<Tick> _freeAt;
+
+    // Observer-only instrumentation (see DESIGN.md): tallies below are
+    // written on the grant/busy paths but never scheduled against.
+    bool _metrics;
+    std::vector<LinkUsage> _usage;
+    Histogram _txHist;   //!< per-grant serialization time, ticks
+    Histogram _waitHist; //!< per-busy-retry queue wait segment, ticks
 };
 
 } // namespace astra

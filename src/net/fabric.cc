@@ -1,6 +1,7 @@
 #include "net/fabric.hh"
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace astra
 {
@@ -23,7 +24,7 @@ Fabric::Fabric(const Topology &topo, const SimConfig &cfg,
                     NodeId v = topo.ringNext(d, ch, u);
                     per_node[std::size_t(u)] =
                         static_cast<LinkId>(_links.size());
-                    _links.push_back(LinkDesc{u, v, info.linkClass});
+                    _links.push_back(LinkDesc{u, v, info.linkClass, d});
                 }
                 _ringLinks[{d, ch}] = std::move(per_node);
             }
@@ -41,10 +42,12 @@ Fabric::Fabric(const Topology &topo, const SimConfig &cfg,
                 for (NodeId u = 0; u < nodes; ++u) {
                     up[std::size_t(u)] =
                         static_cast<LinkId>(_links.size());
-                    _links.push_back(LinkDesc{u, port, info.linkClass});
+                    _links.push_back(
+                        LinkDesc{u, port, info.linkClass, d});
                     down[std::size_t(u)] =
                         static_cast<LinkId>(_links.size());
-                    _links.push_back(LinkDesc{port, u, info.linkClass});
+                    _links.push_back(
+                        LinkDesc{port, u, info.linkClass, d});
                 }
             }
         }
@@ -134,6 +137,68 @@ Fabric::hopCount(NodeId src, NodeId dst, const RouteHint &hint) const
         return 2;
     return _topo.ringDistance(hint.dim, hint.channel, src,
                               _topo.rankInGroup(hint.dim, dst));
+}
+
+void
+exportLinkUsage(const Fabric &fabric, const std::vector<LinkUsage> &usage,
+                Tick elapsed, StatGroup &g)
+{
+    const int nlinks = fabric.numLinks();
+    if (std::size_t(nlinks) != usage.size())
+        panic("exportLinkUsage: %zu usage slots for %d links",
+              usage.size(), nlinks);
+
+    const Topology &topo = fabric.topology();
+    struct DimAgg
+    {
+        Tick busy = 0;
+        Tick queueWait = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t grants = 0;
+        int links = 0;
+    };
+    std::vector<DimAgg> dims(std::size_t(topo.numDims()));
+
+    const double elapsed_d = static_cast<double>(elapsed);
+    double util_sum = 0;
+    std::uint64_t bytes_total = 0;
+    for (LinkId l = 0; l < nlinks; ++l) {
+        const LinkUsage &u = usage[std::size_t(l)];
+        const LinkDesc &desc = fabric.link(l);
+        DimAgg &agg = dims[std::size_t(desc.dim)];
+        agg.busy += u.busy;
+        agg.queueWait += u.queueWait;
+        agg.bytes += u.bytes;
+        agg.grants += u.grants;
+        ++agg.links;
+        bytes_total += u.bytes;
+
+        const double util =
+            safeDiv(static_cast<double>(u.busy), elapsed_d);
+        util_sum += util;
+        g.record("link.util.pct", util * 100.0);
+        if (u.grants > 0)
+            g.set(strprintf("link.%04d.util", int(l)), util);
+    }
+
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        const DimAgg &agg = dims[d];
+        if (agg.links == 0)
+            continue;
+        const std::string prefix = "dim." + topo.dim(int(d)).name + ".";
+        g.set(prefix + "links", double(agg.links));
+        g.set(prefix + "busy", double(agg.busy));
+        g.set(prefix + "queue_wait", double(agg.queueWait));
+        g.set(prefix + "bytes", double(agg.bytes));
+        g.set(prefix + "grants", double(agg.grants));
+        g.set(prefix + "util",
+              safeDiv(static_cast<double>(agg.busy),
+                      elapsed_d * agg.links));
+    }
+
+    g.set("links.total", double(nlinks));
+    g.set("bytes.total", double(bytes_total));
+    g.set("util.mean", nlinks > 0 ? util_sum / nlinks : 0.0);
 }
 
 } // namespace astra

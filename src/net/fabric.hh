@@ -37,6 +37,7 @@ struct LinkDesc
     std::int32_t from; //!< source port (node or switch)
     std::int32_t to;   //!< destination port (node or switch)
     LinkClass cls;     //!< intra- or inter-package technology
+    int dim;           //!< topology dimension the link belongs to
 };
 
 /**
@@ -142,6 +143,24 @@ class Fabric
     std::map<std::pair<int, int>, std::vector<LinkId>> _downLinks;
     std::int32_t _switchPorts = 0; //!< switch port id allocator
 };
+
+/**
+ * Fold per-link usage tallies into metrics:
+ *  - one "link.<id>.util" counter per link that carried traffic
+ *    (busy / elapsed, NaN-free via safeDiv);
+ *  - per-dimension aggregates "dim.<name>.{busy,queue_wait,bytes,
+ *    grants,links,util}" where utilization is total busy over the
+ *    dimension's aggregate link-time;
+ *  - a "link.util.pct" histogram over all links (percent, so the log2
+ *    buckets resolve the 0..100 range);
+ *  - fabric-wide "links.total" / "bytes.total" / "util.mean".
+ *
+ * @p usage must be indexed by LinkId and sized fabric.numLinks().
+ * A zero @p elapsed yields 0.0 utilization everywhere, never NaN.
+ */
+void exportLinkUsage(const Fabric &fabric,
+                     const std::vector<LinkUsage> &usage, Tick elapsed,
+                     StatGroup &g);
 
 } // namespace astra
 

@@ -16,9 +16,20 @@ GarnetLiteNetwork::GarnetLiteNetwork(EventQueue &eq, const Topology &topo,
       _flitBytes(std::max(1, cfg.flitWidthBits / 8)),
       _bufferCapacityFlits(cfg.vcsPerVnet * cfg.buffersPerVc),
       _protocolDelay(cfg.scaleoutProtocolDelay),
-      _links(std::size_t(_fabric.numLinks()))
+      _links(std::size_t(_fabric.numLinks())),
+      _metrics(cfg.netMetrics),
+      _usage(std::size_t(_fabric.numLinks()))
 {
     setEnergyParams(cfg.energy, cfg.flitWidthBits);
+
+    const Topology &t = _fabric.topology();
+    std::vector<std::string> names;
+    std::vector<int> counts(std::size_t(t.numDims()), 0);
+    for (int d = 0; d < t.numDims(); ++d)
+        names.push_back(t.dim(d).name);
+    for (LinkId l = 0; l < _fabric.numLinks(); ++l)
+        ++counts[std::size_t(_fabric.link(l).dim)];
+    setupUtilLanes(std::move(names), std::move(counts));
 }
 
 int
@@ -103,6 +114,10 @@ GarnetLiteNetwork::injectNext(
     pkt->hop = 0;
     pkt->bytes = bytes;
     pkt->flits = flitsOf(bytes);
+    pkt->waitSince = _eq.now();
+    pkt->creditStallSince = kTickInvalid;
+    ++_injectedPackets;
+    _injectedFlits += std::uint64_t(pkt->flits);
 
     _links[std::size_t((*path)[0])].waiting.push_back(pkt);
     pump((*path)[0]);
@@ -132,8 +147,11 @@ GarnetLiteNetwork::pump(LinkId l)
         PacketRef pkt = ls.waiting.front();
 
         // Credit check: room in the downstream input buffer?
-        if (ls.bufferOcc + pkt->flits > _bufferCapacityFlits)
+        if (ls.bufferOcc + pkt->flits > _bufferCapacityFlits) {
+            if (_metrics && pkt->creditStallSince == kTickInvalid)
+                pkt->creditStallSince = _eq.now();
             return; // retried when credits are released
+        }
 
         const Tick now = _eq.now();
         if (ls.freeAt > now) {
@@ -148,6 +166,20 @@ GarnetLiteNetwork::pump(LinkId l)
         ls.bufferOcc += pkt->flits;
         _peakOccupancy = std::max(_peakOccupancy, ls.bufferOcc);
         accountHop(pkt->bytes, desc.cls);
+        if (_metrics) {
+            LinkUsage &u = _usage[std::size_t(l)];
+            u.busy += tx;
+            u.bytes += pkt->bytes;
+            ++u.grants;
+            u.queueWait += now - pkt->waitSince;
+            if (pkt->creditStallSince != kTickInvalid) {
+                _creditStall += now - pkt->creditStallSince;
+                pkt->creditStallSince = kTickInvalid;
+            }
+            _occHist.record(double(ls.bufferOcc));
+            addDimBusy(desc.dim, tx);
+            maybeEmitUtilCounters(now);
+        }
 
         if (pkt->hop > 0) {
             // Leaving the previous link's downstream buffer: release
@@ -169,12 +201,16 @@ GarnetLiteNetwork::pump(LinkId l)
 void
 GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
 {
+    const Tick now = _eq.now();
+    if (_metrics)
+        _hopLatency.record(static_cast<double>(now - pkt->waitSince));
     ++pkt->hop;
     if (pkt->hop == pkt->path->size()) {
         // Ejected at the destination NPU: credits return immediately.
         _links[std::size_t(l)].bufferOcc -= pkt->flits;
-        schedulePump(l, _eq.now());
+        schedulePump(l, now);
         ++_deliveredPackets;
+        _retiredFlits += std::uint64_t(pkt->flits);
         MessageRef parent = pkt->parent;
         recyclePacket(pkt);
         if (--parent->packetsLeft == 0)
@@ -182,6 +218,8 @@ GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
         return;
     }
     const LinkId next = (*pkt->path)[pkt->hop];
+    pkt->waitSince = now;
+    pkt->creditStallSince = kTickInvalid;
     _links[std::size_t(next)].waiting.push_back(pkt);
     pump(next);
 }
@@ -206,6 +244,23 @@ GarnetLiteNetwork::recyclePacket(Packet *pkt)
     pkt->parent.reset();
     pkt->path.reset();
     _packetFree.push_back(pkt);
+}
+
+void
+GarnetLiteNetwork::exportStats(StatGroup &g, Tick elapsed) const
+{
+    NetworkApi::exportStats(g);
+    g.set("backend", 1); // 0 = analytical, 1 = garnet-lite
+    g.set("elapsed.ticks", double(elapsed));
+    exportLinkUsage(_fabric, _usage, elapsed, g);
+    g.set("packets.injected", double(_injectedPackets));
+    g.set("packets.retired", double(_deliveredPackets));
+    g.set("flits.injected", double(_injectedFlits));
+    g.set("flits.retired", double(_retiredFlits));
+    g.set("credit.stall_ticks", double(_creditStall));
+    g.set("buffer.peak_occupancy", double(_peakOccupancy));
+    g.histogramRef("hop.latency").merge(_hopLatency);
+    g.histogramRef("vc.occupancy").merge(_occHist);
 }
 
 } // namespace astra

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/stats.hh"
 #include "net/fabric.hh"
 #include "net/network_api.hh"
 
@@ -70,6 +71,33 @@ class GarnetLiteNetwork : public NetworkApi
      */
     std::size_t allocatedPackets() const { return _packetArena.size(); }
 
+    /** Total packets handed to the injection queues. */
+    std::uint64_t injectedPackets() const { return _injectedPackets; }
+
+    /** Total ticks packets spent blocked on downstream credits. */
+    Tick creditStallTicks() const { return _creditStall; }
+
+    /** Usage tallies of link @p id (zeroes when net-metrics is off). */
+    const LinkUsage &
+    linkUsage(LinkId id) const
+    {
+        return _usage[std::size_t(id)];
+    }
+
+    /**
+     * Publish link utilization (per link and per dimension), per-hop
+     * latency and VC-occupancy histograms, credit-stall time, and
+     * packet/flit injected-vs-retired counters into @p g. @p elapsed
+     * is the observation window; zero yields 0.0 utilization.
+     */
+    void exportStats(StatGroup &g, Tick elapsed) const;
+
+    void
+    exportStats(StatGroup &g) const override
+    {
+        exportStats(g, _eq.now());
+    }
+
   private:
     struct MessageState
     {
@@ -96,6 +124,10 @@ class GarnetLiteNetwork : public NetworkApi
         std::size_t hop = 0;
         int flits = 0;
         Bytes bytes = 0;
+        /** When the packet joined its current link's waiting queue. */
+        Tick waitSince = 0;
+        /** First credit-check failure on this hop (invalid: none). */
+        Tick creditStallSince = kTickInvalid;
     };
     using PacketRef = Packet *;
 
@@ -156,6 +188,16 @@ class GarnetLiteNetwork : public NetworkApi
     std::vector<Packet *> _packetFree; //!< recycled, ready for reuse
     std::uint64_t _deliveredPackets = 0;
     int _peakOccupancy = 0;
+
+    // Observer-only instrumentation (see DESIGN.md).
+    bool _metrics;
+    std::vector<LinkUsage> _usage;
+    std::uint64_t _injectedPackets = 0;
+    std::uint64_t _injectedFlits = 0;
+    std::uint64_t _retiredFlits = 0;
+    Tick _creditStall = 0;   //!< total ticks blocked on credits
+    Histogram _hopLatency;   //!< queue -> arrival time per hop, ticks
+    Histogram _occHist;      //!< buffer occupancy at grant, flits
 };
 
 } // namespace astra

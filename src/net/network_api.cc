@@ -1,6 +1,8 @@
 #include "net/network_api.hh"
 
 #include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
 
 namespace astra
 {
@@ -14,6 +16,46 @@ NetworkApi::deliver(const Message &msg)
     }
     ++_delivered;
     _receivers[std::size_t(msg.dst)](msg);
+}
+
+void
+NetworkApi::exportStats(StatGroup &g) const
+{
+    g.set("delivered.messages", double(_delivered));
+    g.set("byte.hops", double(_byteHops));
+    g.set("energy.local_pj", _energy.localLinkPj);
+    g.set("energy.package_pj", _energy.packageLinkPj);
+    g.set("energy.scaleout_pj", _energy.scaleoutLinkPj);
+    g.set("energy.router_pj", _energy.routerPj);
+    g.set("energy.total_uj", _energy.totalUj());
+}
+
+void
+NetworkApi::setupUtilLanes(std::vector<std::string> names,
+                           std::vector<int> link_counts)
+{
+    _dimNames = std::move(names);
+    _dimLinkCounts = std::move(link_counts);
+    _dimBusy.assign(_dimNames.size(), 0);
+    _dimBusyAtEmit.assign(_dimNames.size(), 0);
+}
+
+void
+NetworkApi::emitUtilCounters(Tick now)
+{
+    const Tick window = now - _lastEmitAt;
+    if (window == 0)
+        return;
+    for (std::size_t d = 0; d < _dimNames.size(); ++d) {
+        const Tick busy = _dimBusy[d] - _dimBusyAtEmit[d];
+        const double capacity =
+            static_cast<double>(window) * _dimLinkCounts[d];
+        _trace->counter(_tracePid, "net.util." + _dimNames[d], now,
+                        safeDiv(static_cast<double>(busy), capacity));
+        _dimBusyAtEmit[d] = _dimBusy[d];
+    }
+    _lastEmitAt = now;
+    _nextCounterAt = now + kUtilCounterInterval;
 }
 
 } // namespace astra

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
@@ -28,6 +29,22 @@
 
 namespace astra
 {
+
+class StatGroup;
+class TraceRecorder;
+
+/**
+ * Per-link usage tallies, kept as plain integers so the hot path pays
+ * a few adds per grant; they are folded into StatGroup metrics only
+ * when exportStats() runs (see exportLinkUsage in net/fabric.hh).
+ */
+struct LinkUsage
+{
+    Tick busy = 0;       //!< ticks the link spent serializing
+    Tick queueWait = 0;  //!< ticks transfers waited for the link
+    std::uint64_t bytes = 0;  //!< payload bytes carried
+    std::uint64_t grants = 0; //!< transfers granted the link
+};
 
 /**
  * Logical routing hint: which topology dimension the transfer belongs
@@ -128,6 +145,25 @@ class NetworkApi
     /** Energy consumed by all traffic so far. */
     const Energy &energy() const { return _energy; }
 
+    /**
+     * Attach a trace recorder: the backend emits throttled "ph":"C"
+     * per-dimension link-utilization counters into process lane
+     * @p pid. Observer-only (never schedules events). Null detaches.
+     */
+    void
+    setTrace(TraceRecorder *trace, int pid)
+    {
+        _trace = trace;
+        _tracePid = pid;
+    }
+
+    /**
+     * Fold the backend's metrics into @p g. The base implementation
+     * publishes delivery/energy totals; backends extend it with link
+     * usage and backend-specific histograms.
+     */
+    virtual void exportStats(StatGroup &g) const;
+
   protected:
     /** Configure the energy model (called by backend constructors). */
     void
@@ -162,8 +198,48 @@ class NetworkApi
         _energy.routerPj += flits * _eparams.routerPjPerFlit;
     }
 
+    /**
+     * Declare the counter lanes for per-dimension utilization tracing:
+     * one lane per topology dimension, with @p link_counts[i] links
+     * behind lane @p names[i]. Called once from backend constructors.
+     */
+    void setupUtilLanes(std::vector<std::string> names,
+                        std::vector<int> link_counts);
+
+    /** Accumulate @p tx busy ticks against dimension lane @p dim. */
+    void
+    addDimBusy(int dim, Tick tx)
+    {
+        if (dim >= 0 && std::size_t(dim) < _dimBusy.size())
+            _dimBusy[std::size_t(dim)] += tx;
+    }
+
+    /**
+     * Emit one utilization counter sample per dimension lane if at
+     * least kUtilCounterInterval ticks have passed since the last
+     * emission. Cheap no-op when no trace is attached. Called from the
+     * backends' grant paths.
+     */
+    void
+    maybeEmitUtilCounters(Tick now)
+    {
+        if (_trace && now >= _nextCounterAt)
+            emitUtilCounters(now);
+    }
+
+    /** Ticks between consecutive utilization counter samples. */
+    static constexpr Tick kUtilCounterInterval = 2048;
+
+    /** The attached trace recorder (null when tracing is off). */
+    TraceRecorder *trace() const { return _trace; }
+
+    /** Trace process lane utilization counters are emitted into. */
+    int tracePid() const { return _tracePid; }
+
   private:
     void resizeReceivers(std::size_t n) { _receivers.resize(n); }
+
+    void emitUtilCounters(Tick now);
 
     std::vector<Receiver> _receivers;
     std::uint64_t _delivered = 0;
@@ -171,6 +247,15 @@ class NetworkApi
     Energy _energy;
     EnergyParams _eparams;
     int _flitBits = 0;
+
+    TraceRecorder *_trace = nullptr;
+    int _tracePid = 0;
+    Tick _nextCounterAt = 0;
+    std::vector<std::string> _dimNames;
+    std::vector<int> _dimLinkCounts;
+    std::vector<Tick> _dimBusy;     //!< cumulative busy ticks per dim
+    std::vector<Tick> _dimBusyAtEmit; //!< snapshot at the last emission
+    Tick _lastEmitAt = 0;
 };
 
 } // namespace astra

@@ -139,7 +139,12 @@ NodeTrainer::waitHandle(const std::shared_ptr<CollectiveHandle> &handle,
     const Tick wait_start = _sys.now();
     handle->onComplete = [this, handle, l, raw_acc,
                           cont = std::move(cont), wait_start] {
-        _stats[l].exposed += _sys.now() - wait_start;
+        const Tick blocked = _sys.now() - wait_start;
+        _stats[l].exposed += blocked;
+        _sys.stats().inc("exposed.cycles",
+                         static_cast<double>(blocked));
+        _sys.stats().record("exposed.wait",
+                            static_cast<double>(blocked));
         if (TraceRecorder *tr = _sys.trace()) {
             tr->span(_sys.id(), 0, "wait",
                      "exposed: " + _spec.layers[l].name, wait_start,
@@ -341,6 +346,30 @@ WorkloadRun::computeRatio() const
         return 0;
     return static_cast<double>(_trainers.front()->totalCompute()) /
            static_cast<double>(_makespan);
+}
+
+void
+WorkloadRun::exportStats(StatGroup &g) const
+{
+    g.set("makespan.ticks", static_cast<double>(_makespan));
+    g.set("exposed.ratio", exposedRatio());
+    g.set("compute.ratio", computeRatio());
+    g.set("passes", double(_opts.numPasses));
+    g.set("layers", double(_spec.layers.size()));
+
+    const std::vector<LayerRunStats> &stats = layerStats();
+    for (std::size_t l = 0; l < stats.size(); ++l) {
+        const LayerRunStats &s = stats[l];
+        const std::string prefix =
+            strprintf("layer%zu.%s.", l, _spec.layers[l].name.c_str());
+        g.set(prefix + "compute", static_cast<double>(s.compute));
+        g.set(prefix + "comm_fwd", static_cast<double>(s.commFwd));
+        g.set(prefix + "comm_ig", static_cast<double>(s.commIg));
+        g.set(prefix + "comm_wg", static_cast<double>(s.commWg));
+        g.set(prefix + "comm_total",
+              static_cast<double>(s.commTotal()));
+        g.set(prefix + "exposed", static_cast<double>(s.exposed));
+    }
 }
 
 } // namespace astra

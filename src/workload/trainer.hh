@@ -179,6 +179,14 @@ class WorkloadRun
     /** Compute ratio: compute / makespan. */
     double computeRatio() const;
 
+    /**
+     * Publish the run's workload-level metrics into @p g: makespan and
+     * ratios, plus node 0's per-layer compute / per-slot communication
+     * / exposed-communication totals under "layer<N>.<name>.*" keys.
+     * Call after run().
+     */
+    void exportStats(StatGroup &g) const;
+
   private:
     Cluster &_cluster;
     WorkloadSpec _spec;

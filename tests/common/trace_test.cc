@@ -4,10 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "common/units.hh"
 #include "core/cluster.hh"
+#include "tests/support/json_lite.hh"
 #include "workload/models.hh"
 #include "workload/trainer.hh"
 
@@ -15,6 +17,8 @@ namespace astra
 {
 namespace
 {
+
+using testsupport::jsonValid;
 
 TEST(Trace, RecordsSpans)
 {
@@ -54,6 +58,61 @@ TEST(Trace, EscapesSpecialCharacters)
     EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
 }
 
+TEST(Json, EscapesControlCharacters)
+{
+    // Tab/newline/CR use the short escapes; other bytes below 0x20
+    // must come out as \u00XX, never raw (raw control characters are
+    // invalid JSON).
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(jsonEscape(std::string("a\x1f") + "b"), "a\\u001fb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(Trace, ControlCharactersProduceValidJson)
+{
+    TraceRecorder tr;
+    tr.span(0, 0, "c", std::string("bell\x07tab\there"), 0, 1);
+    const std::string json = tr.toJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("bell\\u0007tab\\there"), std::string::npos);
+}
+
+TEST(Trace, CounterEventsAreChromeCounterShaped)
+{
+    TraceRecorder tr;
+    tr.counter(4, "net.util.local", 2048, 0.75);
+    tr.counter(4, "net.util.local", 4096, 0.25);
+    EXPECT_EQ(tr.counterCount(), 2u);
+    EXPECT_EQ(tr.spanCount(), 0u);
+    const std::string json = tr.toJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"value\": 0.75}"),
+              std::string::npos);
+    // ns -> us conversion applies to counters too.
+    EXPECT_NE(json.find("\"ts\": 2.048"), std::string::npos);
+}
+
+TEST(Trace, MetadataEventsNameProcessesAndThreads)
+{
+    TraceRecorder tr;
+    tr.processName(0, "npu0");
+    tr.threadName(0, 2, "lane2");
+    const std::string json = tr.toJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err << "\n" << json;
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"name\": \"npu0\"}"),
+              std::string::npos);
+}
+
 TEST(Trace, ClusterRecordsCollectivePhases)
 {
     const char *path = "/tmp/astra_trace_test.json";
@@ -65,8 +124,9 @@ TEST(Trace, ClusterRecordsCollectivePhases)
         Cluster cluster(cfg);
         cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
         ASSERT_NE(cluster.trace(), nullptr);
-        // 2 chunks x 2 phases x 4 nodes.
-        EXPECT_EQ(cluster.trace()->size(), 16u);
+        // 2 chunks x 2 phases x 4 nodes (metadata and counter events
+        // ride alongside; only the spans are counted here).
+        EXPECT_EQ(cluster.trace()->spanCount(), 16u);
         cluster.flushTrace();
     }
     std::ifstream in(path);

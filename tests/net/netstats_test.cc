@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+#include "tests/support/json_lite.hh"
+
+namespace astra
+{
+namespace
+{
+
+using testsupport::jsonValid;
+
+TEST(NetStats, AnalyticalExportsLinkUtilization)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 1 * MiB);
+
+    MetricRegistry reg = cluster.exportMetrics();
+    const StatGroup &net = reg.group("net");
+    EXPECT_DOUBLE_EQ(net.counter("backend"), 0.0);
+    EXPECT_GT(net.counter("elapsed.ticks"), 0.0);
+    EXPECT_GT(net.counter("links.total"), 0.0);
+    EXPECT_GT(net.counter("bytes.total"), 0.0);
+    EXPECT_GT(net.counter("util.mean"), 0.0);
+    EXPECT_LE(net.counter("util.mean"), 1.0);
+    EXPECT_GT(net.histogram("link.util.pct").count(), 0u);
+    EXPECT_GT(net.histogram("hop.tx_time").count(), 0u);
+
+    // The system layer rides along: chunk latency and the P0 ready
+    // queue delay are histogrammed per completed stream.
+    const StatGroup &sys = reg.group("sys");
+    EXPECT_GT(sys.histogram("chunk.latency").count(), 0u);
+    EXPECT_GT(sys.histogram("queue.P0").count(), 0u);
+}
+
+TEST(NetStats, GarnetExportsPacketAndHopStats)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    cfg.backend = NetworkBackend::GarnetLite;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+
+    MetricRegistry reg = cluster.exportMetrics();
+    const StatGroup &net = reg.group("net");
+    EXPECT_DOUBLE_EQ(net.counter("backend"), 1.0);
+    EXPECT_GT(net.counter("packets.injected"), 0.0);
+    // Every injected packet/flit is retired once the run drains.
+    EXPECT_DOUBLE_EQ(net.counter("packets.injected"),
+                     net.counter("packets.retired"));
+    EXPECT_DOUBLE_EQ(net.counter("flits.injected"),
+                     net.counter("flits.retired"));
+    EXPECT_GT(net.histogram("hop.latency").count(), 0u);
+    EXPECT_GT(net.histogram("vc.occupancy").count(), 0u);
+    EXPECT_GT(net.counter("util.mean"), 0.0);
+    EXPECT_LE(net.counter("util.mean"), 1.0);
+}
+
+TEST(NetStats, ZeroElapsedUtilizationIsZeroNotNaN)
+{
+    // Exporting before anything ran must not divide by zero ticks.
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    Cluster cluster(cfg);
+    MetricRegistry reg = cluster.exportMetrics();
+    const StatGroup &net = reg.group("net");
+    EXPECT_DOUBLE_EQ(net.counter("elapsed.ticks"), 0.0);
+    EXPECT_DOUBLE_EQ(net.counter("util.mean"), 0.0);
+    const std::string json = reg.toJson();
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err;
+}
+
+TEST(NetStats, DisablingNetMetricsIsObserverOnly)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    cfg.backend = NetworkBackend::GarnetLite;
+
+    Tick t_on = 0, t_off = 0;
+    MetricRegistry off_reg;
+    {
+        Cluster cluster(cfg);
+        t_on = cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+    }
+    {
+        cfg.netMetrics = false;
+        Cluster cluster(cfg);
+        t_off = cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+        off_reg = cluster.exportMetrics();
+    }
+    // Instrumentation never changes simulated time...
+    EXPECT_EQ(t_on, t_off);
+    // ... and switching it off leaves the link-level metrics empty.
+    const StatGroup &net = off_reg.group("net");
+    EXPECT_DOUBLE_EQ(net.counter("bytes.total"), 0.0);
+    EXPECT_DOUBLE_EQ(net.counter("util.mean"), 0.0);
+    EXPECT_EQ(net.histogram("hop.latency").count(), 0u);
+    // Delivery accounting is part of the simulation proper and stays.
+    EXPECT_GT(net.counter("delivered.messages"), 0.0);
+}
+
+TEST(NetStats, FullRegistryRendersValidJson)
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 1);
+    cfg.backend = NetworkBackend::GarnetLite;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+    const std::string json = cluster.exportMetrics().toJson();
+    std::string err;
+    EXPECT_TRUE(jsonValid(json, &err)) << err;
+    EXPECT_NE(json.find("\"astra-metrics-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"net\""), std::string::npos);
+    EXPECT_NE(json.find("\"sys\""), std::string::npos);
+    EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+}
+
+} // namespace
+} // namespace astra

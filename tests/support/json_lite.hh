@@ -1,0 +1,242 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON validator for tests.
+ *
+ * The simulator emits JSON (trace files, metric reports) with its own
+ * tiny serializer; the tests need an *independent* check that the
+ * output is well-formed without pulling in a JSON library dependency.
+ * This validates RFC 8259 syntax — structure, string escapes, number
+ * grammar — and nothing more (no parse tree, no semantics).
+ */
+
+#ifndef ASTRA_TESTS_SUPPORT_JSON_LITE_HH
+#define ASTRA_TESTS_SUPPORT_JSON_LITE_HH
+
+#include <cctype>
+#include <string>
+
+namespace astra::testsupport
+{
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : _s(text) {}
+
+    /** True iff the whole input is exactly one valid JSON value. */
+    bool valid()
+    {
+        _pos = 0;
+        _err.clear();
+        if (!value())
+            return false;
+        skipWs();
+        if (_pos != _s.size())
+            return fail("trailing garbage");
+        return true;
+    }
+
+    /** Human-readable reason of the last valid() == false. */
+    const std::string &error() const { return _err; }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        _err = what + " at offset " + std::to_string(_pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (_pos < _s.size() &&
+               (_s[_pos] == ' ' || _s[_pos] == '\t' || _s[_pos] == '\n' ||
+                _s[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++_pos) {
+            if (_pos >= _s.size() || _s[_pos] != *p)
+                return fail(std::string("bad literal '") + word + "'");
+        }
+        return true;
+    }
+
+    bool value()
+    {
+        if (++_depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (_pos >= _s.size())
+            return fail("unexpected end of input");
+        bool ok;
+        switch (_s[_pos]) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default:  ok = number(); break;
+        }
+        --_depth;
+        return ok;
+    }
+
+    bool object()
+    {
+        ++_pos; // '{'
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != ':')
+                return fail("expected ':'");
+            ++_pos;
+            if (!value())
+                return false;
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_pos < _s.size() && _s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array()
+    {
+        ++_pos; // '['
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipWs();
+            if (_pos < _s.size() && _s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_pos < _s.size() && _s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool string()
+    {
+        ++_pos; // '"'
+        while (_pos < _s.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(_s[_pos]);
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++_pos;
+                if (_pos >= _s.size())
+                    return fail("dangling escape");
+                const char e = _s[_pos];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++_pos;
+                        if (_pos >= _s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                _s[_pos]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            ++_pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool number()
+    {
+        const std::size_t start = _pos;
+        if (_pos < _s.size() && _s[_pos] == '-')
+            ++_pos;
+        if (_pos >= _s.size() ||
+            !std::isdigit(static_cast<unsigned char>(_s[_pos]))) {
+            return fail("expected value");
+        }
+        if (_s[_pos] == '0') {
+            ++_pos;
+        } else {
+            while (_pos < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_pos])))
+                ++_pos;
+        }
+        if (_pos < _s.size() && _s[_pos] == '.') {
+            ++_pos;
+            if (_pos >= _s.size() ||
+                !std::isdigit(static_cast<unsigned char>(_s[_pos])))
+                return fail("bad fraction");
+            while (_pos < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_pos])))
+                ++_pos;
+        }
+        if (_pos < _s.size() && (_s[_pos] == 'e' || _s[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _s.size() && (_s[_pos] == '+' || _s[_pos] == '-'))
+                ++_pos;
+            if (_pos >= _s.size() ||
+                !std::isdigit(static_cast<unsigned char>(_s[_pos])))
+                return fail("bad exponent");
+            while (_pos < _s.size() &&
+                   std::isdigit(static_cast<unsigned char>(_s[_pos])))
+                ++_pos;
+        }
+        return _pos > start;
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string &_s;
+    std::size_t _pos = 0;
+    int _depth = 0;
+    std::string _err;
+};
+
+/** One-shot convenience: is @p text a single well-formed JSON value? */
+inline bool
+jsonValid(const std::string &text, std::string *err = nullptr)
+{
+    JsonValidator v(text);
+    const bool ok = v.valid();
+    if (err)
+        *err = v.error();
+    return ok;
+}
+
+} // namespace astra::testsupport
+
+#endif // ASTRA_TESTS_SUPPORT_JSON_LITE_HH

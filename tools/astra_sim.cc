@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/csv.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "core/cluster.hh"
@@ -76,6 +77,10 @@ usage(const char *prog)
         "common:\n"
         "  --config=FILE          load key=value parameters\n"
         "  --report-csv=FILE      export the per-layer table as CSV\n"
+        "  --report-json=FILE     export the full metric registry\n"
+        "                         (sys/net/cluster groups; see\n"
+        "                         docs/observability.md)\n"
+        "  --trace-file=FILE      Chrome-trace output (Perfetto)\n"
         "  --key=value            override any Table III parameter\n"
         "  (topology: --topology=torus|alltoall --local-dim=M\n"
         "   --num-packages=N --package-rows=K --global-switches=S)\n",
@@ -89,6 +94,7 @@ struct CliOptions
     std::string writeWorkload;
     std::string configFile;
     std::string reportCsv;
+    std::string reportJson;
     std::string collective;
     Bytes bytes = 4 * MiB;
     int numPasses = 1;
@@ -164,6 +170,17 @@ printEnergy(const NetworkApi::Energy &e)
                 e.packageLinkPj * 1e-6, e.routerPj * 1e-6);
 }
 
+/** Write the cluster's metric registry if --report-json was given. */
+void
+writeReportJson(const CliOptions &opts, const Cluster &cluster)
+{
+    if (opts.reportJson.empty())
+        return;
+    MetricRegistry reg = cluster.exportMetrics();
+    reg.writeFile(opts.reportJson);
+    std::printf("wrote metric report: %s\n", opts.reportJson.c_str());
+}
+
 int
 runCollectiveMode(const CliOptions &opts, SimConfig cfg)
 {
@@ -176,6 +193,7 @@ runCollectiveMode(const CliOptions &opts, SimConfig cfg)
                 toString(kind), formatTicks(t).c_str());
     StatGroup stats = cluster.aggregateStats();
     printBreakdown(stats);
+    writeReportJson(opts, cluster);
     printEnergy(cluster.network().energy());
     const double gbps = static_cast<double>(opts.bytes) /
                         static_cast<double>(t);
@@ -225,6 +243,38 @@ runExploreMode(const CliOptions &opts)
     t.print();
     if (!opts.reportCsv.empty())
         t.writeCsv(opts.reportCsv);
+    if (!opts.reportJson.empty()) {
+        // One document, every candidate with its full metric registry.
+        std::FILE *f = std::fopen(opts.reportJson.c_str(), "w");
+        if (!f)
+            fatal("cannot open report file '%s' for writing",
+                  opts.reportJson.c_str());
+        std::fprintf(f,
+                     "{\n  \"schema\": \"astra-explore-v1\",\n"
+                     "  \"operation\": \"%s\",\n  \"bytes\": %llu,\n"
+                     "  \"candidates\": [",
+                     toString(spec.kind),
+                     static_cast<unsigned long long>(spec.bytes));
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const CandidateResult &r = results[i];
+            std::string metrics = r.metrics.toJson();
+            while (!metrics.empty() && metrics.back() == '\n')
+                metrics.pop_back();
+            std::fprintf(f,
+                         "%s\n    {\"rank\": %zu, \"label\": \"%s\", "
+                         "\"comm_cycles\": %llu, \"energy_uj\": %s, "
+                         "\"metrics\": %s}",
+                         i == 0 ? "" : ",", i + 1,
+                         jsonEscape(r.label).c_str(),
+                         static_cast<unsigned long long>(r.commTime),
+                         jsonNumber(r.energyUj).c_str(),
+                         metrics.c_str());
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote metric report: %s\n",
+                    opts.reportJson.c_str());
+    }
     std::printf("\nbest: %s (%s)\n", results[0].label.c_str(),
                 formatTicks(results[0].commTime).c_str());
     return 0;
@@ -296,6 +346,24 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
         t.print();
         if (!opts.reportCsv.empty())
             t.writeCsv(opts.reportCsv);
+        if (!opts.reportJson.empty()) {
+            MetricRegistry reg = cluster.exportMetrics();
+            StatGroup &pl = reg.group("pipeline");
+            pl.set("makespan.ticks", double(makespan));
+            pl.set("bubble.ratio", run.bubbleRatio());
+            pl.set("stages", double(run.numStages()));
+            for (int s = 0; s < run.numStages(); ++s) {
+                const StageStats &st = run.stage(s);
+                const std::string prefix = strprintf("stage%d.", s);
+                pl.set(prefix + "layers", double(st.layers));
+                pl.set(prefix + "compute", double(st.compute));
+                pl.set(prefix + "bubble", double(st.bubble));
+                pl.set(prefix + "comm_wg", double(st.commWg));
+            }
+            reg.writeFile(opts.reportJson);
+            std::printf("wrote metric report: %s\n",
+                        opts.reportJson.c_str());
+        }
         std::printf("\n");
         printEnergy(cluster.network().energy());
         std::printf("\nmakespan: %s, pipeline bubble: %.1f%%\n",
@@ -326,6 +394,13 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
     t.print();
     if (!opts.reportCsv.empty())
         t.writeCsv(opts.reportCsv);
+    if (!opts.reportJson.empty()) {
+        MetricRegistry reg = cluster.exportMetrics();
+        run.exportStats(reg.group("workload"));
+        reg.writeFile(opts.reportJson);
+        std::printf("wrote metric report: %s\n",
+                    opts.reportJson.c_str());
+    }
 
     std::printf("\n");
     printBreakdown(cluster.aggregateStats());
@@ -372,6 +447,8 @@ main(int argc, char **argv)
             opts.configFile = value;
         } else if (key == "report-csv") {
             opts.reportCsv = value;
+        } else if (key == "report-json") {
+            opts.reportJson = value;
         } else if (key == "collective") {
             opts.collective = value;
         } else if (key == "bytes") {

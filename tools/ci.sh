@@ -27,6 +27,19 @@ cmake --build build -j "$JOBS"
 echo "=== normal ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "=== observability smoke (trace + metric report) ==="
+# The CLI must emit a Chrome trace and a metric report that an
+# independent parser accepts; validate both with Python's json module.
+./build/tools/astra-sim --collective=allreduce --bytes=1MB \
+    --trace-file=build/ci_trace.json --report-json=build/ci_report.json
+python3 -m json.tool build/ci_trace.json >/dev/null
+python3 -m json.tool build/ci_report.json >/dev/null
+grep -q '"ph": "C"' build/ci_trace.json \
+    || { echo "trace has no counter lane" >&2; exit 1; }
+grep -q 'astra-metrics-v1' build/ci_report.json \
+    || { echo "report missing schema marker" >&2; exit 1; }
+echo "trace and report are valid JSON"
+
 echo "=== TSan build (-DASTRA_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DASTRA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
