@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace astra
@@ -22,7 +23,8 @@ ElemRange::subRange(int parts, int j) const
 
 ChunkState::ChunkState(int group_size, int my_global_rank,
                        Bytes total_bytes, CollectiveKind kind)
-    : _e(group_size), _myRank(my_global_rank), _totalBytes(total_bytes)
+    : _e(group_size), _myRank(my_global_rank), _totalBytes(total_bytes),
+      _kind(kind), _validate(validationAtLeast(ValidateLevel::kBasic))
 {
     if (group_size < 1)
         panic("chunk group size %d < 1", group_size);
@@ -76,9 +78,24 @@ ChunkState::contribs(int e) const
     return _contribs[std::size_t(e)];
 }
 
+void
+ChunkState::checkOp(ChunkOp op) const
+{
+    if (_validate)
+        validate::chunkTransition(_kind, op, _done, _myRank);
+}
+
+void
+ChunkState::finalize()
+{
+    checkOp(ChunkOp::Finalize);
+    _done = true;
+}
+
 RangePayload
 ChunkState::makeRangePayload(const ElemRange &range, bool reduce) const
 {
+    checkOp(ChunkOp::MakePayload);
     RangePayload p;
     p.range = range;
     p.reduce = reduce;
@@ -95,6 +112,8 @@ ChunkState::makeRangePayload(const ElemRange &range, bool reduce) const
 void
 ChunkState::applyRangePayload(const RangePayload &payload)
 {
+    checkOp(payload.reduce ? ChunkOp::ApplyReduce
+                           : ChunkOp::ApplyInstall);
     const ElemRange &r = payload.range;
     if (r.lo < 0 || r.hi > _e || r.lo >= r.hi)
         panic("bad payload range [%d,%d)", r.lo, r.hi);
@@ -128,6 +147,7 @@ ChunkState::applyRangePayload(const RangePayload &payload)
 void
 ChunkState::restrictValidTo(const ElemRange &keep)
 {
+    checkOp(ChunkOp::Restrict);
     for (int e = 0; e < _e; ++e) {
         if (!keep.contains(e))
             _valid[std::size_t(e)] = false;
@@ -139,6 +159,7 @@ std::vector<std::pair<int, int>>
 ChunkState::takeBlocksIf(
     const std::function<bool(int src, int dst)> &pred)
 {
+    checkOp(ChunkOp::TakeBlocks);
     std::vector<std::pair<int, int>> taken;
     std::vector<std::pair<int, int>> kept;
     for (const auto &b : _blocks) {
@@ -154,6 +175,7 @@ ChunkState::takeBlocksIf(
 void
 ChunkState::addBlocks(const std::vector<std::pair<int, int>> &blocks)
 {
+    checkOp(ChunkOp::AddBlocks);
     _blocks.insert(_blocks.end(), blocks.begin(), blocks.end());
     ++_payloadsApplied;
 }

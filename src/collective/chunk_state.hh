@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "collective/validate.hh"
 #include "common/bitvec.hh"
 #include "common/types.hh"
 
@@ -88,6 +89,18 @@ class ChunkState
     int groupSize() const { return _e; }
     int myGlobalRank() const { return _myRank; }
     Bytes totalBytes() const { return _totalBytes; }
+    CollectiveKind kind() const { return _kind; }
+
+    /**
+     * Seal the chunk once its collective completes (called from
+     * Sys::finishStream). Under validation (level >= basic) this is a
+     * state-machine transition: any further mutation of a finalized
+     * chunk raises an integrity diagnostic.
+     */
+    void finalize();
+
+    /** Has finalize() run? */
+    bool finalized() const { return _done; }
 
     /** Bytes represented by one logical element. */
     double
@@ -169,9 +182,19 @@ class ChunkState
     std::uint64_t payloadsApplied() const { return _payloadsApplied; }
 
   private:
+    /**
+     * FSM gate (integrity layer): check that @p op is a legal
+     * transition for this chunk's collective kind and lifecycle state.
+     * No-op unless validation was enabled at construction.
+     */
+    void checkOp(ChunkOp op) const;
+
     int _e;
     int _myRank;
     Bytes _totalBytes;
+    CollectiveKind _kind;
+    bool _done = false;  //!< sealed by finalize()
+    bool _validate;      //!< FSM checks armed (level >= basic at ctor)
     ElemRange _current;
     std::vector<BitVec> _contribs;
     std::vector<bool> _valid;

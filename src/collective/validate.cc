@@ -1,0 +1,95 @@
+#include "collective/validate.hh"
+
+#include "common/check.hh"
+
+namespace astra
+{
+
+const char *
+toString(ChunkOp op)
+{
+    switch (op) {
+      case ChunkOp::MakePayload:
+        return "make-payload";
+      case ChunkOp::ApplyReduce:
+        return "apply-reduce";
+      case ChunkOp::ApplyInstall:
+        return "apply-install";
+      case ChunkOp::Restrict:
+        return "restrict-valid";
+      case ChunkOp::TakeBlocks:
+        return "take-blocks";
+      case ChunkOp::AddBlocks:
+        return "add-blocks";
+      case ChunkOp::Finalize:
+        return "finalize";
+    }
+    return "unknown";
+}
+
+namespace validate
+{
+
+bool
+chunkOpLegal(CollectiveKind kind, ChunkOp op, bool done)
+{
+    if (done)
+        return false; // a sealed chunk accepts nothing
+    switch (kind) {
+      case CollectiveKind::ReduceScatter:
+        switch (op) {
+          case ChunkOp::MakePayload:
+          case ChunkOp::ApplyReduce:
+          case ChunkOp::Restrict:
+          case ChunkOp::Finalize:
+            return true;
+          default:
+            return false;
+        }
+      case CollectiveKind::AllGather:
+        switch (op) {
+          case ChunkOp::MakePayload:
+          case ChunkOp::ApplyInstall:
+          case ChunkOp::Finalize:
+            return true;
+          default:
+            return false;
+        }
+      case CollectiveKind::AllReduce:
+        // RS phases then AG phases: every range op is legal, block ops
+        // are not.
+        switch (op) {
+          case ChunkOp::TakeBlocks:
+          case ChunkOp::AddBlocks:
+            return false;
+          default:
+            return true;
+        }
+      case CollectiveKind::AllToAll:
+        switch (op) {
+          case ChunkOp::TakeBlocks:
+          case ChunkOp::AddBlocks:
+          case ChunkOp::Finalize:
+            return true;
+          default:
+            return false;
+        }
+      case CollectiveKind::None:
+        return false;
+    }
+    return false;
+}
+
+void
+chunkTransition(CollectiveKind kind, ChunkOp op, bool done, int rank)
+{
+    ASTRA_CHECK(chunkOpLegal(kind, op, done),
+                "illegal chunk transition: op %s on a%s %s chunk "
+                "(rank %d)",
+                toString(op), done ? " finalized" : "", toString(kind),
+                rank);
+}
+
+} // namespace validate
+
+} // namespace astra

@@ -1,0 +1,84 @@
+#include "common/check.hh"
+
+#include <atomic>
+#include <cstdarg>
+
+#include "common/logging.hh"
+
+namespace astra
+{
+
+namespace
+{
+
+// Builds configured with the ASTRA_VALIDATE CMake option run every
+// checker by default; release builds pay nothing unless --validate is
+// passed. Atomic: sweep workers read the level while the CLI/tests on
+// another thread may have set it.
+#ifdef ASTRA_VALIDATE
+std::atomic<int> gLevel{static_cast<int>(ValidateLevel::kFull)};
+#else
+std::atomic<int> gLevel{static_cast<int>(ValidateLevel::kOff)};
+#endif
+
+} // namespace
+
+void
+setValidationLevel(ValidateLevel level)
+{
+    gLevel = static_cast<int>(level);
+}
+
+ValidateLevel
+validationLevel()
+{
+    return static_cast<ValidateLevel>(gLevel.load());
+}
+
+bool
+validationAtLeast(ValidateLevel level)
+{
+    return gLevel.load() >= static_cast<int>(level);
+}
+
+ValidateLevel
+parseValidateLevel(const std::string &s)
+{
+    if (s.empty() || s == "full" || s == "2")
+        return ValidateLevel::kFull;
+    if (s == "basic" || s == "1")
+        return ValidateLevel::kBasic;
+    if (s == "off" || s == "0")
+        return ValidateLevel::kOff;
+    fatal("unknown validation level '%s' (off/basic/full)", s.c_str());
+    return ValidateLevel::kOff;
+}
+
+const char *
+toString(ValidateLevel level)
+{
+    switch (level) {
+      case ValidateLevel::kOff: return "off";
+      case ValidateLevel::kBasic: return "basic";
+      case ValidateLevel::kFull: return "full";
+    }
+    return "?";
+}
+
+namespace detail
+{
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    fatal("%s:%d: check failed: (%s) %s", file, line, expr, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace astra

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ASTRA_CHECK / ASTRA_DCHECK — the invariant-checking macro family of
+ * the simulation integrity layer (docs/validation.md).
+ *
+ * ASTRA_CHECK(cond, fmt, ...) is always compiled: when @p cond is
+ * false it raises a formatted fatal diagnostic carrying the source
+ * location and the failed expression, so the message a user sees
+ * pinpoints the offending value ("when=90 now=100"), not just "bad
+ * argument". Use it on cold paths: argument validation, drain-time
+ * invariant checkers, configuration parsing.
+ *
+ * ASTRA_DCHECK is the hot-path variant: it compiles to nothing unless
+ * the build enables -DASTRA_VALIDATE (the `ASTRA_VALIDATE` CMake
+ * option), so per-event assertions are zero-cost in release sweeps.
+ * The condition is still type-checked in the off configuration (via an
+ * unevaluated operand) so validate-only code cannot rot.
+ *
+ * The *runtime* side — which registered checkers actually run — is a
+ * process-global validation level set by `--validate[=level]`:
+ *
+ *   off   (0)  nothing runs; the default.
+ *   basic (1)  drain-time Validator checkers + incremental ledger
+ *              checks (credit bounds, link-grant non-overlap).
+ *   full  (2)  basic + per-event ordering audit in the event queue.
+ *
+ * Builds configured with -DASTRA_VALIDATE default the runtime level to
+ * `full` so the whole test suite exercises every checker.
+ */
+
+#ifndef ASTRA_COMMON_CHECK_HH
+#define ASTRA_COMMON_CHECK_HH
+
+#include <string>
+
+namespace astra
+{
+
+/** How much runtime validation the integrity layer performs. */
+enum class ValidateLevel
+{
+    kOff = 0,   //!< no checkers run
+    kBasic = 1, //!< drain-time checkers + incremental ledgers
+    kFull = 2,  //!< basic + per-event event-queue ordering audit
+};
+
+/** Set the process-global validation level (atomic; thread-safe). */
+void setValidationLevel(ValidateLevel level);
+
+/** The current process-global validation level. */
+ValidateLevel validationLevel();
+
+/** True when the current level is at least @p level. */
+bool validationAtLeast(ValidateLevel level);
+
+/**
+ * Parse a --validate value: "off"/"basic"/"full" (or 0/1/2). The empty
+ * string — a bare `--validate` — selects full. fatal() on anything
+ * else.
+ */
+ValidateLevel parseValidateLevel(const std::string &s);
+
+/** Human-readable name of a level. */
+const char *toString(ValidateLevel level);
+
+namespace detail
+{
+
+/**
+ * Failure sink of ASTRA_CHECK: formats
+ *   "<file>:<line>: check failed: (<expr>) <message>"
+ * and routes it through fatal(), so tests that install the throwing
+ * handler observe a FatalError and the CLI exits with status 1.
+ */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *expr, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace detail
+
+} // namespace astra
+
+/**
+ * Always-on invariant check with a formatted fatal diagnostic. Needs
+ * at least a format string: ASTRA_CHECK(x > 0, "x=%d", x).
+ */
+#define ASTRA_CHECK(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) [[unlikely]] {                                     \
+            ::astra::detail::checkFailed(__FILE__, __LINE__, #cond,     \
+                                         __VA_ARGS__);                  \
+        }                                                               \
+    } while (0)
+
+#ifdef ASTRA_VALIDATE
+/** Hot-path check, compiled only under -DASTRA_VALIDATE. */
+#define ASTRA_DCHECK(cond, ...) ASTRA_CHECK(cond, __VA_ARGS__)
+#else
+/** Off build: no code, but the condition still type-checks. */
+#define ASTRA_DCHECK(cond, ...)                                         \
+    do {                                                                \
+        (void)sizeof(!(cond));                                          \
+    } while (0)
+#endif
+
+#endif // ASTRA_COMMON_CHECK_HH

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -22,6 +23,19 @@ lower(const std::string &s)
         return static_cast<char>(std::tolower(c));
     });
     return out;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    const std::string v = lower(value);
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return false;
+    fatal("parameter '%s': '%s' is not a boolean", key.c_str(),
+          value.c_str());
+    return false;
 }
 
 int
@@ -232,14 +246,9 @@ SimConfig::set(const std::string &key, const std::string &value)
     } else if (k == "trace-file") {
         traceFile = value;
     } else if (k == "net-metrics") {
-        std::string v = lower(value);
-        if (v == "1" || v == "true" || v == "on" || v == "yes")
-            netMetrics = true;
-        else if (v == "0" || v == "false" || v == "off" || v == "no")
-            netMetrics = false;
-        else
-            fatal("parameter 'net-metrics': '%s' is not a boolean",
-                  value.c_str());
+        netMetrics = parseBool(k, value);
+    } else if (k == "digest") {
+        digest = parseBool(k, value);
     } else if (k == "num-passes") {
         numPasses = parseInt(k, value);
     } else if (k == "algorithm") {
@@ -418,49 +427,72 @@ SimConfig::applyArgs(int argc, char **argv)
 void
 SimConfig::validate() const
 {
-    if (localDim < 1 || horizontalDim < 1 || verticalDim < 1)
-        fatal("topology dimensions must be >= 1");
-    if (numNpus() < 2)
-        fatal("need at least 2 NPUs, got %d", numNpus());
+    // ASTRA_CHECK rather than bare fatal(): a rejected configuration
+    // should always print the offending values, not just the rule.
+    ASTRA_CHECK(localDim >= 1 && horizontalDim >= 1 && verticalDim >= 1,
+                "topology dimensions must be >= 1 (got %dx%dx%d)",
+                localDim, horizontalDim, verticalDim);
+    ASTRA_CHECK(numNpus() >= 2, "need at least 2 NPUs, got %d",
+                numNpus());
     if (topology == TopologyKind::AllToAll && verticalDim != 1)
         fatal("AllToAll topology is local x packages (vertical-dim==1)");
-    if (topology == TopologyKind::AllToAll && globalSwitches < 1)
-        fatal("AllToAll topology needs >= 1 global switch");
-    if (local.rings < 1 || package.rings < 1)
-        fatal("ring counts must be >= 1");
-    if (local.bandwidth <= 0 || package.bandwidth <= 0)
-        fatal("link bandwidth must be positive");
-    if (local.efficiency <= 0 || local.efficiency > 1 ||
-        package.efficiency <= 0 || package.efficiency > 1) {
-        fatal("link efficiency must be in (0, 1]");
-    }
-    if (local.packetSize == 0 || package.packetSize == 0)
-        fatal("packet sizes must be positive");
-    if (preferredSetSplits < 1)
-        fatal("preferred-set-splits must be >= 1");
-    if (dispatchThreshold < 1 || dispatchWidth < 1)
-        fatal("dispatcher threshold/width must be >= 1");
-    if (lsqConcurrency < 1)
-        fatal("lsq-concurrency must be >= 1");
-    if (numPasses < 1)
-        fatal("num-passes must be >= 1");
-    if (flitWidthBits < 8)
-        fatal("flit-width must be at least one byte");
-    if (vcsPerVnet < 1 || buffersPerVc < 1)
-        fatal("VC configuration must be >= 1");
-    if (scaleoutDimSize < 1)
-        fatal("scaleout-dim must be >= 1");
+    ASTRA_CHECK(topology != TopologyKind::AllToAll ||
+                    globalSwitches >= 1,
+                "AllToAll topology needs >= 1 global switch (got %d)",
+                globalSwitches);
+    ASTRA_CHECK(local.rings >= 1 && package.rings >= 1,
+                "ring counts must be >= 1 (local=%d package=%d)",
+                local.rings, package.rings);
+    ASTRA_CHECK(local.bandwidth > 0 && package.bandwidth > 0,
+                "link bandwidth must be positive (local=%g package=%g)",
+                local.bandwidth, package.bandwidth);
+    ASTRA_CHECK(local.efficiency > 0 && local.efficiency <= 1 &&
+                    package.efficiency > 0 && package.efficiency <= 1,
+                "link efficiency must be in (0, 1] (local=%g package=%g)",
+                local.efficiency, package.efficiency);
+    ASTRA_CHECK(local.packetSize != 0 && package.packetSize != 0,
+                "packet sizes must be positive (local=%llu package=%llu)",
+                static_cast<unsigned long long>(local.packetSize),
+                static_cast<unsigned long long>(package.packetSize));
+    ASTRA_CHECK(preferredSetSplits >= 1,
+                "preferred-set-splits must be >= 1 (got %d)",
+                preferredSetSplits);
+    ASTRA_CHECK(dispatchThreshold >= 1 && dispatchWidth >= 1,
+                "dispatcher threshold/width must be >= 1 "
+                "(threshold=%d width=%d)",
+                dispatchThreshold, dispatchWidth);
+    ASTRA_CHECK(lsqConcurrency >= 1,
+                "lsq-concurrency must be >= 1 (got %d)", lsqConcurrency);
+    ASTRA_CHECK(numPasses >= 1, "num-passes must be >= 1 (got %d)",
+                numPasses);
+    ASTRA_CHECK(flitWidthBits >= 8,
+                "flit-width must be at least one byte (got %d bits)",
+                flitWidthBits);
+    ASTRA_CHECK(vcsPerVnet >= 1 && buffersPerVc >= 1,
+                "VC configuration must be >= 1 (vcs-per-vnet=%d "
+                "buffers-per-vc=%d)",
+                vcsPerVnet, buffersPerVc);
+    ASTRA_CHECK(scaleoutDimSize >= 1,
+                "scaleout-dim must be >= 1 (got %d)", scaleoutDimSize);
     if (scaleoutDimSize > 1) {
-        if (scaleoutSwitches < 1)
-            fatal("scale-out needs >= 1 switch");
-        if (scaleout.bandwidth <= 0 || scaleout.packetSize == 0 ||
-            scaleout.efficiency <= 0 || scaleout.efficiency > 1)
-            fatal("bad scale-out link parameters");
+        ASTRA_CHECK(scaleoutSwitches >= 1,
+                    "scale-out needs >= 1 switch (got %d)",
+                    scaleoutSwitches);
+        ASTRA_CHECK(scaleout.bandwidth > 0 && scaleout.packetSize != 0 &&
+                        scaleout.efficiency > 0 &&
+                        scaleout.efficiency <= 1,
+                    "bad scale-out link parameters (bw=%g packet=%llu "
+                    "efficiency=%g)",
+                    scaleout.bandwidth,
+                    static_cast<unsigned long long>(scaleout.packetSize),
+                    scaleout.efficiency);
     }
     if (physicalDistinct) {
-        if (physLocalDim < 1 || physHorizontalDim < 1 ||
-            physVerticalDim < 1)
-            fatal("physical topology dimensions must be >= 1");
+        ASTRA_CHECK(physLocalDim >= 1 && physHorizontalDim >= 1 &&
+                        physVerticalDim >= 1,
+                    "physical topology dimensions must be >= 1 "
+                    "(got %dx%dx%d)",
+                    physLocalDim, physHorizontalDim, physVerticalDim);
         if (physLocalDim * physHorizontalDim * physVerticalDim !=
             numNpus()) {
             fatal("physical topology has %d NPUs but the logical one "

@@ -122,6 +122,14 @@ struct SimConfig
      */
     bool netMetrics = true;
 
+    /**
+     * Accumulate the determinism auditor's retired-event digest
+     * (--digest / digest=true). Observer-only: enabling it never
+     * changes simulated time, it only folds each retired event's
+     * (tick, priority, sequence) into a 64-bit FNV-1a hash.
+     */
+    bool digest = false;
+
     // --- System level ------------------------------------------------
     AlgorithmFlavor algorithm = AlgorithmFlavor::Baseline; //!< #3
     TopologyKind topology = TopologyKind::Torus3D;         //!< #8

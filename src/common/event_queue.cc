@@ -25,17 +25,19 @@ struct EntryGreater
 EventId
 EventQueue::schedule(Tick when, EventCallback cb, int priority)
 {
-    if (when < _now) {
-        // A past-dated event would fire "now" but after everything
-        // already run this tick, silently corrupting the
-        // non-decreasing-time ordering every layer assumes. This is a
-        // caller bug expressed through user-facing APIs (e.g. a
-        // negative delay computed from a bad config), so fail loudly.
-        fatal("event scheduled in the past (when=%llu now=%llu): "
-              "delays must be non-negative",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(_now));
-    }
+    // A past-dated event would fire "now" but after everything already
+    // run this tick, silently corrupting the non-decreasing-time
+    // ordering every layer assumes. This is a caller bug expressed
+    // through user-facing APIs (e.g. a negative delay computed from a
+    // bad config), so fail loudly with the offending values.
+    ASTRA_CHECK(when >= _now,
+                "event scheduled in the past (when=%llu now=%llu "
+                "delta=-%llu priority=%d): delays must be non-negative",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(_now),
+                static_cast<unsigned long long>(
+                    when < _now ? _now - when : 0),
+                priority);
     EventId id = _nextId++;
     if (_heap.empty() && _heap.capacity() < kInitialReserve)
         _heap.reserve(kInitialReserve);
@@ -93,6 +95,10 @@ EventQueue::popNext(Entry &out)
     out = std::move(_heap.back());
     _heap.pop_back();
     _live.erase(out.id);
+    ASTRA_DCHECK(out.when >= _now,
+                 "heap returned a past event (when=%llu now=%llu)",
+                 static_cast<unsigned long long>(out.when),
+                 static_cast<unsigned long long>(_now));
     return true;
 }
 
@@ -102,6 +108,7 @@ EventQueue::step()
     Entry e;
     if (!popNext(e))
         return false;
+    noteFired(e);
     _now = e.when;
     ++_executed;
     e.cb();
@@ -128,6 +135,7 @@ EventQueue::runUntil(Tick until)
         Entry e;
         if (!popNext(e))
             break;
+        noteFired(e);
         _now = e.when;
         ++_executed;
         e.cb();
@@ -136,6 +144,20 @@ EventQueue::runUntil(Tick until)
     if (_now < until)
         _now = until;
     return n;
+}
+
+void
+EventQueue::validateDrained() const
+{
+    ASTRA_CHECK(_live.empty(),
+                "event queue drained with %zu live event(s) still "
+                "pending at tick %llu",
+                _live.size(), static_cast<unsigned long long>(_now));
+    ASTRA_CHECK(_heap.empty() && _cancelledInHeap == 0,
+                "event queue drained with %zu heap entr(ies) "
+                "(%zu cancelled) unreclaimed at tick %llu",
+                _heap.size(), _cancelledInHeap,
+                static_cast<unsigned long long>(_now));
 }
 
 } // namespace astra

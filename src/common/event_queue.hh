@@ -42,7 +42,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/types.hh"
+#include "common/validate.hh"
 
 namespace astra
 {
@@ -74,7 +76,8 @@ class EventCallback
             ::new (static_cast<void *>(_buf)) Fn(std::forward<F>(f));
             _ops = &kInlineOps<Fn>;
         } else {
-            *reinterpret_cast<Fn **>(_buf) = new Fn(std::forward<F>(f));
+            *reinterpret_cast<Fn **>(_buf) =
+                new Fn(std::forward<F>(f)); // NOLINT: SBO heap fallback
             _ops = &kHeapOps<Fn>;
         }
     }
@@ -181,7 +184,13 @@ class EventQueue
     /** Default priority for ordinary events. */
     static constexpr int kDefaultPriority = 0;
 
-    EventQueue() = default;
+    /**
+     * The ordering audit (validate::eventOrder per fired event) is
+     * armed here when the process-global validation level is `full` at
+     * construction time; set the level before building the queue (the
+     * CLI does, before any Cluster exists).
+     */
+    EventQueue() : _auditOrder(validationAtLeast(ValidateLevel::kFull)) {}
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -247,6 +256,31 @@ class EventQueue
     /** Heap slots currently occupied by cancelled entries (for tests). */
     std::size_t cancelledInHeap() const { return _cancelledInHeap; }
 
+    // --- integrity layer (docs/validation.md) -------------------------
+
+    /**
+     * Start folding every retired event's (tick, priority, seq) into
+     * an FNV-1a determinism digest. Observer-only: enabling it never
+     * changes simulated results, only makes them attributable.
+     */
+    void enableDigest() { _digestOn = true; }
+
+    /** True when the determinism digest is being accumulated. */
+    bool digestEnabled() const { return _digestOn; }
+
+    /** The retired-event-stream digest accumulated so far. */
+    std::uint64_t digest() const { return _digest.value(); }
+
+    /** Force the per-event ordering audit on/off (tests). */
+    void setOrderAudit(bool on) { _auditOrder = on; }
+
+    /**
+     * Drain-time checker: after run() returns, no live events may
+     * remain and every cancelled entry must have been reclaimed.
+     * Raises an ASTRA_CHECK diagnostic otherwise.
+     */
+    void validateDrained() const;
+
   private:
     struct Entry
     {
@@ -276,6 +310,32 @@ class EventQueue
     /** Pop the next live entry; false if drained. */
     bool popNext(Entry &out);
 
+    /**
+     * Bookkeeping for the integrity layer, called once per fired
+     * event: the ordering audit (level `full`) and the determinism
+     * digest. Two branch tests on the fast path when both are off.
+     */
+    void
+    noteFired(const Entry &e)
+    {
+        if (_auditOrder) {
+            if (_firedAny) {
+                validate::eventOrder(_lastWhen, _lastPrio, _lastSeq,
+                                     e.when, e.priority, e.seq);
+            }
+            _firedAny = true;
+            _lastWhen = e.when;
+            _lastPrio = e.priority;
+            _lastSeq = e.seq;
+        }
+        if (_digestOn) {
+            _digest.mix(e.when);
+            _digest.mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(e.priority)));
+            _digest.mix(e.seq);
+        }
+    }
+
     /** Drop cancelled entries off the top of the heap. */
     void skim();
 
@@ -290,6 +350,15 @@ class EventQueue
     std::uint64_t _seq = 0;
     EventId _nextId = 1;
     std::uint64_t _executed = 0;
+
+    // Integrity layer (see noteFired).
+    bool _auditOrder;
+    bool _digestOn = false;
+    bool _firedAny = false;
+    Tick _lastWhen = 0;
+    int _lastPrio = 0;
+    std::uint64_t _lastSeq = 0;
+    Fnv1aDigest _digest;
 };
 
 } // namespace astra

@@ -35,7 +35,7 @@ namespace astra
  * ticks has 0.0 utilization, not NaN (and never Inf).
  */
 inline double
-safeDiv(double num, double den)
+safeDiv(double num, double den) noexcept
 {
     return den > 0.0 ? num / den : 0.0;
 }
@@ -48,7 +48,7 @@ class Accumulator
   public:
     /** Record one sample. */
     void
-    sample(double v)
+    sample(double v) noexcept
     {
         _sum += v;
         _count += 1;
@@ -56,15 +56,21 @@ class Accumulator
         _max = std::max(_max, v);
     }
 
-    std::uint64_t count() const { return _count; }
-    double total() const { return _sum; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
-    double minimum() const { return _count ? _min : 0.0; }
-    double maximum() const { return _count ? _max : 0.0; }
+    std::uint64_t count() const noexcept { return _count; }
+    double total() const noexcept { return _sum; }
+
+    double
+    mean() const noexcept
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
+
+    double minimum() const noexcept { return _count ? _min : 0.0; }
+    double maximum() const noexcept { return _count ? _max : 0.0; }
 
     /** Merge another accumulator into this one. */
     void
-    merge(const Accumulator &o)
+    merge(const Accumulator &o) noexcept
     {
         _sum += o._sum;
         _count += o._count;
@@ -101,7 +107,7 @@ class Histogram
 
     /** Record one sample (negative samples count as 0). */
     void
-    record(double v)
+    record(double v) noexcept
     {
         if (v < 0)
             v = 0;
@@ -111,7 +117,7 @@ class Histogram
 
     /** Bucket index a value falls into. */
     static int
-    bucketOf(double v)
+    bucketOf(double v) noexcept
     {
         if (v < 1.0)
             return 0;
@@ -126,7 +132,7 @@ class Histogram
 
     /** Inclusive lower bound of bucket @p i (0 for the underflow). */
     static double
-    lowerBound(int i)
+    lowerBound(int i) noexcept
     {
         if (i <= 0)
             return 0.0;
@@ -135,20 +141,20 @@ class Histogram
 
     /** Exclusive upper bound of bucket @p i. */
     static double
-    upperBound(int i)
+    upperBound(int i) noexcept
     {
         return std::ldexp(1.0, i); // 2^i
     }
 
-    std::uint64_t count() const { return _acc.count(); }
-    double total() const { return _acc.total(); }
-    double mean() const { return _acc.mean(); }
-    double minimum() const { return _acc.minimum(); }
-    double maximum() const { return _acc.maximum(); }
+    std::uint64_t count() const noexcept { return _acc.count(); }
+    double total() const noexcept { return _acc.total(); }
+    double mean() const noexcept { return _acc.mean(); }
+    double minimum() const noexcept { return _acc.minimum(); }
+    double maximum() const noexcept { return _acc.maximum(); }
 
     /** Samples recorded into bucket @p i. */
     std::uint64_t
-    bucketCount(int i) const
+    bucketCount(int i) const noexcept
     {
         return _buckets[std::size_t(i)];
     }
@@ -162,7 +168,7 @@ class Histogram
 
     /** Merge another histogram into this one. */
     void
-    merge(const Histogram &o)
+    merge(const Histogram &o) noexcept
     {
         _acc.merge(o._acc);
         for (int i = 0; i < kBuckets; ++i)

@@ -1,0 +1,38 @@
+#include "common/validate.hh"
+
+#include "common/check.hh"
+
+namespace astra
+{
+
+namespace validate
+{
+
+void
+eventOrder(Tick last_when, int last_prio, std::uint64_t last_seq,
+           Tick when, int prio, std::uint64_t seq)
+{
+    ASTRA_CHECK(when >= last_when,
+                "event queue fired events out of tick order "
+                "(tick %llu after tick %llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(last_when));
+    if (when != last_when)
+        return;
+    ASTRA_CHECK(prio >= last_prio,
+                "same-tick priority order violated at tick %llu "
+                "(priority %d fired after %d)",
+                static_cast<unsigned long long>(when), prio, last_prio);
+    if (prio != last_prio)
+        return;
+    ASTRA_CHECK(seq > last_seq,
+                "same-tick FIFO order violated at tick %llu priority %d "
+                "(seq %llu fired after seq %llu)",
+                static_cast<unsigned long long>(when), prio,
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(last_seq));
+}
+
+} // namespace validate
+
+} // namespace astra

@@ -1,5 +1,6 @@
 #include "core/cluster.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "net/analytical.hh"
 #include "net/garnet_lite.hh"
@@ -45,6 +46,24 @@ Cluster::Cluster(const SimConfig &cfg) : _cfg(cfg), _topo(cfg)
         }
         _net->setTrace(_trace.get(), net_pid);
     }
+
+    // Determinism auditor: accumulate the retired-event digest.
+    if (_cfg.digest)
+        _eq.enableDigest();
+
+    // Integrity layer: drain-time checkers, run at the end of run()
+    // when the runtime validation level is at least basic.
+    if (validationAtLeast(ValidateLevel::kBasic)) {
+        _validators.add("common.event_queue.drain",
+                        [this] { _eq.validateDrained(); });
+        _net->registerCheckers(_validators);
+        for (auto &node : _nodes) {
+            Sys *sys = node.get();
+            _validators.add(
+                strprintf("core.scheduler.npu%d.drain", int(sys->id())),
+                [sys] { sys->scheduler().validateDrained(); });
+        }
+    }
 }
 
 Cluster::~Cluster()
@@ -82,6 +101,7 @@ Tick
 Cluster::run()
 {
     _eq.run();
+    _validators.runAll();
     return _eq.now();
 }
 

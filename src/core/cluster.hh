@@ -19,6 +19,7 @@
 #include "common/event_queue.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
+#include "common/validate.hh"
 #include "core/sys.hh"
 #include "net/network_api.hh"
 #include "topo/topology.hh"
@@ -66,8 +67,23 @@ class Cluster
     std::vector<std::shared_ptr<CollectiveHandle>>
     issueAll(const CollectiveRequest &req);
 
-    /** Drain all events. @return final simulated time. */
+    /**
+     * Drain all events. @return final simulated time. When the runtime
+     * validation level is at least basic, every registered drain-time
+     * checker (event queue, network backend, per-node schedulers) runs
+     * after the queue empties; a violated invariant is fatal.
+     */
     Tick run();
+
+    /**
+     * Retired-event-stream digest (determinism auditor). Zero unless
+     * SimConfig::digest enabled accumulation at construction; two runs
+     * of the same configuration must produce identical values.
+     */
+    std::uint64_t digest() const { return _eq.digest(); }
+
+    /** The drain-time checker registry (for tests). */
+    const ValidatorRegistry &validators() const { return _validators; }
 
     /**
      * Convenience: issue @p kind of @p bytes on every node, run to
@@ -105,6 +121,7 @@ class Cluster
     std::unique_ptr<NetworkApi> _net;
     std::vector<std::unique_ptr<Sys>> _nodes;
     std::unique_ptr<TraceRecorder> _trace;
+    ValidatorRegistry _validators;
 };
 
 } // namespace astra

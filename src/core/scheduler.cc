@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "core/sys.hh"
 
@@ -188,8 +189,13 @@ Scheduler::onPhaseFinished(Stream *stream, int p, bool stream_complete)
 {
     const LsqKey key = keyFor(stream, p);
     Lsq &q = _lsqs[key];
-    if (q.active <= 0)
-        panic("LSQ accounting underflow");
+    ASTRA_CHECK(q.active > 0,
+                "LSQ accounting underflow on npu %d: phase %d "
+                "(dim %d channel %d) of stream %llu finished with "
+                "active=%d at tick %llu",
+                int(_sys.id()), p, key.dim, key.channel,
+                static_cast<unsigned long long>(stream->id()), q.active,
+                static_cast<unsigned long long>(_sys.now()));
     --q.active;
     if (p == 0) {
         --_phase0Active;

@@ -78,6 +78,14 @@ class Scheduler
     /** Total chunks currently inside any LSQ (waiting or running). */
     int inFlight() const { return _inFlight; }
 
+    /**
+     * Drain-time invariants (integrity layer, src/core/validate.cc):
+     * once the event queue has drained, the ready queue must be empty,
+     * no chunk may still be in phase 0 or in flight, and every LSQ
+     * must have released all its slots. Diagnostics carry the npu id.
+     */
+    void validateDrained() const;
+
   private:
     struct LsqKey
     {

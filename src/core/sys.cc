@@ -65,8 +65,14 @@ Sys::issueCollective(const CollectiveRequest &req)
             eventQueue().scheduleAfter(0, [this, handle] {
                 if (--handle->remainingChunks == 0) {
                     handle->completedAt = now();
-                    if (handle->onComplete)
-                        handle->onComplete();
+                    if (handle->onComplete) {
+                        // The callback usually captures the handle;
+                        // clear it before firing or the shared_ptr
+                        // cycle outlives completion.
+                        auto cb = std::move(handle->onComplete);
+                        handle->onComplete = nullptr;
+                        cb();
+                    }
                 }
             });
             continue;
@@ -307,6 +313,11 @@ Sys::finishStream(Stream &stream)
         break;
     }
 
+    // Seal the chunk: under validation any later mutation (a stray
+    // in-flight payload, a double finish) is an illegal FSM transition.
+    if (stream.kind() != CollectiveKind::None)
+        stream.data().finalize();
+
     // No protocol leftovers may exist for this stream.
     auto lo = _unmatched.lower_bound({stream.id(), 0});
     if (lo != _unmatched.end() && lo->first.first == stream.id())
@@ -334,8 +345,14 @@ Sys::finishStream(Stream &stream)
     if (--handle->remainingChunks == 0) {
         handle->completedAt = now();
         _stats.inc("completed.sets");
-        if (handle->onComplete)
-            handle->onComplete();
+        if (handle->onComplete) {
+            // The callback usually captures the handle; clear it
+            // before firing or the shared_ptr cycle outlives
+            // completion.
+            auto cb = std::move(handle->onComplete);
+            handle->onComplete = nullptr;
+            cb();
+        }
     }
 }
 

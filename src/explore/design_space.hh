@@ -54,6 +54,13 @@ struct CandidateResult
     Tick commTime = 0;   //!< simulated collective time
     double energyUj = 0; //!< interconnect energy
     /**
+     * Retired-event-stream digest of the candidate's run (determinism
+     * auditor, docs/validation.md). Always filled by SweepRunner::
+     * evaluate: equal configurations must yield equal digests, whether
+     * the sweep ran serially or under --jobs=N.
+     */
+    std::uint64_t digest = 0;
+    /**
      * Full metric snapshot of the candidate's run (Cluster::
      * exportMetrics), filled by SweepRunner::evaluate. Serialized per
      * candidate by --report-json in explore mode.

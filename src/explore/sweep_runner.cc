@@ -17,9 +17,15 @@ SweepRunner::evaluate(std::vector<CandidateResult> &candidates,
 {
     forEach(candidates.size(), [&](std::size_t i) {
         CandidateResult &r = candidates[i];
-        Cluster cluster(r.cfg);
+        // Always collect the determinism digest: candidate results
+        // must be identical whether the sweep ran serially or under
+        // --jobs=N, and the digest is what makes that auditable.
+        SimConfig cfg = r.cfg;
+        cfg.digest = true;
+        Cluster cluster(cfg);
         r.commTime = cluster.runCollective(kind, bytes);
         r.energyUj = cluster.network().energy().totalUj();
+        r.digest = cluster.digest();
         r.metrics = cluster.exportMetrics();
     });
 }

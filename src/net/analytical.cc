@@ -1,6 +1,8 @@
 #include "net/analytical.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
+#include "net/validate.hh"
 
 namespace astra
 {
@@ -12,6 +14,8 @@ AnalyticalNetwork::AnalyticalNetwork(EventQueue &eq, const Topology &topo,
       _routerLatency(cfg.routerLatency),
       _protocolDelay(cfg.scaleoutProtocolDelay),
       _freeAt(std::size_t(_fabric.numLinks()), 0),
+      _validate(validationAtLeast(ValidateLevel::kBasic)),
+      _busyUntil(_validate ? std::size_t(_fabric.numLinks()) : 0, 0),
       _metrics(cfg.netMetrics),
       _usage(std::size_t(_fabric.numLinks()))
 {
@@ -87,6 +91,14 @@ AnalyticalNetwork::hop(Message msg,
 
     const Tick tx = txTime(desc.cls, msg.bytes);
     const Tick start = now;
+    if (_validate) {
+        // Independent busy-interval ledger: the grant must start at or
+        // after the previous transfer's end, and the two ledgers must
+        // still agree at drain (validateDrain).
+        validate::linkGrantNonOverlap(int(l), start,
+                                      _busyUntil[std::size_t(l)]);
+        _busyUntil[std::size_t(l)] = start + tx;
+    }
     free_at = start + tx;
     accountHop(msg.bytes, desc.cls);
     if (_metrics) {

@@ -85,6 +85,20 @@ class AnalyticalNetwork : public NetworkApi
         exportStats(g, _eq.now());
     }
 
+    /**
+     * Register the analytical drain checker (busy-interval ledger
+     * agreement) with @p reg. See src/net/validate.cc.
+     */
+    void registerCheckers(ValidatorRegistry &reg) override;
+
+    /**
+     * Drain-time invariants: the independent busy-until ledger must
+     * agree with the backend's own per-link free-at state. Raises an
+     * ASTRA_CHECK diagnostic on violation. No-op unless the backend
+     * was constructed with validation enabled.
+     */
+    void validateDrain() const;
+
   private:
     /**
      * Message @p msg is ready to claim link path[idx] at the current
@@ -99,6 +113,16 @@ class AnalyticalNetwork : public NetworkApi
     Tick _routerLatency;
     Tick _protocolDelay; //!< scale-out transport cost per message
     std::vector<Tick> _freeAt;
+
+    /**
+     * Busy-interval non-overlap ledger (integrity layer): an
+     * independently maintained copy of each link's busy-until tick,
+     * advanced on the grant path and cross-checked against _freeAt at
+     * drain. Empty (zero cost) unless validation was enabled when the
+     * backend was constructed.
+     */
+    bool _validate;
+    std::vector<Tick> _busyUntil;
 
     // Observer-only instrumentation (see DESIGN.md): tallies below are
     // written on the grant/busy paths but never scheduled against.

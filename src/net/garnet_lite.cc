@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
+#include "net/validate.hh"
 
 namespace astra
 {
@@ -17,6 +19,7 @@ GarnetLiteNetwork::GarnetLiteNetwork(EventQueue &eq, const Topology &topo,
       _bufferCapacityFlits(cfg.vcsPerVnet * cfg.buffersPerVc),
       _protocolDelay(cfg.scaleoutProtocolDelay),
       _links(std::size_t(_fabric.numLinks())),
+      _validate(validationAtLeast(ValidateLevel::kBasic)),
       _metrics(cfg.netMetrics),
       _usage(std::size_t(_fabric.numLinks()))
 {
@@ -164,6 +167,9 @@ GarnetLiteNetwork::pump(LinkId l)
         const Tick tx = flitTxTime(desc.cls, pkt->flits);
         ls.freeAt = now + tx;
         ls.bufferOcc += pkt->flits;
+        if (_validate)
+            validate::creditBounds(int(l), ls.bufferOcc,
+                                   _bufferCapacityFlits);
         _peakOccupancy = std::max(_peakOccupancy, ls.bufferOcc);
         accountHop(pkt->bytes, desc.cls);
         if (_metrics) {
@@ -186,6 +192,10 @@ GarnetLiteNetwork::pump(LinkId l)
             // those credits and let its waiters retry.
             const LinkId up = (*pkt->path)[pkt->hop - 1];
             _links[std::size_t(up)].bufferOcc -= pkt->flits;
+            if (_validate)
+                validate::creditBounds(int(up),
+                                       _links[std::size_t(up)].bufferOcc,
+                                       _bufferCapacityFlits);
             schedulePump(up, now);
         } else if (_injection == InjectionPolicy::Normal) {
             // Paced injection: next packet enters once this one has
@@ -208,6 +218,10 @@ GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
     if (pkt->hop == pkt->path->size()) {
         // Ejected at the destination NPU: credits return immediately.
         _links[std::size_t(l)].bufferOcc -= pkt->flits;
+        if (_validate)
+            validate::creditBounds(int(l),
+                                   _links[std::size_t(l)].bufferOcc,
+                                   _bufferCapacityFlits);
         schedulePump(l, now);
         ++_deliveredPackets;
         _retiredFlits += std::uint64_t(pkt->flits);

@@ -98,6 +98,20 @@ class GarnetLiteNetwork : public NetworkApi
         exportStats(g, _eq.now());
     }
 
+    /**
+     * Register the garnet-lite drain checker (credit ledger + packet/
+     * flit conservation) with @p reg. See src/net/validate.cc.
+     */
+    void registerCheckers(ValidatorRegistry &reg) override;
+
+    /**
+     * Drain-time invariants: all credits returned (every input buffer
+     * empty), no packet waiting on any link, injected == retired for
+     * packets and flits, and every arena Packet back on the free list.
+     * Raises an ASTRA_CHECK diagnostic on violation.
+     */
+    void validateDrain() const;
+
   private:
     struct MessageState
     {
@@ -188,6 +202,9 @@ class GarnetLiteNetwork : public NetworkApi
     std::vector<Packet *> _packetFree; //!< recycled, ready for reuse
     std::uint64_t _deliveredPackets = 0;
     int _peakOccupancy = 0;
+
+    /** Incremental credit-ledger checks on (level >= basic). */
+    bool _validate;
 
     // Observer-only instrumentation (see DESIGN.md).
     bool _metrics;

@@ -32,6 +32,7 @@ namespace astra
 
 class StatGroup;
 class TraceRecorder;
+class ValidatorRegistry;
 
 /**
  * Per-link usage tallies, kept as plain integers so the hot path pays
@@ -163,6 +164,13 @@ class NetworkApi
      * usage and backend-specific histograms.
      */
     virtual void exportStats(StatGroup &g) const;
+
+    /**
+     * Register the backend's drain-time invariant checkers with the
+     * Cluster's registry (integrity layer, docs/validation.md). The
+     * base implementation registers none.
+     */
+    virtual void registerCheckers(ValidatorRegistry &reg) { (void)reg; }
 
   protected:
     /** Configure the energy model (called by backend constructors). */

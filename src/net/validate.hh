@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Network-layer invariant checkers (integrity layer,
+ * docs/validation.md).
+ *
+ * The checker predicates live here as free functions so the death
+ * tests can feed them deliberately corrupted values; the backends call
+ * the same functions from their hot paths (incremental ledger checks,
+ * runtime level >= basic) and from their drain-time validators
+ * (registered with the Cluster's ValidatorRegistry):
+ *
+ *  - garnet-lite: per-link credit-ledger balance (0 <= occupancy <=
+ *    VC capacity at every grant/release) and packet/flit conservation
+ *    at drain (injected == retired, free list == arena);
+ *  - analytical: link busy-interval non-overlap — a link is never
+ *    granted while a previous transfer still occupies it, tracked
+ *    through an independent busy-until ledger that must agree with the
+ *    backend's own at drain.
+ */
+
+#ifndef ASTRA_NET_VALIDATE_HH
+#define ASTRA_NET_VALIDATE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+namespace validate
+{
+
+/**
+ * Credit-ledger balance: the downstream input buffer of @p link holds
+ * @p occupancy_flits, which must lie in [0, capacity_flits]. A
+ * negative value means a credit was released twice (leaked); a value
+ * above capacity means a packet was granted without credits.
+ */
+void creditBounds(int link, int occupancy_flits, int capacity_flits);
+
+/**
+ * Conservation at drain: every injected @p what (packet, flit) must
+ * have retired.
+ */
+void packetConservation(const char *what, std::uint64_t injected,
+                        std::uint64_t retired);
+
+/**
+ * Busy-interval non-overlap: granting @p link at @p grant_start while
+ * the previous transfer occupies it until @p busy_until would overlap
+ * two serializations on one wire.
+ */
+void linkGrantNonOverlap(int link, Tick grant_start, Tick busy_until);
+
+/**
+ * Drain-time queue emptiness: @p waiting transfers still queued on
+ * @p link of subsystem @p what after the event queue drained.
+ */
+void drainQueueEmpty(const char *what, int link, std::size_t waiting);
+
+} // namespace validate
+
+} // namespace astra
+
+#endif // ASTRA_NET_VALIDATE_HH

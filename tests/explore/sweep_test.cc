@@ -41,6 +41,8 @@ expectBitIdentical(const std::vector<CandidateResult> &serial,
         // the very same computation, not an approximation of it.
         EXPECT_EQ(serial[i].energyUj, parallel[i].energyUj)
             << serial[i].label;
+        EXPECT_EQ(serial[i].digest, parallel[i].digest)
+            << serial[i].label;
         EXPECT_EQ(serial[i].cfg.numNpus(), parallel[i].cfg.numNpus());
     }
 }
@@ -101,6 +103,29 @@ TEST(Sweep, BestDesignIdenticalAcrossJobCounts)
     EXPECT_EQ(serial.label, parallel.label);
     EXPECT_EQ(serial.commTime, parallel.commTime);
     EXPECT_EQ(serial.energyUj, parallel.energyUj);
+}
+
+TEST(Sweep, DigestIdenticalSerialVsFourJobs)
+{
+    // The determinism auditor's headline property: a torus all-reduce
+    // sweep retires the exact same event stream whether the candidates
+    // run serially or on four workers.
+    ExploreSpec spec;
+    spec.modules = 8;
+    spec.localDims = {2};
+    spec.bytes = 64 * KiB;
+    spec.kind = CollectiveKind::AllReduce;
+
+    SweepRunner serial(1), parallel(4);
+    auto a = enumerateCandidates(spec);
+    auto b = a;
+    serial.evaluate(a, spec.kind, spec.bytes);
+    parallel.evaluate(b, spec.kind, spec.bytes);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NE(a[i].digest, 0u) << a[i].label;
+        EXPECT_EQ(a[i].digest, b[i].digest) << a[i].label;
+    }
 }
 
 TEST(Sweep, DuplicateLocalDimsAreDedupedInEnumeration)

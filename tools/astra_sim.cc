@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/check.hh"
 #include "common/csv.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -75,6 +76,15 @@ usage(const char *prog)
         "                         ranking is identical for every N)\n"
         "\n"
         "common:\n"
+        "  --validate[=LEVEL]     run integrity checkers: off, basic\n"
+        "                         (drain-time + ledger checks) or full\n"
+        "                         (+ per-event ordering audit; the\n"
+        "                         default for a bare --validate)\n"
+        "  --digest[=verify]      print the retired-event-stream digest\n"
+        "                         (determinism auditor); =verify runs\n"
+        "                         the simulation twice — explore mode\n"
+        "                         compares serial vs --jobs=N — and\n"
+        "                         fails on any mismatch\n"
         "  --config=FILE          load key=value parameters\n"
         "  --report-csv=FILE      export the per-layer table as CSV\n"
         "  --report-json=FILE     export the full metric registry\n"
@@ -106,7 +116,16 @@ struct CliOptions
     std::vector<int> exploreSetSplits;
     int exploreTop = 0; //!< 0 = print every candidate
     int jobs = 0;       //!< sweep workers; 0 = hardware_concurrency
+
+    bool digest = false;       //!< print the determinism digest
+    bool digestVerify = false; //!< run twice, fatal on any mismatch
 };
+
+std::string
+formatDigest(std::uint64_t d)
+{
+    return strprintf("0x%016llx", static_cast<unsigned long long>(d));
+}
 
 std::vector<int>
 parseIntList(const std::string &value, const char *what)
@@ -186,11 +205,30 @@ runCollectiveMode(const CliOptions &opts, SimConfig cfg)
 {
     const CollectiveKind kind =
         parseCollectiveKind(opts.collective.c_str());
+    cfg.digest = cfg.digest || opts.digest;
     Cluster cluster(cfg);
     std::printf("platform:\n%s\n", cfg.toString().c_str());
     const Tick t = cluster.runCollective(kind, opts.bytes);
     std::printf("%s %s: %s\n\n", formatBytes(opts.bytes).c_str(),
                 toString(kind), formatTicks(t).c_str());
+    if (opts.digest)
+        std::printf("event digest: %s\n",
+                    formatDigest(cluster.digest()).c_str());
+    if (opts.digestVerify) {
+        // Determinism audit: an identical platform must replay the
+        // exact same event stream.
+        Cluster second(cfg);
+        const Tick t2 = second.runCollective(kind, opts.bytes);
+        ASTRA_CHECK(t2 == t && second.digest() == cluster.digest(),
+                    "determinism audit failed: run 1 (%llu cycles, "
+                    "digest %s) != run 2 (%llu cycles, digest %s)",
+                    static_cast<unsigned long long>(t),
+                    formatDigest(cluster.digest()).c_str(),
+                    static_cast<unsigned long long>(t2),
+                    formatDigest(second.digest()).c_str());
+        std::printf("determinism audit: two runs identical (%s)\n",
+                    formatDigest(cluster.digest()).c_str());
+    }
     StatGroup stats = cluster.aggregateStats();
     printBreakdown(stats);
     writeReportJson(opts, cluster);
@@ -222,9 +260,43 @@ runExploreMode(const CliOptions &opts)
                 formatBytes(spec.bytes).c_str(), runner.jobs());
 
     auto results = exploreDesignSpace(spec, runner.jobs());
+
+    if (opts.digestVerify) {
+        // Determinism audit: a serial sweep must reproduce the
+        // parallel sweep's ranking, timings and event digests exactly.
+        auto serial = exploreDesignSpace(spec, 1);
+        ASTRA_CHECK(serial.size() == results.size(),
+                    "determinism audit failed: serial sweep produced "
+                    "%zu candidates, --jobs=%d produced %zu",
+                    serial.size(), runner.jobs(), results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            ASTRA_CHECK(serial[i].label == results[i].label &&
+                            serial[i].commTime == results[i].commTime &&
+                            serial[i].digest == results[i].digest,
+                        "determinism audit failed at rank %zu: serial "
+                        "(%s, %llu cycles, digest %s) != --jobs=%d "
+                        "(%s, %llu cycles, digest %s)",
+                        i + 1, serial[i].label.c_str(),
+                        static_cast<unsigned long long>(
+                            serial[i].commTime),
+                        formatDigest(serial[i].digest).c_str(),
+                        runner.jobs(), results[i].label.c_str(),
+                        static_cast<unsigned long long>(
+                            results[i].commTime),
+                        formatDigest(results[i].digest).c_str());
+        }
+        std::printf("determinism audit: serial and --jobs=%d sweeps "
+                    "identical (%zu candidates)\n\n",
+                    runner.jobs(), results.size());
+    }
+
     Table t;
-    t.header({"rank", "candidate", "comm_cycles", "energy_uJ",
-              "vs_best"});
+    std::vector<std::string> header = {"rank", "candidate",
+                                       "comm_cycles", "energy_uJ",
+                                       "vs_best"};
+    if (opts.digest)
+        header.push_back("digest");
+    t.header(header);
     const std::size_t limit =
         opts.exploreTop > 0
             ? std::min<std::size_t>(std::size_t(opts.exploreTop),
@@ -232,13 +304,15 @@ runExploreMode(const CliOptions &opts)
             : results.size();
     for (std::size_t i = 0; i < limit; ++i) {
         const CandidateResult &r = results[i];
-        t.row()
-            .cell(std::uint64_t(i + 1))
+        Table &row = t.row();
+        row.cell(std::uint64_t(i + 1))
             .cell(r.label)
             .cell(std::uint64_t(r.commTime))
             .cell(r.energyUj, "%.2f")
             .cell(double(r.commTime) / double(results[0].commTime),
                   "%.3f");
+        if (opts.digest)
+            row.cell(formatDigest(r.digest));
     }
     t.print();
     if (!opts.reportCsv.empty())
@@ -263,11 +337,12 @@ runExploreMode(const CliOptions &opts)
             std::fprintf(f,
                          "%s\n    {\"rank\": %zu, \"label\": \"%s\", "
                          "\"comm_cycles\": %llu, \"energy_uj\": %s, "
-                         "\"metrics\": %s}",
+                         "\"digest\": \"%s\", \"metrics\": %s}",
                          i == 0 ? "" : ",", i + 1,
                          jsonEscape(r.label).c_str(),
                          static_cast<unsigned long long>(r.commTime),
                          jsonNumber(r.energyUj).c_str(),
+                         formatDigest(r.digest).c_str(),
                          metrics.c_str());
         }
         std::fprintf(f, "\n  ]\n}\n");
@@ -323,6 +398,7 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
                 spec.name.c_str(), toString(spec.parallelism),
                 spec.layers.size(), opts.numPasses, opts.computeScale);
 
+    cfg.digest = cfg.digest || opts.digest;
     Cluster cluster(cfg);
 
     if (opts.pipelineMicrobatches > 0) {
@@ -366,6 +442,29 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
         }
         std::printf("\n");
         printEnergy(cluster.network().energy());
+        if (opts.digest)
+            std::printf("event digest: %s\n",
+                        formatDigest(cluster.digest()).c_str());
+        if (opts.digestVerify) {
+            Cluster second(cfg);
+            PipelineRun rerun(
+                second, spec,
+                PipelineOptions{
+                    .numPasses = opts.numPasses,
+                    .microbatches = opts.pipelineMicrobatches,
+                    .computeScale = opts.computeScale});
+            const Tick m2 = rerun.run();
+            ASTRA_CHECK(m2 == makespan &&
+                            second.digest() == cluster.digest(),
+                        "determinism audit failed: run 1 (%llu cycles, "
+                        "digest %s) != run 2 (%llu cycles, digest %s)",
+                        static_cast<unsigned long long>(makespan),
+                        formatDigest(cluster.digest()).c_str(),
+                        static_cast<unsigned long long>(m2),
+                        formatDigest(second.digest()).c_str());
+            std::printf("determinism audit: two runs identical (%s)\n",
+                        formatDigest(cluster.digest()).c_str());
+        }
         std::printf("\nmakespan: %s, pipeline bubble: %.1f%%\n",
                     formatTicks(makespan).c_str(),
                     100 * run.bubbleRatio());
@@ -405,6 +504,27 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
     std::printf("\n");
     printBreakdown(cluster.aggregateStats());
     printEnergy(cluster.network().energy());
+    if (opts.digest)
+        std::printf("event digest: %s\n",
+                    formatDigest(cluster.digest()).c_str());
+    if (opts.digestVerify) {
+        Cluster second(cfg);
+        WorkloadRun rerun(second, spec,
+                          TrainerOptions{
+                              .numPasses = opts.numPasses,
+                              .computeScale = opts.computeScale});
+        const Tick m2 = rerun.run();
+        ASTRA_CHECK(m2 == makespan &&
+                        second.digest() == cluster.digest(),
+                    "determinism audit failed: run 1 (%llu cycles, "
+                    "digest %s) != run 2 (%llu cycles, digest %s)",
+                    static_cast<unsigned long long>(makespan),
+                    formatDigest(cluster.digest()).c_str(),
+                    static_cast<unsigned long long>(m2),
+                    formatDigest(second.digest()).c_str());
+        std::printf("determinism audit: two runs identical (%s)\n",
+                    formatDigest(cluster.digest()).c_str());
+    }
     std::printf("\nmakespan: %s\n", formatTicks(makespan).c_str());
     std::printf("compute: %.1f%%  exposed communication: %.1f%%\n",
                 100 * run.computeRatio(), 100 * run.exposedRatio());
@@ -429,6 +549,11 @@ main(int argc, char **argv)
             return 0;
         }
         auto eq = arg.find('=');
+        // --validate and --digest are meaningful bare: a bare
+        // --validate selects the full level, a bare --digest just
+        // prints the digest.
+        if (arg == "--validate" || arg == "--digest")
+            eq = arg.size();
         if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
             std::fprintf(stderr, "unexpected argument '%s'\n",
                          arg.c_str());
@@ -436,8 +561,21 @@ main(int argc, char **argv)
             return 1;
         }
         const std::string key = arg.substr(2, eq - 2);
-        const std::string value = arg.substr(eq + 1);
-        if (key == "workload") {
+        const std::string value =
+            eq + 1 < arg.size() ? arg.substr(eq + 1) : std::string();
+        if (key == "validate") {
+            setValidationLevel(parseValidateLevel(value));
+        } else if (key == "digest") {
+            if (value == "verify") {
+                opts.digest = true;
+                opts.digestVerify = true;
+            } else if (value.empty()) {
+                opts.digest = true;
+            } else {
+                fatal("--digest takes no value or 'verify', got '%s'",
+                      value.c_str());
+            }
+        } else if (key == "workload") {
             opts.workloadFile = value;
         } else if (key == "model") {
             opts.model = value;

@@ -1,24 +1,44 @@
 #!/usr/bin/env bash
-# CI driver: build and test the normal configuration, then prove the
-# sweep engine race-free under ThreadSanitizer.
+# CI driver: lint, build and test the normal configuration, then the
+# sanitizer matrix.
 #
-#   tools/ci.sh          # normal build + full ctest, TSan build +
-#                        # concurrency-focused ctest subset
+#   tools/ci.sh          # lint gate, normal build + full ctest,
+#                        # validated smoke, TSan build + concurrency
+#                        # subset
+#   tools/ci.sh --lint   # the static-analysis gate only (tools/lint.sh)
+#   tools/ci.sh --ubsan  # + UBSan tree with -DASTRA_VALIDATE=ON, full
+#                        # ctest (every integrity checker enabled)
+#   tools/ci.sh --asan   # + ASan tree, full ctest
 #   tools/ci.sh --full   # also run the *full* suite under TSan (slow)
 #
-# Build trees: build/ (normal) and build-tsan/ (TSan), both gitignored.
+# Build trees: build/ (normal), build-tsan/, build-ubsan/, build-asan/,
+# all gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL_TSAN=0
+LINT_ONLY=0
+RUN_UBSAN=0
+RUN_ASAN=0
 for arg in "$@"; do
     case "$arg" in
         --full) FULL_TSAN=1 ;;
+        --lint) LINT_ONLY=1 ;;
+        --ubsan) RUN_UBSAN=1 ;;
+        --asan) RUN_ASAN=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== lint gate (tools/lint.sh) ==="
+tools/lint.sh
+
+if [ "$LINT_ONLY" -eq 1 ]; then
+    echo "=== ci.sh: lint green ==="
+    exit 0
+fi
 
 echo "=== normal build ==="
 cmake -B build -S . >/dev/null
@@ -27,10 +47,13 @@ cmake --build build -j "$JOBS"
 echo "=== normal ctest ==="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== observability smoke (trace + metric report) ==="
+echo "=== observability smoke (trace + metric report, --validate) ==="
 # The CLI must emit a Chrome trace and a metric report that an
-# independent parser accepts; validate both with Python's json module.
+# independent parser accepts; run once with every integrity checker
+# enabled (--validate) and the determinism digest on, then validate
+# both outputs with Python's json module.
 ./build/tools/astra-sim --collective=allreduce --bytes=1MB \
+    --validate --digest \
     --trace-file=build/ci_trace.json --report-json=build/ci_report.json
 python3 -m json.tool build/ci_trace.json >/dev/null
 python3 -m json.tool build/ci_report.json >/dev/null
@@ -39,6 +62,26 @@ grep -q '"ph": "C"' build/ci_trace.json \
 grep -q 'astra-metrics-v1' build/ci_report.json \
     || { echo "report missing schema marker" >&2; exit 1; }
 echo "trace and report are valid JSON"
+
+if [ "$RUN_UBSAN" -eq 1 ]; then
+    # UBSan doubles as the "full suite with checkers on" job: the tree
+    # also sets -DASTRA_VALIDATE=ON, which compiles the hot-path
+    # ASTRA_DCHECKs in and defaults the runtime level to full.
+    echo "=== UBSan build (-DASTRA_SANITIZE=undefined -DASTRA_VALIDATE=ON) ==="
+    cmake -B build-ubsan -S . -DASTRA_SANITIZE=undefined \
+        -DASTRA_VALIDATE=ON >/dev/null
+    cmake --build build-ubsan -j "$JOBS"
+    echo "=== UBSan ctest (full suite, all checkers) ==="
+    ctest --test-dir build-ubsan --output-on-failure -j "$JOBS"
+fi
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+    echo "=== ASan build (-DASTRA_SANITIZE=address) ==="
+    cmake -B build-asan -S . -DASTRA_SANITIZE=address >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    echo "=== ASan ctest (full suite) ==="
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
 
 echo "=== TSan build (-DASTRA_SANITIZE=thread) ==="
 cmake -B build-tsan -S . -DASTRA_SANITIZE=thread >/dev/null
