@@ -92,6 +92,20 @@ ChunkState::finalize()
     _done = true;
 }
 
+void
+ChunkState::noteTimeout()
+{
+    checkOp(ChunkOp::Timeout);
+    ++_timeouts;
+}
+
+void
+ChunkState::noteRetry()
+{
+    checkOp(ChunkOp::Retry);
+    ++_retries;
+}
+
 RangePayload
 ChunkState::makeRangePayload(const ElemRange &range, bool reduce) const
 {

@@ -181,6 +181,24 @@ class ChunkState
      */
     std::uint64_t payloadsApplied() const { return _payloadsApplied; }
 
+    // --- fault/retry lifecycle (docs/faults.md) -----------------------
+
+    /**
+     * Record that a send of this chunk was lost and timed out. An FSM
+     * transition like any other: illegal on a finalized chunk, so a
+     * retry racing a completed collective is caught under validation.
+     */
+    void noteTimeout();
+
+    /** Record that the timed-out send is being retransmitted. */
+    void noteRetry();
+
+    /** Timeouts recorded against this chunk. */
+    std::uint64_t timeouts() const { return _timeouts; }
+
+    /** Retransmissions recorded against this chunk. */
+    std::uint64_t retries() const { return _retries; }
+
   private:
     /**
      * FSM gate (integrity layer): check that @p op is a legal
@@ -200,6 +218,8 @@ class ChunkState
     std::vector<bool> _valid;
     std::vector<std::pair<int, int>> _blocks;
     std::uint64_t _payloadsApplied = 0;
+    std::uint64_t _timeouts = 0;
+    std::uint64_t _retries = 0;
 };
 
 } // namespace astra

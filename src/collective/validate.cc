@@ -21,6 +21,10 @@ toString(ChunkOp op)
         return "take-blocks";
       case ChunkOp::AddBlocks:
         return "add-blocks";
+      case ChunkOp::Timeout:
+        return "timeout";
+      case ChunkOp::Retry:
+        return "retry";
       case ChunkOp::Finalize:
         return "finalize";
     }
@@ -41,6 +45,8 @@ chunkOpLegal(CollectiveKind kind, ChunkOp op, bool done)
           case ChunkOp::MakePayload:
           case ChunkOp::ApplyReduce:
           case ChunkOp::Restrict:
+          case ChunkOp::Timeout:
+          case ChunkOp::Retry:
           case ChunkOp::Finalize:
             return true;
           default:
@@ -50,6 +56,8 @@ chunkOpLegal(CollectiveKind kind, ChunkOp op, bool done)
         switch (op) {
           case ChunkOp::MakePayload:
           case ChunkOp::ApplyInstall:
+          case ChunkOp::Timeout:
+          case ChunkOp::Retry:
           case ChunkOp::Finalize:
             return true;
           default:
@@ -69,6 +77,8 @@ chunkOpLegal(CollectiveKind kind, ChunkOp op, bool done)
         switch (op) {
           case ChunkOp::TakeBlocks:
           case ChunkOp::AddBlocks:
+          case ChunkOp::Timeout:
+          case ChunkOp::Retry:
           case ChunkOp::Finalize:
             return true;
           default:

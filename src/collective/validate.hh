@@ -35,6 +35,8 @@ enum class ChunkOp
     Restrict,     //!< shrink the valid range at an RS phase boundary
     TakeBlocks,   //!< remove all-to-all blocks for forwarding
     AddBlocks,    //!< install forwarded all-to-all blocks
+    Timeout,      //!< a send of this chunk timed out (fault layer)
+    Retry,        //!< the timed-out send is being retransmitted
     Finalize,     //!< seal the chunk when its collective completes
 };
 

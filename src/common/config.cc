@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/check.hh"
@@ -25,55 +29,271 @@ lower(const std::string &s)
     return out;
 }
 
-bool
-parseBool(const std::string &key, const std::string &value)
+/**
+ * First parse error hit by the current trySet() call. Exception-free
+ * error plumbing: the leaf helpers record here and leave their target
+ * untouched, trySet() reports it.
+ */
+thread_local std::string t_parseError;
+
+void
+parseFail(const std::string &msg)
+{
+    if (t_parseError.empty())
+        t_parseError = msg;
+}
+
+void
+setBool(bool &dst, const std::string &key, const std::string &value)
 {
     const std::string v = lower(value);
-    if (v == "1" || v == "true" || v == "on" || v == "yes")
+    if (v == "1" || v == "true" || v == "on" || v == "yes") {
+        dst = true;
+    } else if (v == "0" || v == "false" || v == "off" || v == "no") {
+        dst = false;
+    } else {
+        parseFail("parameter '" + key + "': '" + value +
+                  "' is not a boolean");
+    }
+}
+
+void
+setInt(int &dst, const std::string &key, const std::string &value,
+       int min = INT_MIN)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || errno != 0 ||
+        v < INT_MIN || v > INT_MAX) {
+        parseFail("parameter '" + key + "': '" + value +
+                  "' is not an integer");
+        return;
+    }
+    if (*end != '\0') {
+        parseFail("parameter '" + key + "': trailing junk in '" + value +
+                  "'");
+        return;
+    }
+    if (v < min) {
+        parseFail("parameter '" + key + "': must be >= " +
+                  std::to_string(min) + ", got " + value);
+        return;
+    }
+    dst = static_cast<int>(v);
+}
+
+void
+setTick(Tick &dst, const std::string &key, const std::string &value,
+        Tick min = 0)
+{
+    char *end = nullptr;
+    errno = 0;
+    if (value.empty() || value[0] == '-') {
+        parseFail("parameter '" + key + "': '" + value +
+                  "' is not a non-negative integer");
+        return;
+    }
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || errno != 0) {
+        parseFail("parameter '" + key + "': '" + value +
+                  "' is not a non-negative integer");
+        return;
+    }
+    if (*end != '\0') {
+        parseFail("parameter '" + key + "': trailing junk in '" + value +
+                  "'");
+        return;
+    }
+    if (v < min) {
+        parseFail("parameter '" + key + "': must be >= " +
+                  std::to_string(min) + ", got " + value);
+        return;
+    }
+    dst = v;
+}
+
+enum class Range
+{
+    Any,          //!< any finite value
+    Positive,     //!< > 0
+    UnitInterval, //!< (0, 1]
+};
+
+void
+setDouble(double &dst, const std::string &key, const std::string &value,
+          Range range = Range::Any)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || errno != 0) {
+        parseFail("parameter '" + key + "': '" + value +
+                  "' is not a number");
+        return;
+    }
+    if (*end != '\0') {
+        parseFail("parameter '" + key + "': trailing junk in '" + value +
+                  "'");
+        return;
+    }
+    if (range == Range::Positive && !(v > 0)) {
+        parseFail("parameter '" + key + "': must be > 0, got " + value);
+        return;
+    }
+    if (range == Range::UnitInterval && !(v > 0 && v <= 1)) {
+        parseFail("parameter '" + key + "': must be in (0, 1], got " +
+                  value);
+        return;
+    }
+    dst = v;
+}
+
+void
+setBytes(Bytes &dst, const std::string &key, const std::string &value)
+{
+    Bytes out = 0;
+    std::string err;
+    if (!tryParseBytes(value, &out, &err)) {
+        parseFail("parameter '" + key + "': " + err);
+        return;
+    }
+    if (out == 0) {
+        parseFail("parameter '" + key + "': must be positive");
+        return;
+    }
+    dst = out;
+}
+
+/**
+ * Enum lookups: parse into @p out on success, parseFail() and leave
+ * @p out untouched otherwise. The public fatal-on-bad-input parse*
+ * functions wrap these.
+ */
+bool
+lookupTopologyKind(const std::string &s, TopologyKind *out)
+{
+    const std::string v = lower(s);
+    if (v == "torus3d" || v == "torus" || v == "torus2d") {
+        *out = TopologyKind::Torus3D;
         return true;
-    if (v == "0" || v == "false" || v == "off" || v == "no")
-        return false;
-    fatal("parameter '%s': '%s' is not a boolean", key.c_str(),
-          value.c_str());
+    }
+    if (v == "alltoall" || v == "all_to_all" || v == "a2a") {
+        *out = TopologyKind::AllToAll;
+        return true;
+    }
+    parseFail("unknown topology '" + s + "'");
     return false;
 }
 
-int
-parseInt(const std::string &key, const std::string &value)
+bool
+lookupAlgorithmFlavor(const std::string &s, AlgorithmFlavor *out)
 {
-    try {
-        std::size_t pos = 0;
-        int v = std::stoi(value, &pos);
-        if (pos != value.size())
-            fatal("parameter '%s': trailing junk in '%s'", key.c_str(),
-                  value.c_str());
-        return v;
-    } catch (const FatalError &) {
-        throw;
-    } catch (...) {
-        fatal("parameter '%s': '%s' is not an integer", key.c_str(),
-              value.c_str());
+    const std::string v = lower(s);
+    if (v == "baseline") {
+        *out = AlgorithmFlavor::Baseline;
+        return true;
     }
-    return 0;
+    if (v == "enhanced") {
+        *out = AlgorithmFlavor::Enhanced;
+        return true;
+    }
+    parseFail("unknown algorithm '" + s + "' (baseline/enhanced)");
+    return false;
 }
 
-double
-parseDouble(const std::string &key, const std::string &value)
+bool
+lookupSchedulingPolicy(const std::string &s, SchedulingPolicy *out)
 {
-    try {
-        std::size_t pos = 0;
-        double v = std::stod(value, &pos);
-        if (pos != value.size())
-            fatal("parameter '%s': trailing junk in '%s'", key.c_str(),
-                  value.c_str());
-        return v;
-    } catch (const FatalError &) {
-        throw;
-    } catch (...) {
-        fatal("parameter '%s': '%s' is not a number", key.c_str(),
-              value.c_str());
+    const std::string v = lower(s);
+    if (v == "lifo") {
+        *out = SchedulingPolicy::LIFO;
+        return true;
     }
-    return 0;
+    if (v == "fifo") {
+        *out = SchedulingPolicy::FIFO;
+        return true;
+    }
+    if (v == "layer-priority" || v == "layerpriority" ||
+        v == "priority") {
+        *out = SchedulingPolicy::LayerPriority;
+        return true;
+    }
+    parseFail("unknown scheduling policy '" + s +
+              "' (LIFO/FIFO/layer-priority)");
+    return false;
+}
+
+bool
+lookupNetworkBackend(const std::string &s, NetworkBackend *out)
+{
+    const std::string v = lower(s);
+    if (v == "analytical") {
+        *out = NetworkBackend::Analytical;
+        return true;
+    }
+    if (v == "garnet" || v == "garnet-lite" || v == "garnetlite") {
+        *out = NetworkBackend::GarnetLite;
+        return true;
+    }
+    parseFail("unknown network backend '" + s + "' (analytical/garnet)");
+    return false;
+}
+
+bool
+lookupPacketRouting(const std::string &s, PacketRouting *out)
+{
+    const std::string v = lower(s);
+    if (v == "software") {
+        *out = PacketRouting::Software;
+        return true;
+    }
+    if (v == "hardware") {
+        *out = PacketRouting::Hardware;
+        return true;
+    }
+    parseFail("unknown packet routing '" + s + "' (software/hardware)");
+    return false;
+}
+
+bool
+lookupInjectionPolicy(const std::string &s, InjectionPolicy *out)
+{
+    const std::string v = lower(s);
+    if (v == "normal") {
+        *out = InjectionPolicy::Normal;
+        return true;
+    }
+    if (v == "aggressive") {
+        *out = InjectionPolicy::Aggressive;
+        return true;
+    }
+    parseFail("unknown injection policy '" + s + "' (normal/aggressive)");
+    return false;
+}
+
+std::string
+normalizeKey(const std::string &key)
+{
+    std::string k = lower(key);
+    std::replace(k.begin(), k.end(), '_', '-');
+    return k;
+}
+
+} // namespace
+
+namespace
+{
+
+/** Shared tail of the fatal parse* wrappers around the lookups. */
+void
+consumeParseError()
+{
+    if (t_parseError.empty())
+        return;
+    const std::string msg = t_parseError;
+    t_parseError.clear();
+    fatal("%s", msg.c_str());
 }
 
 } // namespace
@@ -81,76 +301,55 @@ parseDouble(const std::string &key, const std::string &value)
 TopologyKind
 parseTopologyKind(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "torus3d" || v == "torus" || v == "torus2d")
-        return TopologyKind::Torus3D;
-    if (v == "alltoall" || v == "all_to_all" || v == "a2a")
-        return TopologyKind::AllToAll;
-    fatal("unknown topology '%s'", s.c_str());
-    return TopologyKind::Torus3D;
+    TopologyKind out = TopologyKind::Torus3D;
+    if (!lookupTopologyKind(s, &out))
+        consumeParseError();
+    return out;
 }
 
 AlgorithmFlavor
 parseAlgorithmFlavor(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "baseline")
-        return AlgorithmFlavor::Baseline;
-    if (v == "enhanced")
-        return AlgorithmFlavor::Enhanced;
-    fatal("unknown algorithm '%s' (baseline/enhanced)", s.c_str());
-    return AlgorithmFlavor::Baseline;
+    AlgorithmFlavor out = AlgorithmFlavor::Baseline;
+    if (!lookupAlgorithmFlavor(s, &out))
+        consumeParseError();
+    return out;
 }
 
 SchedulingPolicy
 parseSchedulingPolicy(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "lifo")
-        return SchedulingPolicy::LIFO;
-    if (v == "fifo")
-        return SchedulingPolicy::FIFO;
-    if (v == "layer-priority" || v == "layerpriority" || v == "priority")
-        return SchedulingPolicy::LayerPriority;
-    fatal("unknown scheduling policy '%s' (LIFO/FIFO/layer-priority)",
-          s.c_str());
-    return SchedulingPolicy::LIFO;
+    SchedulingPolicy out = SchedulingPolicy::LIFO;
+    if (!lookupSchedulingPolicy(s, &out))
+        consumeParseError();
+    return out;
 }
 
 NetworkBackend
 parseNetworkBackend(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "analytical")
-        return NetworkBackend::Analytical;
-    if (v == "garnet" || v == "garnet-lite" || v == "garnetlite")
-        return NetworkBackend::GarnetLite;
-    fatal("unknown network backend '%s' (analytical/garnet)", s.c_str());
-    return NetworkBackend::Analytical;
+    NetworkBackend out = NetworkBackend::Analytical;
+    if (!lookupNetworkBackend(s, &out))
+        consumeParseError();
+    return out;
 }
 
 PacketRouting
 parsePacketRouting(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "software")
-        return PacketRouting::Software;
-    if (v == "hardware")
-        return PacketRouting::Hardware;
-    fatal("unknown packet routing '%s' (software/hardware)", s.c_str());
-    return PacketRouting::Software;
+    PacketRouting out = PacketRouting::Software;
+    if (!lookupPacketRouting(s, &out))
+        consumeParseError();
+    return out;
 }
 
 InjectionPolicy
 parseInjectionPolicy(const std::string &s)
 {
-    std::string v = lower(s);
-    if (v == "normal")
-        return InjectionPolicy::Normal;
-    if (v == "aggressive")
-        return InjectionPolicy::Aggressive;
-    fatal("unknown injection policy '%s' (normal/aggressive)", s.c_str());
-    return InjectionPolicy::Normal;
+    InjectionPolicy out = InjectionPolicy::Normal;
+    if (!lookupInjectionPolicy(s, &out))
+        consumeParseError();
+    return out;
 }
 
 const char *
@@ -238,125 +437,152 @@ SimConfig::allToAll(int m, int packages, int switches)
 void
 SimConfig::set(const std::string &key, const std::string &value)
 {
-    std::string k = lower(key);
-    std::replace(k.begin(), k.end(), '_', '-');
+    std::string err;
+    if (!trySet(key, value, &err))
+        fatal("%s", err.c_str());
+}
+
+bool
+SimConfig::trySet(const std::string &key, const std::string &value,
+                  std::string *err)
+{
+    const std::string k = normalizeKey(key);
+    t_parseError.clear();
 
     if (k == "dnn-name") {
         dnnName = value;
     } else if (k == "trace-file") {
         traceFile = value;
     } else if (k == "net-metrics") {
-        netMetrics = parseBool(k, value);
+        setBool(netMetrics, k, value);
     } else if (k == "digest") {
-        digest = parseBool(k, value);
+        setBool(digest, k, value);
     } else if (k == "num-passes") {
-        numPasses = parseInt(k, value);
+        setInt(numPasses, k, value, 1);
     } else if (k == "algorithm") {
-        algorithm = parseAlgorithmFlavor(value);
+        lookupAlgorithmFlavor(value, &algorithm);
     } else if (k == "topology") {
-        topology = parseTopologyKind(value);
+        lookupTopologyKind(value, &topology);
     } else if (k == "local-dim") {
-        localDim = parseInt(k, value);
+        setInt(localDim, k, value, 1);
     } else if (k == "horizontal-dim" || k == "num-packages") {
-        horizontalDim = parseInt(k, value);
+        setInt(horizontalDim, k, value, 1);
     } else if (k == "vertical-dim" || k == "package-rows") {
-        verticalDim = parseInt(k, value);
+        setInt(verticalDim, k, value, 1);
     } else if (k == "scheduling-policy") {
-        schedulingPolicy = parseSchedulingPolicy(value);
+        lookupSchedulingPolicy(value, &schedulingPolicy);
     } else if (k == "global-switches") {
-        globalSwitches = parseInt(k, value);
+        setInt(globalSwitches, k, value, 1);
     } else if (k == "endpoint-delay") {
-        endpointDelay = static_cast<Tick>(parseInt(k, value));
+        setTick(endpointDelay, k, value);
     } else if (k == "packet-routing") {
-        packetRouting = parsePacketRouting(value);
+        lookupPacketRouting(value, &packetRouting);
     } else if (k == "injection-policy") {
-        injectionPolicy = parseInjectionPolicy(value);
+        lookupInjectionPolicy(value, &injectionPolicy);
     } else if (k == "preferred-set-splits") {
-        preferredSetSplits = parseInt(k, value);
+        setInt(preferredSetSplits, k, value, 1);
     } else if (k == "dispatch-threshold") {
-        dispatchThreshold = parseInt(k, value);
+        setInt(dispatchThreshold, k, value, 1);
     } else if (k == "dispatch-width") {
-        dispatchWidth = parseInt(k, value);
+        setInt(dispatchWidth, k, value, 1);
     } else if (k == "lsq-concurrency") {
-        lsqConcurrency = parseInt(k, value);
+        setInt(lsqConcurrency, k, value, 1);
     } else if (k == "local-update-time") {
-        localUpdateTimePerKiB = parseDouble(k, value);
+        setDouble(localUpdateTimePerKiB, k, value);
     } else if (k == "backend") {
-        backend = parseNetworkBackend(value);
+        lookupNetworkBackend(value, &backend);
     } else if (k == "local-rings") {
-        local.rings = parseInt(k, value);
+        setInt(local.rings, k, value, 1);
     } else if (k == "vertical-rings" || k == "horizontal-rings" ||
                k == "package-rings") {
         // The paper exposes separate ring counts for the two package
         // dimensions; this implementation uses one inter-package link
         // class, so the counts are tied together.
-        package.rings = parseInt(k, value);
+        setInt(package.rings, k, value, 1);
     } else if (k == "local-link-bw") {
-        local.bandwidth = parseDouble(k, value);
+        setDouble(local.bandwidth, k, value, Range::Positive);
     } else if (k == "package-link-bw") {
-        package.bandwidth = parseDouble(k, value);
+        setDouble(package.bandwidth, k, value, Range::Positive);
     } else if (k == "local-link-latency") {
-        local.latency = static_cast<Tick>(parseInt(k, value));
+        setTick(local.latency, k, value);
     } else if (k == "package-link-latency") {
-        package.latency = static_cast<Tick>(parseInt(k, value));
+        setTick(package.latency, k, value);
     } else if (k == "local-link-efficiency") {
-        local.efficiency = parseDouble(k, value);
+        setDouble(local.efficiency, k, value, Range::UnitInterval);
     } else if (k == "package-link-efficiency") {
-        package.efficiency = parseDouble(k, value);
+        setDouble(package.efficiency, k, value, Range::UnitInterval);
     } else if (k == "local-packet-size") {
-        local.packetSize = parseBytes(value);
+        setBytes(local.packetSize, k, value);
     } else if (k == "package-packet-size") {
-        package.packetSize = parseBytes(value);
+        setBytes(package.packetSize, k, value);
     } else if (k == "flit-width") {
-        flitWidthBits = parseInt(k, value);
+        setInt(flitWidthBits, k, value, 8);
     } else if (k == "router-latency") {
-        routerLatency = static_cast<Tick>(parseInt(k, value));
+        setTick(routerLatency, k, value);
     } else if (k == "vcs-per-vnet") {
-        vcsPerVnet = parseInt(k, value);
+        setInt(vcsPerVnet, k, value, 1);
     } else if (k == "buffers-per-vc") {
-        buffersPerVc = parseInt(k, value);
+        setInt(buffersPerVc, k, value, 1);
     } else if (k == "physical-topology") {
         if (lower(value) == "logical") {
             physicalDistinct = false;
-        } else {
+        } else if (lookupTopologyKind(value, &physTopology)) {
             physicalDistinct = true;
-            physTopology = parseTopologyKind(value);
         }
     } else if (k == "physical-local-dim") {
-        physLocalDim = parseInt(k, value);
+        setInt(physLocalDim, k, value, 1);
     } else if (k == "physical-horizontal-dim" ||
                k == "physical-num-packages") {
-        physHorizontalDim = parseInt(k, value);
+        setInt(physHorizontalDim, k, value, 1);
     } else if (k == "physical-vertical-dim" ||
                k == "physical-package-rows") {
-        physVerticalDim = parseInt(k, value);
+        setInt(physVerticalDim, k, value, 1);
     } else if (k == "physical-global-switches") {
-        physGlobalSwitches = parseInt(k, value);
+        setInt(physGlobalSwitches, k, value, 1);
     } else if (k == "scaleout-dim" || k == "pods") {
-        scaleoutDimSize = parseInt(k, value);
+        setInt(scaleoutDimSize, k, value, 1);
     } else if (k == "scaleout-switches") {
-        scaleoutSwitches = parseInt(k, value);
+        setInt(scaleoutSwitches, k, value, 1);
     } else if (k == "scaleout-link-bw") {
-        scaleout.bandwidth = parseDouble(k, value);
+        setDouble(scaleout.bandwidth, k, value, Range::Positive);
     } else if (k == "scaleout-link-latency") {
-        scaleout.latency = static_cast<Tick>(parseInt(k, value));
+        setTick(scaleout.latency, k, value);
     } else if (k == "scaleout-link-efficiency") {
-        scaleout.efficiency = parseDouble(k, value);
+        setDouble(scaleout.efficiency, k, value, Range::UnitInterval);
     } else if (k == "scaleout-packet-size") {
-        scaleout.packetSize = parseBytes(value);
+        setBytes(scaleout.packetSize, k, value);
     } else if (k == "scaleout-protocol-delay") {
-        scaleoutProtocolDelay = static_cast<Tick>(parseInt(k, value));
+        setTick(scaleoutProtocolDelay, k, value);
     } else if (k == "scaleout-pj-per-bit") {
-        energy.scaleoutPjPerBit = parseDouble(k, value);
+        setDouble(energy.scaleoutPjPerBit, k, value);
     } else if (k == "local-pj-per-bit") {
-        energy.localPjPerBit = parseDouble(k, value);
+        setDouble(energy.localPjPerBit, k, value);
     } else if (k == "package-pj-per-bit") {
-        energy.packagePjPerBit = parseDouble(k, value);
+        setDouble(energy.packagePjPerBit, k, value);
     } else if (k == "router-pj-per-flit") {
-        energy.routerPjPerFlit = parseDouble(k, value);
+        setDouble(energy.routerPjPerFlit, k, value);
+    } else if (k == "fault") {
+        // The one intentionally repeatable key: rules accumulate. The
+        // rule text is validated when the FaultPlan is built, so a bad
+        // rule surfaces with every other config problem.
+        faultRules.push_back(value);
+    } else if (k == "fault-plan") {
+        faultPlanFile = value;
+    } else if (k == "fault-timeout") {
+        setTick(faultTimeout, k, value, 1);
+    } else if (k == "fault-max-retries") {
+        setInt(faultMaxRetries, k, value, 0);
     } else {
-        fatal("unknown parameter '%s'", key.c_str());
+        parseFail("unknown parameter '" + key + "'");
     }
+
+    if (!t_parseError.empty()) {
+        if (err)
+            *err = t_parseError;
+        t_parseError.clear();
+        return false;
+    }
+    return true;
 }
 
 void
@@ -365,9 +591,18 @@ SimConfig::loadFile(const std::string &path)
     std::ifstream in(path);
     if (!in)
         fatal("cannot open config file '%s'", path.c_str());
+    // Collect every problem — malformed lines, unknown or duplicate
+    // keys, out-of-range values — and report them all at once, so one
+    // edit-run cycle fixes the whole file.
+    std::vector<std::string> errors;
+    std::set<std::string> seen;
     std::string line;
     int lineno = 0;
     while (std::getline(in, line)) {
+        // std::getline also yields a final line that lacks the
+        // trailing newline, and the trims below strip the '\r' of
+        // CRLF files; both kinds of file parse identically to their
+        // clean LF-terminated equivalent.
         ++lineno;
         auto hash = line.find('#');
         if (hash != std::string::npos)
@@ -380,19 +615,41 @@ SimConfig::loadFile(const std::string &path)
         line = line.substr(b, e - b + 1);
         auto eq = line.find('=');
         if (eq == std::string::npos) {
-            fatal("%s:%d: expected key=value, got '%s'", path.c_str(),
-                  lineno, line.c_str());
+            errors.push_back(strprintf("%s:%d: expected key=value, got "
+                                       "'%s'",
+                                       path.c_str(), lineno,
+                                       line.c_str()));
+            continue;
         }
         std::string key = line.substr(0, eq);
         std::string value = line.substr(eq + 1);
         auto trim = [](std::string &s) {
-            auto b2 = s.find_first_not_of(" \t");
-            auto e2 = s.find_last_not_of(" \t");
+            auto b2 = s.find_first_not_of(" \t\r");
+            auto e2 = s.find_last_not_of(" \t\r");
             s = (b2 == std::string::npos) ? "" : s.substr(b2, e2 - b2 + 1);
         };
         trim(key);
         trim(value);
-        set(key, value);
+        // "fault" accumulates by design; everything else set twice is
+        // almost certainly an editing mistake.
+        const std::string norm = normalizeKey(key);
+        if (norm != "fault" && !seen.insert(norm).second) {
+            errors.push_back(strprintf("%s:%d: duplicate key '%s'",
+                                       path.c_str(), lineno,
+                                       key.c_str()));
+            continue;
+        }
+        std::string err;
+        if (!trySet(key, value, &err))
+            errors.push_back(strprintf("%s:%d: %s", path.c_str(), lineno,
+                                       err.c_str()));
+    }
+    if (!errors.empty()) {
+        std::string all;
+        for (const std::string &err : errors)
+            all += "\n  " + err;
+        fatal("config file '%s': %zu error(s):%s", path.c_str(),
+              errors.size(), all.c_str());
     }
 }
 
@@ -413,13 +670,11 @@ SimConfig::applyArgs(int argc, char **argv)
         }
         std::string key = arg.substr(2, eq - 2);
         std::string value = arg.substr(eq + 1);
-        try {
-            set(key, value);
-        } catch (const FatalError &) {
-            if (!loggingThrowsOnFatal())
-                throw;
+        // Arguments this config does not accept are left for the
+        // caller (the CLI has flags of its own); it decides whether a
+        // leftover is an error.
+        if (!trySet(key, value, nullptr))
             leftover[key] = value;
-        }
     }
     return leftover;
 }
@@ -474,6 +729,12 @@ SimConfig::validate() const
                 vcsPerVnet, buffersPerVc);
     ASTRA_CHECK(scaleoutDimSize >= 1,
                 "scaleout-dim must be >= 1 (got %d)", scaleoutDimSize);
+    ASTRA_CHECK(faultTimeout >= 1,
+                "fault-timeout must be >= 1 cycle (got %llu)",
+                static_cast<unsigned long long>(faultTimeout));
+    ASTRA_CHECK(faultMaxRetries >= 0,
+                "fault-max-retries must be >= 0 (got %d)",
+                faultMaxRetries);
     if (scaleoutDimSize > 1) {
         ASTRA_CHECK(scaleoutSwitches >= 1,
                     "scale-out needs >= 1 switch (got %d)",

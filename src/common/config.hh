@@ -16,6 +16,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -207,6 +208,28 @@ struct SimConfig
 
     EnergyParams energy;      //!< interconnect energy model
 
+    // --- Fault injection (docs/faults.md) -----------------------------
+    /**
+     * Fault rules ("fault = degrade link=0 from=0 to=1000 factor=0.5").
+     * The one intentionally repeatable key: every occurrence appends.
+     * Parsed into a FaultPlan by the core layer; an empty list (the
+     * default) leaves every fault hook disabled and the simulation
+     * bit-for-bit identical to a build without the fault subsystem.
+     */
+    std::vector<std::string> faultRules;
+
+    /** Separate fault-plan file, one rule per line ("fault-plan="). */
+    std::string faultPlanFile;
+
+    /** Base retransmission timeout in cycles ("fault-timeout="). */
+    Tick faultTimeout = 1000;
+
+    /**
+     * Retransmissions before a chunk send fails for good and the run
+     * degrades ("fault-max-retries=").
+     */
+    int faultMaxRetries = 3;
+
     // --- Logical-to-physical mapping (Sec. IV-B) ----------------------
     /**
      * When true, the system layer's *logical* topology (the fields
@@ -249,7 +272,21 @@ struct SimConfig
     /** Set one parameter from its string name/value; fatal on unknown. */
     void set(const std::string &key, const std::string &value);
 
-    /** Load key=value lines (# comments) from @p path. */
+    /**
+     * set() without the fatal: @return false with a message in @p err
+     * on an unknown key or a bad value, leaving the config unchanged.
+     * The building block for collected multi-error reporting.
+     */
+    bool trySet(const std::string &key, const std::string &value,
+                std::string *err);
+
+    /**
+     * Load key=value lines (# comments) from @p path. CRLF line
+     * endings and a missing trailing newline are handled. All problems
+     * (malformed lines, unknown/duplicate keys, out-of-range values)
+     * are collected and reported at once, file:line each, in a single
+     * fatal().
+     */
     void loadFile(const std::string &path);
 
     /**

@@ -149,10 +149,11 @@ MetricRegistry::merge(const MetricRegistry &o)
 }
 
 std::string
-MetricRegistry::toJson() const
+MetricRegistry::toJson(const std::string &extra) const
 {
-    std::string out = "{\n  \"schema\": \"astra-metrics-v1\",\n"
-                      "  \"groups\": {";
+    std::string out = "{\n  \"schema\": \"astra-metrics-v1\",\n";
+    out += extra; // pre-rendered members, each line ends in ",\n"
+    out += "  \"groups\": {";
     bool first = true;
     for (const auto &[name, g] : _groups) {
         out += first ? "\n" : ",\n";
@@ -166,12 +167,13 @@ MetricRegistry::toJson() const
 }
 
 void
-MetricRegistry::writeFile(const std::string &path) const
+MetricRegistry::writeFile(const std::string &path,
+                          const std::string &extra) const
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         fatal("cannot open report file '%s' for writing", path.c_str());
-    const std::string json = toJson();
+    const std::string json = toJson(extra);
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
 }

@@ -325,12 +325,17 @@ class MetricRegistry
 
     /**
      * Serialize the whole tree as one JSON document:
-     * {"schema": "astra-metrics-v1", "groups": {...}}.
+     * {"schema": "astra-metrics-v1", "groups": {...}}. @p extra is
+     * spliced verbatim between the schema member and "groups" — raw
+     * pre-rendered object members, each line ending in ",\n" (e.g. the
+     * fault layer's failureReportJsonMembers). Empty adds nothing and
+     * keeps the document byte-identical to the historical output.
      */
-    std::string toJson() const;
+    std::string toJson(const std::string &extra = std::string()) const;
 
-    /** Write toJson() to @p path; fatal() on I/O error. */
-    void writeFile(const std::string &path) const;
+    /** Write toJson(@p extra) to @p path; fatal() on I/O error. */
+    void writeFile(const std::string &path,
+                   const std::string &extra = std::string()) const;
 
     /** Drop all groups. */
     void clear() { _groups.clear(); }

@@ -9,16 +9,20 @@
 namespace astra
 {
 
-Bytes
-parseBytes(const std::string &text)
+bool
+tryParseBytes(const std::string &text, Bytes *out, std::string *err)
 {
-    if (text.empty())
-        fatal("empty size string");
+    if (text.empty()) {
+        *err = "empty size string";
+        return false;
+    }
     const char *s = text.c_str();
     char *end = nullptr;
     double value = std::strtod(s, &end);
-    if (end == s || value < 0)
-        fatal("malformed size string '%s'", text.c_str());
+    if (end == s || value < 0) {
+        *err = "malformed size string '" + text + "'";
+        return false;
+    }
     while (*end && std::isspace(static_cast<unsigned char>(*end)))
         ++end;
     double mult = 1;
@@ -41,16 +45,30 @@ parseBytes(const std::string &text)
         ++end;
         break;
       default:
-        fatal("malformed size suffix in '%s'", text.c_str());
+        *err = "malformed size suffix in '" + text + "'";
+        return false;
     }
     // Allow a trailing 'B' / "iB" after K/M/G.
     if (*end == 'i' || *end == 'I')
         ++end;
     if (*end == 'b' || *end == 'B')
         ++end;
-    if (*end != '\0')
-        fatal("trailing junk in size string '%s'", text.c_str());
-    return static_cast<Bytes>(std::llround(value * mult));
+    if (*end != '\0') {
+        *err = "trailing junk in size string '" + text + "'";
+        return false;
+    }
+    *out = static_cast<Bytes>(std::llround(value * mult));
+    return true;
+}
+
+Bytes
+parseBytes(const std::string &text)
+{
+    Bytes out = 0;
+    std::string err;
+    if (!tryParseBytes(text, &out, &err))
+        fatal("%s", err.c_str());
+    return out;
 }
 
 std::string

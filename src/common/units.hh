@@ -34,6 +34,13 @@ gbpsToBytesPerCycle(double gb_per_s)
  */
 Bytes parseBytes(const std::string &text);
 
+/**
+ * parseBytes without the fatal: @return false (with a message in
+ * @p err) on malformed input, leaving @p out untouched. Used where
+ * parse errors are collected instead of aborting (SimConfig::trySet).
+ */
+bool tryParseBytes(const std::string &text, Bytes *out, std::string *err);
+
 /** Render a byte count compactly: 512B, 32KB, 4MB, 1.5GB. */
 std::string formatBytes(Bytes bytes);
 

@@ -33,6 +33,45 @@ Cluster::Cluster(const SimConfig &cfg) : _cfg(cfg), _topo(cfg)
     for (NodeId n = 0; n < _topo.numNodes(); ++n)
         _nodes.push_back(std::make_unique<Sys>(n, _topo, *_net, _cfg));
 
+    // Fault layer: only wired when the plan has rules, so a fault-free
+    // run takes none of the hooks and stays bit-for-bit identical.
+    FaultPlan plan = FaultPlan::fromConfig(_cfg);
+    if (!plan.empty()) {
+        _faults = std::make_unique<FaultManager>(std::move(plan));
+        if (one_to_one) {
+            // Ring re-planning needs the literal hint->link mapping;
+            // mapped fabrics only seed channels, so skip binding there.
+            switch (_cfg.backend) {
+              case NetworkBackend::Analytical:
+                _faults->bindRingChannels(
+                    static_cast<AnalyticalNetwork *>(_net.get())
+                        ->fabric()
+                        .ringLinks());
+                break;
+              case NetworkBackend::GarnetLite:
+                _faults->bindRingChannels(
+                    static_cast<GarnetLiteNetwork *>(_net.get())
+                        ->fabric()
+                        .ringLinks());
+                break;
+            }
+        }
+        _net->setFaults(_faults.get());
+        _net->setLossHandler([this](const Message &msg, int link) {
+            ASTRA_CHECK(msg.src >= 0 &&
+                            std::size_t(msg.src) < _nodes.size(),
+                        "loss reported for out-of-range sender %d",
+                        msg.src);
+            _nodes[std::size_t(msg.src)]->onMessageLost(msg, link);
+        });
+        for (auto &node : _nodes) {
+            node->setFaults(_faults.get(),
+                            [this](const FailureRecord &rec) {
+                                _failures.push_back(rec);
+                            });
+        }
+    }
+
     if (!_cfg.traceFile.empty()) {
         _trace = std::make_unique<TraceRecorder>();
         // Lane names: one process per NPU plus one for the network's
@@ -101,8 +140,33 @@ Tick
 Cluster::run()
 {
     _eq.run();
-    _validators.runAll();
+    refreshOutcome();
+    // The drain checkers assume a fully completed run: a degraded run
+    // legitimately strands streams, queued transfers and credits, so
+    // they only execute on Completed outcomes (the failure report is
+    // the diagnostic for the others).
+    if (_outcome == RunOutcome::Completed)
+        _validators.runAll();
     return _eq.now();
+}
+
+void
+Cluster::refreshOutcome()
+{
+    if (!_faults) {
+        _outcome = RunOutcome::Completed; // historical behavior
+        return;
+    }
+    if (!_failures.empty()) {
+        _outcome = RunOutcome::Degraded;
+        return;
+    }
+    bool live = false;
+    for (const auto &node : _nodes) {
+        if (node->liveStreams() > 0 || node->pendingP2P() > 0)
+            live = true;
+    }
+    _outcome = live ? RunOutcome::Deadlocked : RunOutcome::Completed;
 }
 
 Tick
@@ -121,8 +185,13 @@ Cluster::runCollective(CollectiveKind kind, Bytes bytes,
 
     Tick finish = issued;
     for (const auto &h : handles) {
-        if (!h->done())
+        if (!h->done()) {
+            // Under a fault plan an incomplete collective is the
+            // Degraded/Deadlocked outcome's business, not a fatal.
+            if (_outcome != RunOutcome::Completed)
+                continue;
             fatal("collective did not complete (deadlock?)");
+        }
         finish = std::max(finish, h->completedAt);
     }
     return finish - issued;
@@ -149,6 +218,17 @@ Cluster::exportMetrics() const
     cl.set("events.executed",
            static_cast<double>(_eq.executedEvents()));
     cl.set("nodes", double(_topo.numNodes()));
+
+    // Only present under a fault plan, so fault-free metric JSON is
+    // byte-identical to the pre-fault-layer output.
+    if (_faults) {
+        StatGroup &f = reg.group("fault");
+        f.set("outcome", double(int(_outcome)));
+        f.set("failures", double(_failures.size()));
+        f.set("drops.injected",
+              double(_faults->dropsInjected()));
+        f.set("lost.messages", double(_net->lostMessages()));
+    }
     return reg;
 }
 

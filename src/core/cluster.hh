@@ -21,6 +21,7 @@
 #include "common/trace.hh"
 #include "common/validate.hh"
 #include "core/sys.hh"
+#include "fault/fault.hh"
 #include "net/network_api.hh"
 #include "topo/topology.hh"
 
@@ -85,6 +86,25 @@ class Cluster
     /** The drain-time checker registry (for tests). */
     const ValidatorRegistry &validators() const { return _validators; }
 
+    // --- fault layer (docs/faults.md) ---------------------------------
+
+    /** The fault schedule, or nullptr when the plan is empty. */
+    const FaultManager *faults() const { return _faults.get(); }
+
+    /**
+     * How the last run() ended. Always Completed without a fault plan;
+     * Degraded when any send exhausted its retries, Deadlocked when
+     * work was stranded without a recorded failure (e.g. a transfer
+     * parked forever on a down link).
+     */
+    RunOutcome outcome() const { return _outcome; }
+
+    /** One record per retries-exhausted send (Degraded runs). */
+    const std::vector<FailureRecord> &failures() const
+    {
+        return _failures;
+    }
+
     /**
      * Convenience: issue @p kind of @p bytes on every node, run to
      * completion and return the cluster-wide communication time
@@ -114,6 +134,9 @@ class Cluster
     void flushTrace();
 
   private:
+    /** Recompute _outcome after the event queue drains. */
+    void refreshOutcome();
+
     SimConfig _cfg;
     EventQueue _eq;
     Topology _topo; //!< logical
@@ -122,6 +145,9 @@ class Cluster
     std::vector<std::unique_ptr<Sys>> _nodes;
     std::unique_ptr<TraceRecorder> _trace;
     ValidatorRegistry _validators;
+    std::unique_ptr<FaultManager> _faults; //!< null = empty plan
+    RunOutcome _outcome = RunOutcome::Completed;
+    std::vector<FailureRecord> _failures;
 };
 
 } // namespace astra

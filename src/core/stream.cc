@@ -33,7 +33,9 @@ Stream::channelFor(int p) const
 {
     const PhaseDesc &ph = _plan.at(std::size_t(p));
     const int channels = _sys.topology().dim(ph.dim).channels;
-    return static_cast<int>(_id % StreamId(channels));
+    // Delegated so the fault layer can re-plan rings around links that
+    // are down for the whole run; `id % channels` without faults.
+    return _sys.pickChannel(ph.dim, channels, _id);
 }
 
 int
@@ -89,7 +91,7 @@ Stream::scheduleAfter(Tick delay, std::function<void()> fn)
 Tick
 Stream::endpointDelay() const
 {
-    return _sys.config().endpointDelay;
+    return _sys.scaledEndpointDelay();
 }
 
 int

@@ -1,9 +1,11 @@
 #include "core/sys.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "fault/fault.hh"
 
 namespace astra
 {
@@ -150,10 +152,91 @@ Sys::expectP2P(NodeId src, std::uint64_t tag, std::function<void()> cb)
 }
 
 void
+Sys::setFaults(const FaultManager *faults,
+               std::function<void(const FailureRecord &)> sink)
+{
+    _faults = faults;
+    _failureSink = std::move(sink);
+}
+
+void
+Sys::onMessageLost(const Message &msg, int link)
+{
+    const int max_retries = _faults ? _faults->maxRetries() : 0;
+
+    // Note the timeout on the live chunk so the legal-transition table
+    // vets it: a loss racing a finalized chunk dies under validation.
+    Stream *s = nullptr;
+    if (msg.tag.phase >= 0) {
+        auto it = _streams.find(msg.tag.stream);
+        if (it != _streams.end())
+            s = it->second.get();
+    }
+    if (s)
+        s->data().noteTimeout();
+
+    if (msg.attempt >= max_retries) {
+        _stats.inc("fault.retries_exhausted");
+        FailureRecord rec;
+        rec.node = _id;
+        rec.link = link;
+        rec.stream = msg.tag.stream;
+        rec.tick = now();
+        rec.retries = msg.attempt;
+        rec.reason = strprintf(
+            "send %d -> %d (%llu B) lost on link %d; %d attempt(s) "
+            "exhausted",
+            _id, msg.dst, static_cast<unsigned long long>(msg.bytes),
+            link, msg.attempt + 1);
+        if (_failureSink)
+            _failureSink(rec);
+        return;
+    }
+
+    if (s)
+        s->data().noteRetry();
+    _stats.inc("fault.retries");
+    // Bounded exponential backoff: retryTimeout * 2^attempt, the shift
+    // capped so a pathological retry budget cannot overflow the Tick.
+    const Tick base = _faults ? _faults->retryTimeout() : Tick(1);
+    const int shift = std::min<std::int32_t>(msg.attempt, 20);
+    const Tick wait = base << shift;
+    Message again = msg;
+    again.attempt += 1;
+    eventQueue().scheduleAfter(wait, [this, again]() mutable {
+        _net.send(std::move(again));
+    });
+}
+
+int
+Sys::pickChannel(int dim, int channels, StreamId id) const
+{
+    if (_faults)
+        return _faults->pickChannel(dim, channels, id);
+    return static_cast<int>(id % StreamId(channels));
+}
+
+double
+Sys::computeSlowdown() const
+{
+    return _faults ? _faults->computeSlowdown(_id) : 1.0;
+}
+
+Tick
+Sys::scaledEndpointDelay() const
+{
+    const double f = computeSlowdown();
+    if (f == 1.0)
+        return _cfg.endpointDelay;
+    return static_cast<Tick>(
+        std::ceil(static_cast<double>(_cfg.endpointDelay) * f));
+}
+
+void
 Sys::onP2PMessage(const Message &msg)
 {
     // Endpoint processing cost, then match the expectation.
-    eventQueue().scheduleAfter(_cfg.endpointDelay, [this, msg] {
+    eventQueue().scheduleAfter(scaledEndpointDelay(), [this, msg] {
         const auto key = std::make_pair(msg.src, msg.tag.stream);
         auto it = _p2pExpected.find(key);
         if (it == _p2pExpected.end()) {

@@ -36,6 +36,9 @@
 namespace astra
 {
 
+class FaultManager;
+struct FailureRecord;
+
 /** Parameters of one collective issue. */
 struct CollectiveRequest
 {
@@ -105,6 +108,42 @@ class Sys
     /** Streams still alive (issued, not completed). */
     std::size_t liveStreams() const { return _streams.size(); }
 
+    /** Outstanding P2P expectations (Cluster's deadlock scan). */
+    std::size_t pendingP2P() const { return _p2pExpected.size(); }
+
+    // --- fault layer (docs/faults.md) ---------------------------------
+
+    /**
+     * Wire the fault layer: @p faults drives retry pacing, straggler
+     * slowdown, and ring-channel re-planning; @p sink receives the
+     * FailureRecord of every retries-exhausted send. Never wired on a
+     * fault-free run, so the hooks below fall back to the historical,
+     * bit-for-bit-identical behavior.
+     */
+    void setFaults(const FaultManager *faults,
+                   std::function<void(const FailureRecord &)> sink);
+
+    /**
+     * The backend discarded @p msg on @p link (fault layer). Retries
+     * with bounded exponential backoff until the plan's retry budget is
+     * exhausted, then reports a FailureRecord through the sink — never
+     * a fatal.
+     */
+    void onMessageLost(const Message &msg, int link);
+
+    /**
+     * Ring channel a stream should use in @p dim: the historical
+     * `id % channels` without faults, re-planned around forever-down
+     * links otherwise (FaultManager::pickChannel).
+     */
+    int pickChannel(int dim, int channels, StreamId id) const;
+
+    /** This node's straggler slowdown factor (1.0 = not a straggler). */
+    double computeSlowdown() const;
+
+    /** Endpoint processing delay, stretched on a straggler node. */
+    Tick scaledEndpointDelay() const;
+
     /** Attach a trace recorder (Cluster wires this when enabled). */
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
@@ -161,6 +200,8 @@ class Sys
     std::map<std::pair<NodeId, std::uint64_t>, int> _p2pArrived;
     std::function<void(const Stream &)> _inspector;
     TraceRecorder *_trace = nullptr;
+    const FaultManager *_faults = nullptr; //!< null = no fault plan
+    std::function<void(const FailureRecord &)> _failureSink;
 };
 
 } // namespace astra

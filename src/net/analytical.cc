@@ -1,7 +1,10 @@
 #include "net/analytical.hh"
 
+#include <cmath>
+
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "net/validate.hh"
 
 namespace astra
@@ -89,7 +92,33 @@ AnalyticalNetwork::hop(Message msg,
         return;
     }
 
-    const Tick tx = txTime(desc.cls, msg.bytes);
+    Tick tx = txTime(desc.cls, msg.bytes);
+    if (FaultManager *fm = faults()) {
+        // The analytical model serializes whole messages, so faults
+        // apply per busy interval: a degraded link stretches the
+        // interval by 1/factor, a down link parks the transfer until
+        // the window ends, and a link down for the rest of the run
+        // turns the transfer into a loss the retry machinery owns.
+        // (Counted packet drops are garnet-lite only — this backend
+        // has no packets to count.)
+        const double factor = fm->bandwidthFactor(int(l), now);
+        if (factor <= 0.0) {
+            const Tick resume = fm->downUntil(int(l), now);
+            if (resume == FaultPlan::kEnd) {
+                notifyLoss(msg, int(l));
+                return;
+            }
+            _eq.schedule(resume,
+                         [this, msg = std::move(msg), path,
+                          idx]() mutable {
+                             hop(std::move(msg), path, idx);
+                         });
+            return;
+        }
+        if (factor < 1.0)
+            tx = static_cast<Tick>(
+                std::ceil(static_cast<double>(tx) / factor));
+    }
     const Tick start = now;
     if (_validate) {
         // Independent busy-interval ledger: the grant must start at or

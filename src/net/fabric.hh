@@ -128,6 +128,18 @@ class Fabric
 
     const Topology &topology() const { return _topo; }
 
+    /**
+     * Ring-channel link map: ringLinks()[(dim,ch)][node] is the link
+     * leaving @p node on ring channel @p ch of dimension @p dim. The
+     * fault layer uses it to find which channels a forever-down link
+     * disables (FaultManager::bindRingChannels).
+     */
+    const std::map<std::pair<int, int>, std::vector<LinkId>> &
+    ringLinks() const
+    {
+        return _ringLinks;
+    }
+
   private:
     const Topology &_topo;
     bool _oneToOne;

@@ -5,6 +5,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "net/validate.hh"
 
 namespace astra
@@ -162,15 +163,47 @@ GarnetLiteNetwork::pump(LinkId l)
             return;
         }
 
+        Tick tx = flitTxTime(desc.cls, pkt->flits);
+        bool dropped = false;
+        if (FaultManager *fm = faults()) {
+            const double factor = fm->bandwidthFactor(int(l), now);
+            if (factor <= 0.0) {
+                const Tick resume = fm->downUntil(int(l), now);
+                if (resume != FaultPlan::kEnd) {
+                    // Down window: everything queued here waits it
+                    // out; upstream backpressure follows from the
+                    // credits they keep holding.
+                    schedulePump(l, resume);
+                    return;
+                }
+                // Down for the rest of the run: the queue can never
+                // drain; every waiter is a loss.
+                while (!ls.waiting.empty()) {
+                    PacketRef dead = ls.waiting.front();
+                    ls.waiting.pop_front();
+                    dropPacket(dead, l, now);
+                }
+                return;
+            }
+            if (factor < 1.0)
+                tx = static_cast<Tick>(
+                    std::ceil(static_cast<double>(tx) / factor));
+            // Counted transient loss: the packet still serializes on
+            // the wire (freeAt advances, energy is spent) but never
+            // enters the downstream buffer.
+            dropped = fm->shouldDropPacket(int(l), now);
+        }
+
         // Grant.
         ls.waiting.pop_front();
-        const Tick tx = flitTxTime(desc.cls, pkt->flits);
         ls.freeAt = now + tx;
-        ls.bufferOcc += pkt->flits;
-        if (_validate)
-            validate::creditBounds(int(l), ls.bufferOcc,
-                                   _bufferCapacityFlits);
-        _peakOccupancy = std::max(_peakOccupancy, ls.bufferOcc);
+        if (!dropped) {
+            ls.bufferOcc += pkt->flits;
+            if (_validate)
+                validate::creditBounds(int(l), ls.bufferOcc,
+                                       _bufferCapacityFlits);
+            _peakOccupancy = std::max(_peakOccupancy, ls.bufferOcc);
+        }
         accountHop(pkt->bytes, desc.cls);
         if (_metrics) {
             LinkUsage &u = _usage[std::size_t(l)];
@@ -182,9 +215,15 @@ GarnetLiteNetwork::pump(LinkId l)
                 _creditStall += now - pkt->creditStallSince;
                 pkt->creditStallSince = kTickInvalid;
             }
-            _occHist.record(double(ls.bufferOcc));
+            if (!dropped)
+                _occHist.record(double(ls.bufferOcc));
             addDimBusy(desc.dim, tx);
             maybeEmitUtilCounters(now);
+        }
+
+        if (dropped) {
+            dropPacket(pkt, l, now);
+            continue;
         }
 
         if (pkt->hop > 0) {
@@ -227,8 +266,14 @@ GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
         _retiredFlits += std::uint64_t(pkt->flits);
         MessageRef parent = pkt->parent;
         recyclePacket(pkt);
-        if (--parent->packetsLeft == 0)
-            deliver(parent->msg);
+        if (--parent->packetsLeft == 0) {
+            // A message with any dropped packet is incomplete at the
+            // destination no matter how many packets made it.
+            if (parent->lost)
+                notifyLoss(parent->msg, parent->lostLink);
+            else
+                deliver(parent->msg);
+        }
         return;
     }
     const LinkId next = (*pkt->path)[pkt->hop];
@@ -236,6 +281,36 @@ GarnetLiteNetwork::arrive(PacketRef pkt, LinkId l)
     pkt->creditStallSince = kTickInvalid;
     _links[std::size_t(next)].waiting.push_back(pkt);
     pump(next);
+}
+
+void
+GarnetLiteNetwork::dropPacket(PacketRef pkt, LinkId l, Tick now)
+{
+    ++_droppedPackets;
+    _droppedFlits += std::uint64_t(pkt->flits);
+    if (pkt->hop > 0) {
+        // The packet dies holding the previous link's downstream
+        // buffer space: reclaim those credits and wake its waiters.
+        const LinkId up = (*pkt->path)[pkt->hop - 1];
+        _links[std::size_t(up)].bufferOcc -= pkt->flits;
+        if (_validate)
+            validate::creditBounds(int(up),
+                                   _links[std::size_t(up)].bufferOcc,
+                                   _bufferCapacityFlits);
+        schedulePump(up, now);
+    } else if (_injection == InjectionPolicy::Normal) {
+        // Dropped at its source link: keep the injection pipeline
+        // moving exactly as a granted packet would have.
+        injectNext(pkt->parent, pkt->path);
+    }
+    MessageRef parent = pkt->parent;
+    recyclePacket(pkt);
+    if (!parent->lost) {
+        parent->lost = true;
+        parent->lostLink = int(l);
+    }
+    if (--parent->packetsLeft == 0)
+        notifyLoss(parent->msg, parent->lostLink);
 }
 
 auto
@@ -271,6 +346,10 @@ GarnetLiteNetwork::exportStats(StatGroup &g, Tick elapsed) const
     g.set("packets.retired", double(_deliveredPackets));
     g.set("flits.injected", double(_injectedFlits));
     g.set("flits.retired", double(_retiredFlits));
+    if (_droppedPackets) {
+        g.set("packets.dropped", double(_droppedPackets));
+        g.set("flits.dropped", double(_droppedFlits));
+    }
     g.set("credit.stall_ticks", double(_creditStall));
     g.set("buffer.peak_occupancy", double(_peakOccupancy));
     g.histogramRef("hop.latency").merge(_hopLatency);

@@ -61,6 +61,9 @@ class GarnetLiteNetwork : public NetworkApi
     /** Total packets that completed their route. */
     std::uint64_t deliveredPackets() const { return _deliveredPackets; }
 
+    /** Packets the fault plan discarded (flit drop + credit reclaim). */
+    std::uint64_t droppedPackets() const { return _droppedPackets; }
+
     /** Peak flit occupancy seen in any input buffer (for tests). */
     int peakBufferOccupancy() const { return _peakOccupancy; }
 
@@ -118,6 +121,13 @@ class GarnetLiteNetwork : public NetworkApi
         Message msg;
         int packetsLeft;
         int packetsUninjected; //!< for Normal injection pacing
+        /**
+         * Fault layer: some packet of this message was dropped, so the
+         * message completes as a loss (notifyLoss) instead of a
+         * delivery once the surviving packets retire.
+         */
+        bool lost = false;
+        int lostLink = -1; //!< link of the first drop
     };
     using MessageRef = std::shared_ptr<MessageState>;
 
@@ -168,6 +178,16 @@ class GarnetLiteNetwork : public NetworkApi
     /** Packet fully arrived at the downstream end of link @p l. */
     void arrive(PacketRef pkt, LinkId l);
 
+    /**
+     * Fault layer: discard @p pkt at link @p l. Reclaims the upstream
+     * credits the packet held (or paces the next injection when it was
+     * still at its source), marks the parent message lost, and fires
+     * notifyLoss once the message's last packet has retired or
+     * dropped. The single place dropped packets leave the network, so
+     * credits are reclaimed exactly once.
+     */
+    void dropPacket(PacketRef pkt, LinkId l, Tick now);
+
     /** Begin injecting @p ms (after any transport-layer delay). */
     void inject(const MessageRef &ms,
                 const std::shared_ptr<std::vector<LinkId>> &path);
@@ -201,6 +221,8 @@ class GarnetLiteNetwork : public NetworkApi
     std::vector<std::unique_ptr<Packet>> _packetArena;
     std::vector<Packet *> _packetFree; //!< recycled, ready for reuse
     std::uint64_t _deliveredPackets = 0;
+    std::uint64_t _droppedPackets = 0;
+    std::uint64_t _droppedFlits = 0;
     int _peakOccupancy = 0;
 
     /** Incremental credit-ledger checks on (level >= basic). */

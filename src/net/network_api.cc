@@ -19,9 +19,19 @@ NetworkApi::deliver(const Message &msg)
 }
 
 void
+NetworkApi::notifyLoss(const Message &msg, int link)
+{
+    ++_lostMessages;
+    if (_lossHandler)
+        _lossHandler(msg, link);
+}
+
+void
 NetworkApi::exportStats(StatGroup &g) const
 {
     g.set("delivered.messages", double(_delivered));
+    if (_lostMessages)
+        g.set("lost.messages", double(_lostMessages));
     g.set("byte.hops", double(_byteHops));
     g.set("energy.local_pj", _energy.localLinkPj);
     g.set("energy.package_pj", _energy.packageLinkPj);

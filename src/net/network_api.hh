@@ -30,6 +30,7 @@
 namespace astra
 {
 
+class FaultManager;
 class StatGroup;
 class TraceRecorder;
 class ValidatorRegistry;
@@ -84,6 +85,11 @@ struct Message
     MessageTag tag;
     std::shared_ptr<void> payload;
     Tick sentAt = 0; //!< stamped by the backend at send()
+    /**
+     * Transmission attempt: 0 for the original send, incremented by
+     * the system layer's retry path each retransmission (fault layer).
+     */
+    std::int32_t attempt = 0;
 };
 
 /**
@@ -112,6 +118,26 @@ class NetworkApi
             resizeReceivers(std::size_t(node) + 1);
         _receivers[std::size_t(node)] = std::move(r);
     }
+
+    /**
+     * Invoked when the fault layer discards a message instead of
+     * delivering it: (message, link the loss happened on). The system
+     * layer's timeout/retry machinery hangs off this.
+     */
+    using LossHandler = std::function<void(const Message &, int)>;
+
+    /** Register the (single, cluster-wide) loss handler. */
+    void setLossHandler(LossHandler h) { _lossHandler = std::move(h); }
+
+    /**
+     * Attach the fault schedule this backend must honor. Null (the
+     * default) disables every fault hook: the backend's behavior is
+     * bit-for-bit the no-fault simulation.
+     */
+    void setFaults(FaultManager *faults) { _faults = faults; }
+
+    /** Messages the fault layer discarded (all attempts included). */
+    std::uint64_t lostMessages() const { return _lostMessages; }
 
     /** The event queue all layers share. */
     virtual EventQueue &eventQueue() = 0;
@@ -184,6 +210,16 @@ class NetworkApi
     /** Hand a fully-arrived message to its destination's receiver. */
     void deliver(const Message &msg);
 
+    /**
+     * Record a fault-layer loss of @p msg on @p link and notify the
+     * registered loss handler (if any). Backends call this instead of
+     * deliver() when the plan discarded the message.
+     */
+    void notifyLoss(const Message &msg, int link);
+
+    /** The attached fault schedule (null = no faults). */
+    FaultManager *faults() const { return _faults; }
+
     /** Account @p bytes crossing one link of class @p cls. */
     void
     accountHop(Bytes bytes, LinkClass cls)
@@ -250,6 +286,9 @@ class NetworkApi
     void emitUtilCounters(Tick now);
 
     std::vector<Receiver> _receivers;
+    LossHandler _lossHandler;
+    FaultManager *_faults = nullptr;
+    std::uint64_t _lostMessages = 0;
     std::uint64_t _delivered = 0;
     std::uint64_t _byteHops = 0;
     Energy _energy;

@@ -36,15 +36,16 @@ creditBounds(int link, int occupancy_flits, int capacity_flits)
 
 void
 packetConservation(const char *what, std::uint64_t injected,
-                   std::uint64_t retired)
+                   std::uint64_t retired, std::uint64_t dropped)
 {
-    ASTRA_CHECK(injected == retired,
+    ASTRA_CHECK(injected == retired + dropped,
                 "%s conservation violated at drain: injected=%llu "
-                "retired=%llu (delta=%lld)",
+                "retired=%llu dropped=%llu (delta=%lld)",
                 what, static_cast<unsigned long long>(injected),
                 static_cast<unsigned long long>(retired),
+                static_cast<unsigned long long>(dropped),
                 static_cast<long long>(injected) -
-                    static_cast<long long>(retired));
+                    static_cast<long long>(retired + dropped));
 }
 
 void
@@ -88,8 +89,9 @@ GarnetLiteNetwork::validateDrain() const
                     ls.bufferOcc, l);
     }
     validate::packetConservation("packet", _injectedPackets,
-                                 _deliveredPackets);
-    validate::packetConservation("flit", _injectedFlits, _retiredFlits);
+                                 _deliveredPackets, _droppedPackets);
+    validate::packetConservation("flit", _injectedFlits, _retiredFlits,
+                                 _droppedFlits);
     ASTRA_CHECK(_packetFree.size() == _packetArena.size(),
                 "garnet-lite drained with %zu of %zu arena packet(s) "
                 "not returned to the free list",

@@ -41,10 +41,12 @@ void creditBounds(int link, int occupancy_flits, int capacity_flits);
 
 /**
  * Conservation at drain: every injected @p what (packet, flit) must
- * have retired.
+ * have retired or been discarded by the fault plan — injected ==
+ * retired + @p dropped.
  */
 void packetConservation(const char *what, std::uint64_t injected,
-                        std::uint64_t retired);
+                        std::uint64_t retired,
+                        std::uint64_t dropped = 0);
 
 /**
  * Busy-interval non-overlap: granting @p link at @p grant_start while

@@ -83,8 +83,12 @@ NodeTrainer::dimsFor(CommSlot slot) const
 Tick
 NodeTrainer::scaled(Tick base) const
 {
-    return static_cast<Tick>(
-        std::ceil(static_cast<double>(base) / _opts.computeScale));
+    // Straggler nodes (fault layer) multiply every compute delay; the
+    // factor is 1.0 on a fault-free run, leaving `base / computeScale`
+    // bit-for-bit unchanged.
+    const double slow = _sys.computeSlowdown();
+    return static_cast<Tick>(std::ceil(
+        static_cast<double>(base) * slow / _opts.computeScale));
 }
 
 void

@@ -148,6 +148,96 @@ TEST(Config, LoadFileErrors)
     std::remove(path);
 }
 
+TEST(Config, LoadFileHandlesCrlfAndMissingTrailingNewline)
+{
+    const char *path = "/tmp/astra_config_crlf.cfg";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "# dos file\r\n"
+            << "num-passes = 4\r\n"
+            << "\r\n"
+            << "local-dim = 2"; // no trailing newline
+    }
+    SimConfig cfg;
+    cfg.loadFile(path);
+    EXPECT_EQ(cfg.numPasses, 4);
+    EXPECT_EQ(cfg.localDim, 2);
+    std::remove(path);
+}
+
+TEST(Config, LoadFileCollectsAllErrorsWithFileAndLine)
+{
+    const char *path = "/tmp/astra_config_multi_bad.cfg";
+    {
+        std::ofstream out(path);
+        out << "num-passes = 4\n"      // fine
+            << "not a key value\n"     // malformed line
+            << "no-such-param = 1\n"   // unknown key
+            << "flit-width = 4\n"      // out of range (min 8)
+            << "local-dim = 2\n"       // fine
+            << "local-dim = 3\n";      // duplicate key
+    }
+    SimConfig cfg;
+    try {
+        cfg.loadFile(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("4 error(s)"), std::string::npos) << what;
+        EXPECT_NE(what.find(":2:"), std::string::npos) << what;
+        EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+        EXPECT_NE(what.find(":4:"), std::string::npos) << what;
+        EXPECT_NE(what.find(":6:"), std::string::npos) << what;
+        EXPECT_NE(what.find("unknown parameter"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+    }
+    std::remove(path);
+}
+
+TEST(Config, TrySetReportsInsteadOfThrowing)
+{
+    SimConfig cfg;
+    std::string err;
+    EXPECT_TRUE(cfg.trySet("num-passes", "3", &err));
+    EXPECT_EQ(cfg.numPasses, 3);
+    EXPECT_FALSE(cfg.trySet("num-passes", "abc", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(cfg.numPasses, 3); // unchanged on failure
+    EXPECT_FALSE(cfg.trySet("no-such-param", "1", &err));
+    EXPECT_NE(err.find("unknown parameter"), std::string::npos);
+}
+
+TEST(Config, FaultKeysAreRepeatableAndValidated)
+{
+    SimConfig cfg;
+    cfg.set("fault", "down link=0 from=0 to=10");
+    cfg.set("fault", "straggle node=1 factor=2");
+    ASSERT_EQ(cfg.faultRules.size(), 2u);
+    cfg.set("fault-plan", "/tmp/some_plan.txt");
+    EXPECT_EQ(cfg.faultPlanFile, "/tmp/some_plan.txt");
+    cfg.set("fault-timeout", "500");
+    EXPECT_EQ(cfg.faultTimeout, 500u);
+    cfg.set("fault-max-retries", "0");
+    EXPECT_EQ(cfg.faultMaxRetries, 0);
+    EXPECT_THROW(cfg.set("fault-timeout", "0"), FatalError);
+    EXPECT_THROW(cfg.set("fault-max-retries", "-1"), FatalError);
+}
+
+TEST(Config, RepeatedFaultKeyIsNotADuplicateInFiles)
+{
+    const char *path = "/tmp/astra_config_faults.cfg";
+    {
+        std::ofstream out(path);
+        out << "fault = down link=0 from=0 to=10\n"
+            << "fault = drop link=1 every=8\n";
+    }
+    SimConfig cfg;
+    cfg.loadFile(path);
+    EXPECT_EQ(cfg.faultRules.size(), 2u);
+    std::remove(path);
+}
+
 TEST(Config, ApplyArgsConsumesMatchingFlags)
 {
     SimConfig cfg;

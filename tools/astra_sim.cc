@@ -93,7 +93,17 @@ usage(const char *prog)
         "  --trace-file=FILE      Chrome-trace output (Perfetto)\n"
         "  --key=value            override any Table III parameter\n"
         "  (topology: --topology=torus|alltoall --local-dim=M\n"
-        "   --num-packages=N --package-rows=K --global-switches=S)\n",
+        "   --num-packages=N --package-rows=K --global-switches=S)\n"
+        "\n"
+        "fault injection (docs/faults.md):\n"
+        "  --fault=RULE           add one deterministic fault rule\n"
+        "                         (repeatable): degrade | down |\n"
+        "                         straggle | drop\n"
+        "  --fault-plan=FILE      load fault rules, one per line\n"
+        "  --fault-timeout=T      base retransmission timeout, cycles\n"
+        "  --fault-max-retries=N  retries before a send fails for good\n"
+        "  exit codes: 0 completed, 1 runtime error, 2 configuration\n"
+        "  error, 3 degraded/deadlocked run (see the failure report)\n",
         prog);
 }
 
@@ -189,6 +199,37 @@ printEnergy(const NetworkApi::Energy &e)
                 e.packageLinkPj * 1e-6, e.routerPj * 1e-6);
 }
 
+/**
+ * Top-level JSON members for the metric report: the fault layer's
+ * outcome and failure list when a fault plan is active, nothing (and a
+ * byte-identical document) otherwise.
+ */
+std::string
+reportExtra(const Cluster &cluster)
+{
+    if (!cluster.faults())
+        return std::string();
+    return failureReportJsonMembers(cluster.outcome(),
+                                    cluster.failures());
+}
+
+/**
+ * Print the failure report and map the run outcome to the process
+ * exit code: 0 Completed, 3 Degraded/Deadlocked (runtime fatals keep
+ * exiting 1, configuration errors 2).
+ */
+int
+reportOutcome(const Cluster &cluster)
+{
+    if (cluster.outcome() == RunOutcome::Completed)
+        return 0;
+    std::printf("\n%s",
+                formatFailureReport(cluster.outcome(),
+                                    cluster.failures())
+                    .c_str());
+    return 3;
+}
+
 /** Write the cluster's metric registry if --report-json was given. */
 void
 writeReportJson(const CliOptions &opts, const Cluster &cluster)
@@ -196,7 +237,7 @@ writeReportJson(const CliOptions &opts, const Cluster &cluster)
     if (opts.reportJson.empty())
         return;
     MetricRegistry reg = cluster.exportMetrics();
-    reg.writeFile(opts.reportJson);
+    reg.writeFile(opts.reportJson, reportExtra(cluster));
     std::printf("wrote metric report: %s\n", opts.reportJson.c_str());
 }
 
@@ -233,11 +274,14 @@ runCollectiveMode(const CliOptions &opts, SimConfig cfg)
     printBreakdown(stats);
     writeReportJson(opts, cluster);
     printEnergy(cluster.network().energy());
-    const double gbps = static_cast<double>(opts.bytes) /
-                        static_cast<double>(t);
-    std::printf("effective per-node algorithm bandwidth: %.2f GB/s\n",
-                gbps);
-    return 0;
+    if (t > 0) {
+        const double gbps = static_cast<double>(opts.bytes) /
+                            static_cast<double>(t);
+        std::printf("effective per-node algorithm bandwidth: "
+                    "%.2f GB/s\n",
+                    gbps);
+    }
+    return reportOutcome(cluster);
 }
 
 int
@@ -468,7 +512,7 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
         std::printf("\nmakespan: %s, pipeline bubble: %.1f%%\n",
                     formatTicks(makespan).c_str(),
                     100 * run.bubbleRatio());
-        return 0;
+        return reportOutcome(cluster);
     }
 
     WorkloadRun run(cluster, spec,
@@ -528,7 +572,7 @@ runWorkloadMode(const CliOptions &opts, SimConfig cfg)
     std::printf("\nmakespan: %s\n", formatTicks(makespan).c_str());
     std::printf("compute: %.1f%%  exposed communication: %.1f%%\n",
                 100 * run.computeRatio(), 100 * run.exposedRatio());
-    return 0;
+    return reportOutcome(cluster);
 }
 
 } // namespace
@@ -612,12 +656,27 @@ main(int argc, char **argv)
         }
     }
 
-    if (!opts.configFile.empty())
-        cfg.loadFile(opts.configFile);
-    for (const auto &[k, v] : cfg_args)
-        cfg.set(k, v);
-    cfg.numPasses = opts.numPasses;
-    cfg.validate();
+    // The whole configuration phase reports through exit code 2 —
+    // distinct from runtime errors (1) and degraded runs (3) so CI can
+    // tell a bad config from a bad simulation. Errors are collected by
+    // the parser (all problems at once, file:line prefixed) and land
+    // here as one FatalError.
+    setLoggingThrowOnFatal(true);
+    try {
+        if (!opts.configFile.empty())
+            cfg.loadFile(opts.configFile);
+        for (const auto &[k, v] : cfg_args)
+            cfg.set(k, v);
+        cfg.numPasses = opts.numPasses;
+        cfg.validate();
+        // Vet the fault rules now: a malformed rule is a config error,
+        // not a runtime one.
+        FaultPlan::fromConfig(cfg);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    setLoggingThrowOnFatal(false);
 
     if (opts.exploreModules > 0)
         return runExploreMode(opts);

@@ -63,6 +63,46 @@ grep -q 'astra-metrics-v1' build/ci_report.json \
     || { echo "report missing schema marker" >&2; exit 1; }
 echo "trace and report are valid JSON"
 
+echo "=== fault-injection smoke (docs/faults.md) ==="
+# The shipped fault scenario must complete on both backends with every
+# integrity checker and the determinism digest on, and the failure
+# report members must keep the metric report valid JSON.
+for backend in analytical garnet-lite; do
+    ./build/tools/astra-sim --collective=allreduce --bytes=256KB \
+        --config=configs/faulty_4x4x4.cfg --backend="$backend" \
+        --validate --digest=verify \
+        --report-json="build/ci_fault_${backend}.json"
+    python3 -m json.tool "build/ci_fault_${backend}.json" >/dev/null
+    grep -q '"outcome": "completed"' "build/ci_fault_${backend}.json" \
+        || { echo "fault smoke ($backend): not completed" >&2; exit 1; }
+done
+# Retries-exhausted must surface as the Degraded exit code (3) with a
+# machine-readable failure report, not a fatal.
+set +e
+./build/tools/astra-sim --collective=allreduce --bytes=16KB \
+    --local-dim=1 --num-packages=4 --package-rows=1 --package-rings=1 \
+    --fault='down link=0 from=0 to=end' \
+    --fault='down link=4 from=0 to=end' \
+    --fault-timeout=10 --fault-max-retries=2 \
+    --report-json=build/ci_fault_degraded.json >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 3 ] \
+    || { echo "degraded run exited $rc, want 3" >&2; exit 1; }
+python3 -m json.tool build/ci_fault_degraded.json >/dev/null
+grep -q '"outcome": "degraded"' build/ci_fault_degraded.json \
+    || { echo "degraded report missing outcome" >&2; exit 1; }
+# A malformed fault rule is a config error: exit code 2, before any
+# simulation runs.
+set +e
+./build/tools/astra-sim --collective=allreduce --bytes=1KB \
+    --fault='down link=0 from=5 to=2' >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] \
+    || { echo "bad fault rule exited $rc, want 2" >&2; exit 1; }
+echo "fault smoke green (completed/degraded/config-error all correct)"
+
 if [ "$RUN_UBSAN" -eq 1 ]; then
     # UBSan doubles as the "full suite with checkers on" job: the tree
     # also sets -DASTRA_VALIDATE=ON, which compiles the hot-path

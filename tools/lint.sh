@@ -14,6 +14,11 @@
 #       - naked `new`: the simulator owns memory through containers,
 #         unique_ptr and arenas. Intentional exceptions carry a
 #         trailing `// NOLINT` comment, which this lint honours.
+#       - raw `throw` / `abort()`: error handling goes through
+#         ASTRA_CHECK/fatal()/panic() (src/common/check.hh,
+#         logging.hh), which report context and honour the
+#         throw-on-fatal test hook; only those two modules may touch
+#         the underlying machinery.
 #  2. clang-tidy (checks in .clang-tidy) over src/, when a clang-tidy
 #     binary and a compile_commands.json are available. Machines
 #     without clang-tidy (like the pinned CI container, which ships
@@ -31,11 +36,17 @@ STATUS=0
 # Each entry: <ERE pattern>|<message>. Patterns are written against
 # code, not prose: they anchor on call syntax so comment words like
 # "asynchronously" never false-positive.
+# An optional third argument is an ERE matched against `path:line:`
+# prefixes; matching hits are allowlisted (for the one or two modules
+# that legitimately own a banned construction).
 run_grep_rule() {
-    local pattern="$1" message="$2"
+    local pattern="$1" message="$2" allow="${3:-}"
     local hits
     hits=$(grep -rnE "$pattern" src --include='*.cc' --include='*.hh' \
         | grep -v '// NOLINT' || true)
+    if [ -n "$allow" ] && [ -n "$hits" ]; then
+        hits=$(echo "$hits" | grep -vE "$allow" || true)
+    fi
     if [ -n "$hits" ]; then
         echo "lint: $message"
         echo "$hits" | sed 's/^/    /'
@@ -51,6 +62,9 @@ run_grep_rule '\<float\>' \
     'float is too narrow for ticks/sizes (use Tick/Bytes/double)'
 run_grep_rule '= *new\>|\<new [A-Za-z_][A-Za-z0-9_:<>]*(\(|\[|\{)' \
     'naked new (own memory via containers/unique_ptr/arenas)'
+run_grep_rule '\<throw\>|\<abort\(' \
+    'raw throw/abort (use ASTRA_CHECK/fatal()/panic() so failures report context)' \
+    '^src/common/(check|logging)\.(cc|hh):'
 
 if [ "$STATUS" -eq 0 ]; then
     echo "lint: grep rules clean"
