@@ -343,6 +343,9 @@ class EventQueue
     void maybePurge();
 
     std::vector<Entry> _heap; //!< binary min-heap (std::*_heap helpers)
+    // Audited for astra-lint's unordered-iter rule: membership-only
+    // (insert/erase/find/count/size/empty) — never iterated, so hash
+    // order cannot leak into event order or the --digest stream.
     std::unordered_set<EventId> _live; //!< ids scheduled and not yet
                                        //!< fired or cancelled
     std::size_t _cancelledInHeap = 0; //!< dead entries still in _heap

@@ -1,0 +1,238 @@
+#include "lint/analyzer.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+#include "common/json.hh"
+#include "lint/include_graph.hh"
+
+namespace astra::lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+isSourceFile(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".hpp";
+}
+
+/** True when @p relpath sits inside a lint fixture corpus. */
+bool
+inFixtureDir(const std::string &relpath)
+{
+    return relpath.find("lint/fixtures/") != std::string::npos;
+}
+
+std::string
+relNormal(const std::string &p)
+{
+    return fs::path(p).lexically_normal().generic_string();
+}
+
+/** Compile @p pattern as ERE; nullopt-style via the bool result. */
+bool
+compileRegex(const std::string &pattern, std::regex &out)
+{
+    try {
+        out = std::regex(pattern, std::regex::extended);
+    } catch (const std::regex_error &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+loadAllowlist(const std::string &path, LintOptions &opts, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot open allowlist";
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ss(line);
+        std::string rule, pattern, extra;
+        if (!(ss >> rule))
+            continue; // blank line
+        if (!(ss >> pattern) || (ss >> extra)) {
+            if (err)
+                *err = path + ":" + std::to_string(lineno) +
+                       ": want `<rule-id> <path-regex>`";
+            return false;
+        }
+        if (rule != "*" && !knownRule(rule)) {
+            if (err)
+                *err = path + ":" + std::to_string(lineno) +
+                       ": unknown rule id '" + rule + "'";
+            return false;
+        }
+        std::regex probe;
+        if (!compileRegex(pattern, probe)) {
+            if (err)
+                *err = path + ":" + std::to_string(lineno) +
+                       ": bad regex '" + pattern + "'";
+            return false;
+        }
+        opts.allow.push_back(AllowEntry{rule, pattern});
+    }
+    return true;
+}
+
+std::vector<std::string>
+collectFiles(const LintOptions &opts, const std::vector<std::string> &paths)
+{
+    std::vector<std::string> out;
+    for (const std::string &p : paths) {
+        fs::path abs = fs::path(opts.root) / p;
+        if (fs::is_directory(abs)) {
+            for (fs::recursive_directory_iterator
+                     it(abs, fs::directory_options::skip_permission_denied),
+                 end;
+                 it != end; ++it) {
+                if (!it->is_regular_file() || !isSourceFile(it->path()))
+                    continue;
+                std::string rel =
+                    fs::path(it->path())
+                        .lexically_relative(opts.root)
+                        .generic_string();
+                rel = relNormal(rel);
+                if (opts.skipFixtureDirs && inFixtureDir(rel))
+                    continue;
+                out.push_back(rel);
+            }
+        } else if (fs::exists(abs)) {
+            out.push_back(relNormal(p));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::vector<Diagnostic>
+analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
+{
+    std::vector<LexedFile> lexed;
+    lexed.reserve(files.size());
+    for (const std::string &f : files) {
+        LexedFile lf =
+            lexFile((fs::path(opts.root) / f).generic_string());
+        lf.path = relNormal(f); // diagnostics carry repo-relative paths
+        lexed.push_back(std::move(lf));
+    }
+
+    // Unordered-container names declared per file, so a .cc sees the
+    // members its sibling .hh declares.
+    std::map<std::string, std::set<std::string>> declared;
+    for (const LexedFile &lf : lexed)
+        declared[lf.path] = unorderedNames(lf);
+
+    std::vector<Diagnostic> diags;
+    for (const LexedFile &lf : lexed) {
+        std::set<std::string> extra;
+        fs::path p(lf.path);
+        if (p.extension() == ".cc" || p.extension() == ".cpp") {
+            for (const char *hext : {".hh", ".hpp"}) {
+                fs::path sibling = p;
+                sibling.replace_extension(hext);
+                auto it = declared.find(sibling.generic_string());
+                if (it != declared.end())
+                    extra.insert(it->second.begin(), it->second.end());
+            }
+        }
+        runTokenRules(lf, opts.rules, extra, diags);
+    }
+
+    checkIncludeGraph(lexed, opts.root, opts.rules, diags);
+
+    // Allowlist filter.
+    if (!opts.allow.empty()) {
+        std::vector<std::pair<const AllowEntry *, std::regex>> compiled;
+        for (const AllowEntry &a : opts.allow) {
+            std::regex re;
+            if (compileRegex(a.pattern, re))
+                compiled.emplace_back(&a, std::move(re));
+        }
+        auto allowed = [&](const Diagnostic &d) {
+            for (const auto &[entry, re] : compiled) {
+                if ((entry->rule == "*" || entry->rule == d.rule) &&
+                    std::regex_search(d.file, re))
+                    return true;
+            }
+            return false;
+        };
+        diags.erase(std::remove_if(diags.begin(), diags.end(), allowed),
+                    diags.end());
+    }
+
+    std::sort(diags.begin(), diags.end(), diagnosticLess);
+    return diags;
+}
+
+std::string
+renderText(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream ss;
+    for (const Diagnostic &d : diags) {
+        ss << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule
+           << "] " << d.message << "\n";
+    }
+    return ss.str();
+}
+
+std::string
+renderJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream ss;
+    ss << "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        ss << (i ? ",\n " : "\n ") << "{\"file\": \"" << jsonEscape(d.file)
+           << "\", \"line\": " << d.line << ", \"col\": " << d.col
+           << ", \"rule\": \"" << jsonEscape(d.rule)
+           << "\", \"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    ss << (diags.empty() ? "]" : "\n]") << "\n";
+    return ss.str();
+}
+
+std::string
+renderFixable(const std::vector<Diagnostic> &diags)
+{
+    std::map<std::string, int> counts;
+    for (const Diagnostic &d : diags)
+        ++counts[d.rule];
+    if (counts.empty())
+        return std::string();
+    std::ostringstream ss;
+    ss << "fixable summary (" << diags.size() << " finding"
+       << (diags.size() == 1 ? "" : "s") << "):\n";
+    for (const RuleInfo &r : allRules()) {
+        auto it = counts.find(r.id);
+        if (it == counts.end())
+            continue;
+        ss << "  " << it->second << "x [" << r.id << "] fix: " << r.fix
+           << "\n";
+    }
+    return ss.str();
+}
+
+} // namespace astra::lint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The token rules of astra-lint (docs/static-analysis.md).
+ *
+ * Each rule guards a piece of the determinism or error-handling
+ * contract (DESIGN.md, docs/validation.md): two runs with the same
+ * seed must retire the same event stream (`--digest`), and failures
+ * must flow through ASTRA_CHECK/fatal()/panic() so users see context.
+ * Rules operate on the lexer's token stream, so occurrences inside
+ * comments and string literals never fire.
+ *
+ * Rule ids are stable (they appear in allowlists and inline
+ * suppressions); new rules append, never rename.
+ */
+
+#ifndef ASTRA_LINT_RULES_HH
+#define ASTRA_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace astra::lint
+{
+
+/** One finding. Column/line are 1-based. */
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Sort key: path, then position, then rule id. */
+bool diagnosticLess(const Diagnostic &a, const Diagnostic &b);
+
+/** Static description of a rule, for --list-rules and --fixable. */
+struct RuleInfo
+{
+    std::string id;
+    std::string summary; //!< one-line rationale
+    std::string fix;     //!< suggested mechanical fix
+};
+
+/** Every token + project rule, in stable id order. */
+const std::vector<RuleInfo> &allRules();
+
+/** True if @p id names a known rule. */
+bool knownRule(const std::string &id);
+
+/**
+ * Run every enabled token rule over @p file and append findings to
+ * @p out. @p enabled is a set of rule ids (empty = all). Findings on
+ * lines whose comments carry `NOLINT` or `astra-lint: allow(rule)`
+ * are dropped here.
+ *
+ * @p extra_tracked seeds the unordered-container symbol table with
+ * names declared elsewhere (the analyzer passes the names found in a
+ * .cc file's sibling header, so iteration over unordered members is
+ * caught in out-of-line definitions too).
+ */
+void runTokenRules(const LexedFile &file,
+                   const std::set<std::string> &enabled,
+                   const std::set<std::string> &extra_tracked,
+                   std::vector<Diagnostic> &out);
+
+/**
+ * The names of unordered-container variables/aliases declared in
+ * @p file (the symbol table runTokenRules builds for itself); exposed
+ * so the analyzer can share header declarations with sibling sources.
+ */
+std::set<std::string> unorderedNames(const LexedFile &file);
+
+} // namespace astra::lint
+
+#endif // ASTRA_LINT_RULES_HH

@@ -1,0 +1,15 @@
+// Seeded violation: the bottom layer reaching up into core inverts
+// the architecture DAG, and together with core/engine.hh forms an
+// include cycle.
+#ifndef FIXTURE_COMMON_UTIL_HH
+#define FIXTURE_COMMON_UTIL_HH
+
+#include "core/engine.hh" // FIRE(layer-dag)
+
+inline int
+utilValue()
+{
+    return 1;
+}
+
+#endif

@@ -1,0 +1,14 @@
+// core including common is legal (downward), but closes the cycle
+// common/util.hh opened.
+#ifndef FIXTURE_CORE_ENGINE_HH
+#define FIXTURE_CORE_ENGINE_HH
+
+#include "common/util.hh" // FIRE(include-cycle)
+
+inline int
+engineValue()
+{
+    return 2;
+}
+
+#endif

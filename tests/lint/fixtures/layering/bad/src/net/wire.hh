@@ -1,0 +1,14 @@
+// Seeded violation: a network backend must never know about the
+// workload layer three ranks above it.
+#ifndef FIXTURE_NET_WIRE_HH
+#define FIXTURE_NET_WIRE_HH
+
+#include "workload/model.hh" // FIRE(layer-dag)
+
+inline int
+wireValue()
+{
+    return 3;
+}
+
+#endif

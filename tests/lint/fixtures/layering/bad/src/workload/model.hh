@@ -1,0 +1,13 @@
+// Legal downward include; this file itself is clean.
+#ifndef FIXTURE_WORKLOAD_MODEL_HH
+#define FIXTURE_WORKLOAD_MODEL_HH
+
+#include "common/util.hh"
+
+inline int
+modelValue()
+{
+    return utilValue() + 4;
+}
+
+#endif

@@ -1,0 +1,6 @@
+// collective -> net (3 -> 2): legal.
+#ifndef FIXTURE_GOOD_COLLECTIVE_RING_HH
+#define FIXTURE_GOOD_COLLECTIVE_RING_HH
+#include "net/wire.hh"
+inline int ringValue() { return wireValue() + 1; }
+#endif

@@ -1,0 +1,5 @@
+// Bottom layer: includes nothing above it.
+#ifndef FIXTURE_GOOD_COMMON_UTIL_HH
+#define FIXTURE_GOOD_COMMON_UTIL_HH
+inline int utilValue() { return 1; }
+#endif

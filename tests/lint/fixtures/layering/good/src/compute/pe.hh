@@ -1,0 +1,6 @@
+// compute -> common: legal (rank 1 -> 0).
+#ifndef FIXTURE_GOOD_COMPUTE_PE_HH
+#define FIXTURE_GOOD_COMPUTE_PE_HH
+#include "common/util.hh"
+inline int peValue() { return utilValue() + 2; }
+#endif

@@ -1,0 +1,6 @@
+// core -> collective (4 -> 3): legal.
+#ifndef FIXTURE_GOOD_CORE_ENGINE_HH
+#define FIXTURE_GOOD_CORE_ENGINE_HH
+#include "collective/ring.hh"
+inline int engineValue() { return ringValue() + 1; }
+#endif

@@ -1,0 +1,6 @@
+// fault -> common: legal (rank 1 -> 0).
+#ifndef FIXTURE_GOOD_FAULT_PLAN_HH
+#define FIXTURE_GOOD_FAULT_PLAN_HH
+#include "common/util.hh"
+inline int planValue() { return utilValue() + 1; }
+#endif

@@ -1,0 +1,7 @@
+// net -> topo (same rank) and net -> fault (2 -> 1): both legal.
+#ifndef FIXTURE_GOOD_NET_WIRE_HH
+#define FIXTURE_GOOD_NET_WIRE_HH
+#include "fault/plan.hh"
+#include "topo/grid.hh"
+inline int wireValue() { return gridValue() + planValue(); }
+#endif

@@ -1,0 +1,6 @@
+// topo -> common: legal (rank 2 -> 0).
+#ifndef FIXTURE_GOOD_TOPO_GRID_HH
+#define FIXTURE_GOOD_TOPO_GRID_HH
+#include "common/util.hh"
+inline int gridValue() { return utilValue() + 3; }
+#endif

@@ -1,0 +1,7 @@
+// workload -> core (5 -> 4) and workload -> compute (5 -> 1): legal.
+#ifndef FIXTURE_GOOD_WORKLOAD_MODEL_HH
+#define FIXTURE_GOOD_WORKLOAD_MODEL_HH
+#include "compute/pe.hh"
+#include "core/engine.hh"
+inline int modelValue() { return engineValue() + peValue(); }
+#endif

@@ -1,0 +1,11 @@
+// Source half of the sibling-pair fixture (see member_iter.hh).
+#include "member_iter.hh"
+
+int
+Table::sum() const
+{
+    int total = 0;
+    for (const auto &row : _rows) // FIRE(unordered-iter)
+        total += row.second;
+    return total;
+}

@@ -1,0 +1,18 @@
+// Header half of the sibling-pair fixture: the unordered member is
+// declared here, iterated in member_iter.cc. The analyzer must share
+// the header's symbol table with its sibling source.
+#ifndef TESTS_LINT_FIXTURES_MEMBER_ITER_HH
+#define TESTS_LINT_FIXTURES_MEMBER_ITER_HH
+
+#include <unordered_map>
+
+class Table
+{
+  public:
+    int sum() const;
+
+  private:
+    std::unordered_map<int, int> _rows;
+};
+
+#endif

@@ -1,0 +1,14 @@
+// Positive fixture for no-abort: abort/terminate skip the failure
+// handler and the throw-on-fatal test hook.
+#include <cstdlib>
+#include <exception>
+
+void
+die(int v)
+{
+    if (v == 1)
+        abort(); // FIRE(no-abort)
+    if (v == 2)
+        std::abort(); // FIRE(no-abort)
+    std::terminate(); // FIRE(no-abort)
+}

@@ -1,0 +1,13 @@
+// Negative fixture: near-miss identifiers and prose must not fire.
+#include "common/logging.hh"
+
+// abort() in a comment is prose
+static const char *kDoc = "never call abort() directly";
+
+void
+stop(int v)
+{
+    bool aborted = v > 0;      // identifier containing "abort"
+    if (aborted)
+        astra::fatal("v=%d (doc: %s)", v, kDoc);
+}

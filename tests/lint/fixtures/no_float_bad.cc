@@ -1,0 +1,16 @@
+// Positive fixture for no-float. The grep rule this tool replaced
+// missed float buried in templates and typedefs; the token rule must
+// catch every type position (ISSUE 5 satellite).
+#include <vector>
+
+float g_scale = 1.0f;                  // FIRE(no-float)
+std::vector<float> g_weights;          // FIRE(no-float)
+using Scalar = float;                  // FIRE(no-float)
+typedef float NarrowTick;              // FIRE(no-float)
+#define BAD_ACCUMULATOR_TYPE float    // FIRE(no-float)
+
+double
+shrink(double v)
+{
+    return static_cast<float>(v);      // FIRE(no-float)
+}

@@ -1,0 +1,15 @@
+// Negative fixture: the word "float" in comments, strings and larger
+// identifiers must not fire (the grep rule's false positives).
+#include <string>
+
+// A float here is prose. vector<float> in a comment is prose too.
+static const std::string kDoc = "float is banned; std::vector<float> too";
+static const char *kRaw = R"(raw float, even with "quotes" inside)";
+
+double
+keep(double v)
+{
+    int float_bits = 24;   // identifier containing "float"
+    double floaty = v;     // identifier starting with "float"
+    return floaty + float_bits + (kDoc.empty() ? 0 : kRaw[0]);
+}

@@ -1,0 +1,15 @@
+// Positive fixture for no-naked-new: every allocating `new` without a
+// suppression comment fires.
+struct Foo
+{
+    int x;
+};
+
+Foo *
+build(int n)
+{
+    int *p = new int(3);        // FIRE(no-naked-new)
+    Foo *f = new Foo{*p};       // FIRE(no-naked-new)
+    Foo *arr = new Foo[4];      // FIRE(no-naked-new)
+    return n > 0 ? f : arr;
+}

@@ -1,0 +1,25 @@
+// Negative fixture: placement new constructs without allocating,
+// operator-new declarations are not allocations, and both suppression
+// spellings are honoured.
+#include <cstddef>
+#include <memory>
+
+struct Buf
+{
+    alignas(8) unsigned char bytes[64];
+    void *operator new(std::size_t size); // declaration, not a call
+};
+
+// a naked new in a comment is prose
+static const char *kDoc = "never write `p = new Foo` here";
+
+std::unique_ptr<int>
+build(Buf &b)
+{
+    ::new (static_cast<void *>(b.bytes)) int(7); // placement: no alloc
+    int *raw = new int(1); // NOLINT: exercising the legacy suppression
+    int *also = new int(2); // astra-lint: allow(no-naked-new)
+    delete raw;
+    delete also;
+    return std::make_unique<int>(kDoc ? 3 : 4);
+}

@@ -1,0 +1,14 @@
+// Positive fixture for no-rand: every marked line must produce
+// exactly that diagnostic (tests/lint/lint_test.cc).
+#include <cstdlib>
+#include <random>
+
+int
+roll()
+{
+    srand(42);                      // FIRE(no-rand)
+    int a = rand();                 // FIRE(no-rand)
+    std::random_device seed_source; // FIRE(no-rand)
+    double d = drand48();           // FIRE(no-rand)
+    return a + static_cast<int>(d) + static_cast<int>(seed_source());
+}

@@ -1,0 +1,15 @@
+// Negative fixture: none of these occurrences of "rand" are calls to
+// the banned functions, so the file must lint clean.
+#include "common/random.hh"
+
+// rand() and srand() in a comment never fire: the rule matches tokens.
+static const char *kDoc = "call rand() or srand(7) at your peril";
+
+int
+roll(astra::Rng &rng)
+{
+    int operand = 3;        // identifier containing "rand"
+    int strand = operand;   // identifier ending in "rand"
+    int rand = strand;      // plain variable named rand: no call syntax
+    return rand + static_cast<int>(rng.next()) + (kDoc ? 1 : 0);
+}

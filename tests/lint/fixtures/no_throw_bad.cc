@@ -1,0 +1,14 @@
+// Positive fixture for no-throw: raw throws bypass ASTRA_CHECK/fatal.
+#include <stdexcept>
+
+void
+explode(int v)
+{
+    if (v < 0)
+        throw std::runtime_error("negative"); // FIRE(no-throw)
+    try {
+        explode(v - 1);
+    } catch (...) {
+        throw; // FIRE(no-throw)
+    }
+}

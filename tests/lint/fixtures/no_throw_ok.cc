@@ -1,0 +1,18 @@
+// Negative fixture: catching is fine (tests install a throwing fatal
+// handler); only the throw keyword as a token fires.
+#include "common/logging.hh"
+
+// saying "throw" in a comment, or "throw" in a string, is prose
+static const char *kDoc = "fatal() may throw FatalError under test";
+
+int
+shield(int v)
+{
+    try {
+        if (v < 0)
+            astra::fatal("negative v=%d", v);
+    } catch (const astra::FatalError &) {
+        return -1;
+    }
+    return kDoc ? v : 0;
+}

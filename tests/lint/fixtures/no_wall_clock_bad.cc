@@ -1,0 +1,13 @@
+// Positive fixture for no-wall-clock: header pulls and clock reads.
+#include <chrono> // FIRE(no-wall-clock)
+#include <ctime>  // FIRE(no-wall-clock)
+
+long
+now_host()
+{
+    auto tp = std::chrono::steady_clock::now();  // FIRE(no-wall-clock)
+    long a = time(NULL);                         // FIRE(no-wall-clock)
+    long b = time(nullptr);                      // FIRE(no-wall-clock)
+    long c = clock();                            // FIRE(no-wall-clock)
+    return a + b + c + tp.time_since_epoch().count();
+}

@@ -1,0 +1,13 @@
+// Negative fixture: simulated time (Tick) and near-miss identifiers.
+#include "common/types.hh"
+
+// std::chrono in a comment is prose, not a token sequence.
+static const char *kDoc = "wall-clock via std::chrono is banned here";
+
+astra::Tick
+advance(astra::Tick now, astra::Tick step)
+{
+    astra::Tick clock_period = step; // identifier, not clock()
+    long timer = 0;                  // identifier containing "time"
+    return now + clock_period + timer + (kDoc ? 0 : 1);
+}

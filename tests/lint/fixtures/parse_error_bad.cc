@@ -1,0 +1,3 @@
+// Positive fixture for parse-error: the string literal below is never
+// terminated, so the lexer reports instead of guessing.
+static const char *kBroken = "no closing quote; // FIRE(parse-error)

@@ -1,0 +1,21 @@
+// Positive fixture for ptr-key-order: ordered containers keyed by raw
+// pointers order by address, which varies run to run (ASLR), so any
+// iteration order leaks nondeterminism into the event stream.
+#include <map>
+#include <set>
+
+struct Node
+{
+    int id;
+};
+
+std::map<Node *, int> g_rank;         // FIRE(ptr-key-order)
+std::set<const Node *> g_members;     // FIRE(ptr-key-order)
+std::multimap<int *, int> g_multi;    // FIRE(ptr-key-order)
+
+int
+use()
+{
+    return static_cast<int>(g_rank.size() + g_members.size() +
+                            g_multi.size());
+}

@@ -1,0 +1,22 @@
+// Negative fixture: pointers as *values* are fine (no ordering by
+// address), as are ordered containers keyed by stable ids.
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+struct Node
+{
+    int id;
+};
+
+std::map<int, Node *> g_byId;                   // pointer value: fine
+std::set<std::pair<int, int>> g_edges;          // value keys: fine
+std::map<std::string, int> g_byName;            // string keys: fine
+
+int
+use()
+{
+    return static_cast<int>(g_byId.size() + g_edges.size() +
+                            g_byName.size());
+}

@@ -1,0 +1,18 @@
+// Positive fixture for ptr-sort: comparators over raw pointer values
+// produce an address-dependent order that varies run to run.
+#include <algorithm>
+#include <vector>
+
+struct Chunk
+{
+    int seq;
+};
+
+void
+arrange(std::vector<Chunk *> &v)
+{
+    std::sort(v.begin(), v.end(), // FIRE(ptr-sort)
+              [](Chunk *a, Chunk *b) { return a < b; });
+    std::stable_sort(v.begin(), v.end(), // FIRE(ptr-sort)
+                     [](const Chunk *a, const Chunk *b) { return a > b; });
+}

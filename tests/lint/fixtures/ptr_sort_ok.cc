@@ -1,0 +1,17 @@
+// Negative fixture: comparing through the pointer at a stable id is
+// the sanctioned fix; value comparators never fire.
+#include <algorithm>
+#include <vector>
+
+struct Chunk
+{
+    int seq;
+};
+
+void
+arrange(std::vector<Chunk *> &v, std::vector<int> &ids)
+{
+    std::sort(v.begin(), v.end(),
+              [](const Chunk *a, const Chunk *b) { return a->seq < b->seq; });
+    std::sort(ids.begin(), ids.end(), [](int a, int b) { return a < b; });
+}

@@ -1,0 +1,23 @@
+// Positive fixture for unordered-iter: hash-order iteration can leak
+// into simulation state and break the --digest contract. Greps cannot
+// express this rule; it needs the analyzer's symbol table.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> g_table;
+
+int
+walk()
+{
+    int sum = 0;
+    for (const auto &kv : g_table) // FIRE(unordered-iter)
+        sum += kv.second;
+    std::unordered_set<int> seen;
+    for (auto it = seen.begin(); it != seen.end(); ++it) // FIRE(unordered-iter)
+        sum += *it;
+    using IdSet = std::unordered_set<long>;
+    IdSet ids;
+    for (long v : ids) // FIRE(unordered-iter)
+        sum += static_cast<int>(v);
+    return sum;
+}

@@ -1,0 +1,24 @@
+// Negative fixture: membership-only use of unordered containers is
+// fine (that is why they exist); ordered containers may be iterated;
+// a deliberate sorted drain carries the allow annotation.
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+int
+tally(const std::map<int, int> &ordered)
+{
+    std::unordered_set<int> seen; // membership-only: never iterated
+    int sum = 0;
+    for (const auto &kv : ordered) { // ordered: deterministic
+        if (seen.insert(kv.first).second)
+            sum += kv.second;
+    }
+    // Sorted drain: the one sanctioned way to iterate, made explicit.
+    std::vector<int> keys(seen.begin(), seen.end()); // astra-lint: allow(unordered-iter)
+    std::sort(keys.begin(), keys.end());
+    for (int k : keys)
+        sum += k;
+    return sum + static_cast<int>(seen.count(0));
+}

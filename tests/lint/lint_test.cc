@@ -1,0 +1,396 @@
+/**
+ * @file
+ * astra-lint test suite (docs/static-analysis.md): lexer units, the
+ * fixture corpus under tests/lint/fixtures/ (one positive and one
+ * negative file per rule — positives declare their expected findings
+ * inline with `FIRE(rule-id)` markers, asserted by exact rule-id,
+ * file and line), the layering mini-trees, and a clean run over the
+ * real src/tools/tests trees with the shipped allowlist.
+ *
+ * ASTRA_SOURCE_DIR is injected by tests/CMakeLists.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/analyzer.hh"
+#include "lint/include_graph.hh"
+#include "lint/lexer.hh"
+#include "tests/support/json_lite.hh"
+
+namespace astra::lint
+{
+namespace
+{
+
+const std::string kRoot = ASTRA_SOURCE_DIR;
+const std::string kFixtures = "tests/lint/fixtures/";
+
+using Finding = std::pair<int, std::string>; // (line, rule)
+
+/** The deduplicated (line, rule) set of @p diags. */
+std::set<Finding>
+findingSet(const std::vector<Diagnostic> &diags)
+{
+    std::set<Finding> out;
+    for (const Diagnostic &d : diags)
+        out.insert({d.line, d.rule});
+    return out;
+}
+
+/** Expected findings: every `FIRE(rule-id)` marker in @p relpath. */
+std::set<Finding>
+expectedFindings(const std::string &relpath)
+{
+    std::ifstream in(kRoot + "/" + relpath);
+    EXPECT_TRUE(in.good()) << relpath;
+    std::set<Finding> out;
+    std::regex marker("FIRE\\(([a-z-]+)\\)");
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto begin = std::sregex_iterator(line.begin(), line.end(), marker);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            out.insert({lineno, (*it)[1].str()});
+    }
+    return out;
+}
+
+/** Analyze fixture files in-process, without any allowlist. */
+std::vector<Diagnostic>
+analyzeFixtures(const std::vector<std::string> &files)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    return analyzeFiles(opts, files);
+}
+
+/** Positive fixture: diagnostics must equal the FIRE markers exactly. */
+void
+expectMarkersMatch(const std::string &file,
+                   const std::vector<std::string> &together = {})
+{
+    std::vector<std::string> files = together;
+    files.push_back(kFixtures + file);
+    std::vector<Diagnostic> diags = analyzeFixtures(files);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.file, kFixtures + file) << d.rule;
+    EXPECT_EQ(findingSet(diags), expectedFindings(kFixtures + file))
+        << "fixture " << file;
+    EXPECT_FALSE(expectedFindings(kFixtures + file).empty())
+        << "positive fixture " << file << " declares no FIRE markers";
+}
+
+/** Negative fixture: zero diagnostics. */
+void
+expectClean(const std::string &file)
+{
+    std::vector<Diagnostic> diags = analyzeFixtures({kFixtures + file});
+    EXPECT_TRUE(diags.empty())
+        << "fixture " << file << " reported:\n" << renderText(diags);
+}
+
+// ---- lexer units -----------------------------------------------------
+
+TEST(LintLexer, SkipsCommentsAndStrings)
+{
+    LexedFile f = lexSource("t.cc",
+                            "int a; // float rand() throw\n"
+                            "/* new Foo() */ const char *s = \"float\";\n");
+    for (const Token &t : f.tokens) {
+        EXPECT_NE(t.text, "float");
+        EXPECT_NE(t.text, "rand");
+        EXPECT_NE(t.text, "throw");
+        EXPECT_NE(t.text, "new");
+        EXPECT_NE(t.text, "Foo");
+    }
+    EXPECT_TRUE(f.errors.empty());
+}
+
+TEST(LintLexer, RawStringsAreOpaque)
+{
+    LexedFile f = lexSource(
+        "t.cc", "const char *s = R\"x(float \" rand() )\" )x\"; int z;\n");
+    bool saw_z = false;
+    for (const Token &t : f.tokens) {
+        EXPECT_NE(t.text, "float");
+        EXPECT_NE(t.text, "rand");
+        saw_z = saw_z || t.text == "z";
+    }
+    EXPECT_TRUE(saw_z); // lexing resumed after the raw string
+    EXPECT_TRUE(f.errors.empty());
+}
+
+TEST(LintLexer, RecordsIncludesWithLines)
+{
+    LexedFile f = lexSource("t.cc",
+                            "#include <vector>\n"
+                            "#include \"common/types.hh\"\n");
+    ASSERT_EQ(f.includes.size(), 2u);
+    EXPECT_TRUE(f.includes[0].angled);
+    EXPECT_EQ(f.includes[0].target, "vector");
+    EXPECT_EQ(f.includes[0].line, 1);
+    EXPECT_FALSE(f.includes[1].angled);
+    EXPECT_EQ(f.includes[1].target, "common/types.hh");
+    EXPECT_EQ(f.includes[1].line, 2);
+}
+
+TEST(LintLexer, ParsesSuppressionMarks)
+{
+    LexedFile f = lexSource(
+        "t.cc",
+        "int a; // NOLINT\n"
+        "int b; // astra-lint: allow(no-float, unordered-iter)\n"
+        "int c;\n");
+    ASSERT_TRUE(f.marks.count(1));
+    EXPECT_TRUE(f.marks.at(1).nolint);
+    ASSERT_TRUE(f.marks.count(2));
+    EXPECT_TRUE(f.marks.at(2).allowed.count("no-float"));
+    EXPECT_TRUE(f.marks.at(2).allowed.count("unordered-iter"));
+    EXPECT_FALSE(f.marks.count(3));
+}
+
+TEST(LintLexer, TracksPositions)
+{
+    LexedFile f = lexSource("t.cc", "int a;\n  long b;\n");
+    ASSERT_GE(f.tokens.size(), 5u);
+    EXPECT_EQ(f.tokens[0].text, "int");
+    EXPECT_EQ(f.tokens[0].line, 1);
+    EXPECT_EQ(f.tokens[0].col, 1);
+    EXPECT_EQ(f.tokens[3].text, "long");
+    EXPECT_EQ(f.tokens[3].line, 2);
+    EXPECT_EQ(f.tokens[3].col, 3);
+}
+
+// ---- rule registry ---------------------------------------------------
+
+TEST(LintRules, RegistryKnowsEveryRule)
+{
+    EXPECT_TRUE(knownRule("no-float"));
+    EXPECT_TRUE(knownRule("layer-dag"));
+    EXPECT_FALSE(knownRule("no-such-rule"));
+    EXPECT_GE(allRules().size(), 12u);
+}
+
+// ---- fixture corpus: one positive + one negative per rule ------------
+
+TEST(LintFixtures, NoRand)
+{
+    expectMarkersMatch("no_rand_bad.cc");
+    expectClean("no_rand_ok.cc");
+}
+
+TEST(LintFixtures, NoWallClock)
+{
+    expectMarkersMatch("no_wall_clock_bad.cc");
+    expectClean("no_wall_clock_ok.cc");
+}
+
+TEST(LintFixtures, NoFloat)
+{
+    expectMarkersMatch("no_float_bad.cc");
+    expectClean("no_float_ok.cc");
+}
+
+TEST(LintFixtures, NoNakedNew)
+{
+    expectMarkersMatch("no_naked_new_bad.cc");
+    expectClean("no_naked_new_ok.cc");
+}
+
+TEST(LintFixtures, NoThrow)
+{
+    expectMarkersMatch("no_throw_bad.cc");
+    expectClean("no_throw_ok.cc");
+}
+
+TEST(LintFixtures, NoAbort)
+{
+    expectMarkersMatch("no_abort_bad.cc");
+    expectClean("no_abort_ok.cc");
+}
+
+TEST(LintFixtures, UnorderedIter)
+{
+    expectMarkersMatch("unordered_iter_bad.cc");
+    expectClean("unordered_iter_ok.cc");
+}
+
+TEST(LintFixtures, UnorderedIterAcrossSiblingHeader)
+{
+    // The .cc iterates a member its sibling .hh declares; the header
+    // itself is clean.
+    expectMarkersMatch("member_iter.cc", {kFixtures + "member_iter.hh"});
+}
+
+TEST(LintFixtures, PtrKeyOrder)
+{
+    expectMarkersMatch("ptr_key_order_bad.cc");
+    expectClean("ptr_key_order_ok.cc");
+}
+
+TEST(LintFixtures, PtrSort)
+{
+    expectMarkersMatch("ptr_sort_bad.cc");
+    expectClean("ptr_sort_ok.cc");
+}
+
+TEST(LintFixtures, ParseError)
+{
+    expectMarkersMatch("parse_error_bad.cc");
+}
+
+// ---- layering mini-trees ---------------------------------------------
+
+TEST(LintLayering, SeededViolationsFire)
+{
+    LintOptions opts;
+    opts.root = kRoot + "/tests/lint/fixtures/layering/bad";
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, collectFiles(opts, {"src"}));
+
+    std::set<std::string> files_with_markers = {
+        "src/common/util.hh", "src/core/engine.hh", "src/net/wire.hh"};
+    std::set<Finding> got;
+    for (const Diagnostic &d : diags)
+        got.insert({d.line, d.rule});
+    std::set<Finding> want;
+    for (const std::string &f : files_with_markers) {
+        std::ifstream in(opts.root + "/" + f);
+        std::regex marker("FIRE\\(([a-z-]+)\\)");
+        std::string line;
+        int lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            auto begin =
+                std::sregex_iterator(line.begin(), line.end(), marker);
+            for (auto it = begin; it != std::sregex_iterator(); ++it)
+                want.insert({lineno, (*it)[1].str()});
+        }
+    }
+    EXPECT_EQ(got, want) << renderText(diags);
+}
+
+TEST(LintLayering, RealShapedTreePasses)
+{
+    LintOptions opts;
+    opts.root = kRoot + "/tests/lint/fixtures/layering/good";
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, collectFiles(opts, {"src"}));
+    EXPECT_TRUE(diags.empty()) << renderText(diags);
+}
+
+TEST(LintLayering, RankTableMatchesDesign)
+{
+    EXPECT_EQ(layerRank("src/common/json.hh"), 0);
+    EXPECT_EQ(layerRank("src/fault/fault.hh"),
+              layerRank("src/compute/systolic.hh"));
+    EXPECT_EQ(layerRank("src/net/fabric.hh"),
+              layerRank("src/topo/topology.hh"));
+    EXPECT_LT(layerRank("src/collective/algorithm.hh"),
+              layerRank("src/core/sys.hh"));
+    EXPECT_LT(layerRank("src/core/sys.hh"),
+              layerRank("src/workload/trainer.hh"));
+    EXPECT_GT(layerRank("tools/astra_sim.cc"),
+              layerRank("src/explore/sweep_runner.hh"));
+    EXPECT_EQ(layerName("src/core/sys.hh"), "core");
+    EXPECT_EQ(layerName("tests/lint/lint_test.cc"), "tests");
+}
+
+// ---- selection, allowlist, rendering ---------------------------------
+
+TEST(LintConfig, RuleSelectionFilters)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    opts.rules = {"no-float"};
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_rand_bad.cc"});
+    EXPECT_TRUE(diags.empty()) << renderText(diags);
+    diags = analyzeFiles(opts, {kFixtures + "no_float_bad.cc"});
+    EXPECT_FALSE(diags.empty());
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.rule, "no-float");
+}
+
+TEST(LintConfig, AllowlistSuppressesByPath)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    opts.allow.push_back(AllowEntry{"no-rand", "no_rand_bad\\.cc$"});
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_rand_bad.cc"});
+    EXPECT_TRUE(diags.empty()) << renderText(diags);
+}
+
+TEST(LintConfig, ShippedAllowlistParses)
+{
+    LintOptions opts;
+    std::string err;
+    EXPECT_TRUE(loadAllowlist(kRoot + "/tools/lint-allow.conf", opts, &err))
+        << err;
+    EXPECT_FALSE(opts.allow.empty());
+}
+
+TEST(LintConfig, BadAllowlistRejected)
+{
+    LintOptions opts;
+    std::string err;
+    std::string bad = testing::TempDir() + "/bad_allow.conf";
+    std::ofstream(bad) << "definitely-not-a-rule .*\n";
+    EXPECT_FALSE(loadAllowlist(bad, opts, &err));
+    EXPECT_NE(err.find("unknown rule"), std::string::npos) << err;
+}
+
+TEST(LintRender, JsonIsValidAndComplete)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_float_bad.cc"});
+    ASSERT_FALSE(diags.empty());
+    std::string json = renderJson(diags);
+    EXPECT_TRUE(astra::testsupport::jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"rule\": \"no-float\""), std::string::npos);
+    EXPECT_TRUE(astra::testsupport::jsonValid(renderJson({})));
+}
+
+TEST(LintRender, FixableSummarizesPerRule)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_float_bad.cc"});
+    std::string summary = renderFixable(diags);
+    EXPECT_NE(summary.find("[no-float]"), std::string::npos);
+    EXPECT_NE(summary.find("fix:"), std::string::npos);
+    EXPECT_TRUE(renderFixable({}).empty());
+}
+
+// ---- the real tree ---------------------------------------------------
+
+TEST(LintRealTree, SrcToolsTestsAreClean)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    std::string err;
+    ASSERT_TRUE(loadAllowlist(kRoot + "/tools/lint-allow.conf", opts, &err))
+        << err;
+    std::vector<std::string> files =
+        collectFiles(opts, {"src", "tools", "tests"});
+    EXPECT_GT(files.size(), 100u); // the walk really found the tree
+    for (const std::string &f : files)
+        EXPECT_EQ(f.find("lint/fixtures/"), std::string::npos) << f;
+    std::vector<Diagnostic> diags = analyzeFiles(opts, files);
+    EXPECT_TRUE(diags.empty()) << renderText(diags);
+}
+
+} // namespace
+} // namespace astra::lint

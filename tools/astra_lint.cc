@@ -1,0 +1,154 @@
+/**
+ * @file
+ * astra-lint — the repo's token-aware static analyzer for determinism
+ * and layering contracts (docs/static-analysis.md).
+ *
+ *   astra-lint [options] [paths...]      # paths default: src tools tests
+ *
+ *   --root=DIR         resolve paths and includes under DIR (default .)
+ *   --rule=ID[,ID...]  run only the named rules
+ *   --list-rules       print every rule id with rationale and exit
+ *   --allowlist=FILE   load `<rule-id> <path-ERE>` suppressions
+ *                      (default: tools/lint-allow.conf under --root,
+ *                      when present)
+ *   --no-allowlist     ignore the default allowlist
+ *   --json             emit diagnostics as a JSON array
+ *   --fixable          append a per-rule summary with suggested fixes
+ *   --include-fixtures do not skip lint/fixtures dirs in directory walks
+ *
+ * Exit status: 0 clean, 1 diagnostics reported, 2 usage/config error.
+ * tools/lint.sh builds and runs this as the CI static-analysis gate.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.hh"
+
+namespace
+{
+
+using namespace astra::lint;
+
+int
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "astra-lint: %s\n", msg.c_str());
+    std::fprintf(stderr, "try: astra-lint --list-rules | astra-lint src\n");
+    return 2;
+}
+
+void
+listRules()
+{
+    for (const RuleInfo &r : allRules()) {
+        std::printf("%-16s %s\n", r.id.c_str(), r.summary.c_str());
+        std::printf("%-16s fix: %s\n", "", r.fix.c_str());
+    }
+    std::printf("\nsuppress inline with `// astra-lint: allow(rule-id)`"
+                " or `// NOLINT`,\nor per-path via the allowlist file"
+                " (tools/lint-allow.conf).\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintOptions opts;
+    std::vector<std::string> paths;
+    std::string allowlist;
+    bool no_allowlist = false;
+    bool json = false;
+    bool fixable = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) {
+            return arg.substr(std::string(prefix).size());
+        };
+        if (arg == "--list-rules") {
+            listRules();
+            return 0;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            opts.root = value("--root=");
+        } else if (arg.rfind("--rule=", 0) == 0) {
+            std::string list = value("--rule=");
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                std::string id =
+                    list.substr(start, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - start);
+                if (!id.empty()) {
+                    if (!knownRule(id))
+                        return usageError("unknown rule id '" + id +
+                                          "' (see --list-rules)");
+                    opts.rules.insert(id);
+                }
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (arg.rfind("--allowlist=", 0) == 0) {
+            allowlist = value("--allowlist=");
+        } else if (arg == "--no-allowlist") {
+            no_allowlist = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--fixable") {
+            fixable = true;
+        } else if (arg == "--include-fixtures") {
+            opts.skipFixtureDirs = false;
+        } else if (arg == "-h" || arg == "--help") {
+            listRules();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usageError("unknown option '" + arg + "'");
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (paths.empty())
+        paths = {"src", "tools", "tests"};
+
+    if (allowlist.empty() && !no_allowlist) {
+        std::filesystem::path def =
+            std::filesystem::path(opts.root) / "tools/lint-allow.conf";
+        if (std::filesystem::exists(def))
+            allowlist = def.generic_string();
+    } else if (!allowlist.empty()) {
+        // An explicitly named allowlist may be given relative to the
+        // caller's cwd; keep it as-is.
+    }
+
+    if (!allowlist.empty()) {
+        std::string err;
+        if (!loadAllowlist(allowlist, opts, &err))
+            return usageError(err);
+    }
+
+    std::vector<std::string> files = collectFiles(opts, paths);
+    if (files.empty())
+        return usageError("no source files found under the given paths");
+
+    std::vector<Diagnostic> diags = analyzeFiles(opts, files);
+
+    if (json)
+        std::fputs(renderJson(diags).c_str(), stdout);
+    else
+        std::fputs(renderText(diags).c_str(), stdout);
+    if (fixable && !json)
+        std::fputs(renderFixable(diags).c_str(), stdout);
+
+    if (!json) {
+        std::printf("astra-lint: %zu file%s checked, %zu finding%s\n",
+                    files.size(), files.size() == 1 ? "" : "s",
+                    diags.size(), diags.size() == 1 ? "" : "s");
+    }
+    return diags.empty() ? 0 : 1;
+}

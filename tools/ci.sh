@@ -32,7 +32,10 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== lint gate (tools/lint.sh) ==="
+echo "=== lint gate (tools/lint.sh -> astra-lint) ==="
+# Builds astra-lint from this tree and fails on any diagnostic over
+# src/, tools/ and tests/ (docs/static-analysis.md). clang-tidy runs
+# additionally when installed; it is not required.
 tools/lint.sh
 
 if [ "$LINT_ONLY" -eq 1 ]; then

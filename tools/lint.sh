@@ -1,93 +1,122 @@
 #!/usr/bin/env bash
-# Static-analysis gate of the simulation integrity layer (see
-# docs/validation.md):
+# Static-analysis gate of the simulation integrity layer
+# (docs/static-analysis.md, docs/validation.md):
 #
-#  1. a grep lint over src/ banning constructions that break the
-#     determinism contract or the repo's performance rules:
-#       - rand()/srand(): nondeterministic; simulations must be
-#         bit-for-bit repeatable (use a seeded engine if randomness is
-#         ever needed);
-#       - wall-clock time (std::chrono, gettimeofday, time(NULL),
-#         clock()): simulated time comes from the event queue only;
-#       - float for ticks/sizes: 32-bit floats silently lose precision
-#         above 2^24 cycles; use Tick/Bytes/double;
-#       - naked `new`: the simulator owns memory through containers,
-#         unique_ptr and arenas. Intentional exceptions carry a
-#         trailing `// NOLINT` comment, which this lint honours.
-#       - raw `throw` / `abort()`: error handling goes through
-#         ASTRA_CHECK/fatal()/panic() (src/common/check.hh,
-#         logging.hh), which report context and honour the
-#         throw-on-fatal test hook; only those two modules may touch
-#         the underlying machinery.
-#  2. clang-tidy (checks in .clang-tidy) over src/, when a clang-tidy
-#     binary and a compile_commands.json are available. Machines
-#     without clang-tidy (like the pinned CI container, which ships
-#     gcc only) run the grep lint alone and say so.
+#  1. astra-lint — the in-repo token-aware analyzer (src/lint/,
+#     tools/astra_lint.cc). Built on demand from this same CMake
+#     project (zero external deps) and run over src/, tools/ and
+#     tests/. It owns every determinism/layering rule: banned
+#     constructs matched on real tokens (never comments or strings),
+#     unordered-container iteration, pointer-keyed ordering, and the
+#     include-graph layer DAG with cycle detection. Run
+#     `astra-lint --list-rules` for the full catalogue.
+#  2. a grep fallback for bootstrap environments with no working
+#     compiler/cmake: a strictly weaker approximation of the token
+#     rules, retained only so the gate never silently vanishes.
+#  3. clang-tidy (checks in .clang-tidy) over src/, when a clang-tidy
+#     binary and a compile_commands.json are available. The pinned CI
+#     container ships gcc only; astra-lint is the gate that always
+#     runs there.
 #
-#   tools/lint.sh [BUILD_DIR]   # BUILD_DIR holds compile_commands.json
-#                               # (default: build)
+#   tools/lint.sh [--json] [--fixable] [BUILD_DIR]
+#
+#   --json     emit astra-lint diagnostics as a JSON array on stdout
+#              (status chatter goes to stderr; clang-tidy is skipped
+#              so stdout stays machine-parsable)
+#   --fixable  append astra-lint's per-rule fix summary
+#   BUILD_DIR  tree holding the astra-lint binary and
+#              compile_commands.json (default: build)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
-STATUS=0
+JSON=0
+FIXABLE=0
+BUILD_DIR=build
+for arg in "$@"; do
+    case "$arg" in
+        --json) JSON=1 ;;
+        --fixable) FIXABLE=1 ;;
+        -*) echo "lint.sh: unknown option $arg" >&2; exit 2 ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
 
-# --- 1. grep lint ----------------------------------------------------
-# Each entry: <ERE pattern>|<message>. Patterns are written against
-# code, not prose: they anchor on call syntax so comment words like
-# "asynchronously" never false-positive.
-# An optional third argument is an ERE matched against `path:line:`
-# prefixes; matching hits are allowlisted (for the one or two modules
-# that legitimately own a banned construction).
-run_grep_rule() {
-    local pattern="$1" message="$2" allow="${3:-}"
-    local hits
-    hits=$(grep -rnE "$pattern" src --include='*.cc' --include='*.hh' \
-        | grep -v '// NOLINT' || true)
-    if [ -n "$allow" ] && [ -n "$hits" ]; then
-        hits=$(echo "$hits" | grep -vE "$allow" || true)
-    fi
-    if [ -n "$hits" ]; then
-        echo "lint: $message"
-        echo "$hits" | sed 's/^/    /'
-        STATUS=1
-    fi
+STATUS=0
+LINT_PATHS=(src tools tests)
+
+# --- 1. astra-lint ---------------------------------------------------
+have_toolchain() {
+    command -v cmake >/dev/null 2>&1 &&
+        { command -v c++ >/dev/null 2>&1 || command -v g++ >/dev/null 2>&1 \
+            || command -v clang++ >/dev/null 2>&1; }
 }
 
-run_grep_rule '\<s?rand\(' \
-    'rand()/srand() break simulation determinism'
-run_grep_rule 'std::chrono|gettimeofday\(|time\(NULL\)|time\(nullptr\)|\<clock\(\)' \
-    'wall-clock time in simulation code (simulated time only)'
-run_grep_rule '\<float\>' \
-    'float is too narrow for ticks/sizes (use Tick/Bytes/double)'
-run_grep_rule '= *new\>|\<new [A-Za-z_][A-Za-z0-9_:<>]*(\(|\[|\{)' \
-    'naked new (own memory via containers/unique_ptr/arenas)'
-run_grep_rule '\<throw\>|\<abort\(' \
-    'raw throw/abort (use ASTRA_CHECK/fatal()/panic() so failures report context)' \
-    '^src/common/(check|logging)\.(cc|hh):'
-
-if [ "$STATUS" -eq 0 ]; then
-    echo "lint: grep rules clean"
+if have_toolchain; then
+    if [ ! -x "$BUILD_DIR/tools/astra-lint" ] ||
+       [ -n "$(find src/lint tools/astra_lint.cc \
+                -newer "$BUILD_DIR/tools/astra-lint" 2>/dev/null)" ]; then
+        echo "lint: building astra-lint" >&2
+        cmake -B "$BUILD_DIR" -S . >/dev/null &&
+            cmake --build "$BUILD_DIR" --target astra-lint \
+                -j "$(nproc 2>/dev/null || echo 2)" >/dev/null ||
+            { echo "lint: astra-lint build FAILED" >&2; exit 1; }
+    fi
+    LINT_ARGS=()
+    [ "$JSON" -eq 1 ] && LINT_ARGS+=(--json)
+    [ "$FIXABLE" -eq 1 ] && LINT_ARGS+=(--fixable)
+    if ! "$BUILD_DIR/tools/astra-lint" "${LINT_ARGS[@]+"${LINT_ARGS[@]}"}" \
+            "${LINT_PATHS[@]}"; then
+        STATUS=1
+    fi
+else
+    # --- 2. grep fallback (bootstrap only: no compiler available) ----
+    echo "lint: no compiler/cmake found; falling back to grep rules" \
+        "(weaker: matches comments/strings too)" >&2
+    run_grep_rule() {
+        local pattern="$1" message="$2" allow="${3:-}"
+        local hits
+        hits=$(grep -rnE "$pattern" src --include='*.cc' --include='*.hh' \
+            | grep -v '// NOLINT' | grep -v 'astra-lint: allow' || true)
+        if [ -n "$allow" ] && [ -n "$hits" ]; then
+            hits=$(echo "$hits" | grep -vE "$allow" || true)
+        fi
+        if [ -n "$hits" ]; then
+            echo "lint: $message"
+            echo "$hits" | sed 's/^/    /'
+            STATUS=1
+        fi
+    }
+    run_grep_rule '\<s?rand\(' \
+        'rand()/srand() break simulation determinism'
+    run_grep_rule 'std::chrono|gettimeofday\(|time\(NULL\)|time\(nullptr\)|\<clock\(\)' \
+        'wall-clock time in simulation code (simulated time only)'
+    run_grep_rule '\<float\>' \
+        'float is too narrow for ticks/sizes (use Tick/Bytes/double)'
+    run_grep_rule '= *new\>|\<new [A-Za-z_][A-Za-z0-9_:<>]*(\(|\[|\{)' \
+        'naked new (own memory via containers/unique_ptr/arenas)'
+    run_grep_rule '\<throw\>|\<abort\(' \
+        'raw throw/abort (use ASTRA_CHECK/fatal()/panic())' \
+        '^src/common/(check|logging)\.(cc|hh):'
 fi
 
-# --- 2. clang-tidy ---------------------------------------------------
-if command -v clang-tidy >/dev/null 2>&1; then
+# --- 3. clang-tidy ---------------------------------------------------
+if [ "$JSON" -eq 0 ] && command -v clang-tidy >/dev/null 2>&1; then
     if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-        echo "lint: generating $BUILD_DIR/compile_commands.json"
+        echo "lint: generating $BUILD_DIR/compile_commands.json" >&2
         cmake -B "$BUILD_DIR" -S . \
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
     fi
-    echo "lint: clang-tidy over src/"
+    echo "lint: clang-tidy over src/" >&2
     if ! find src -name '*.cc' -print0 \
         | xargs -0 clang-tidy -p "$BUILD_DIR" --quiet; then
         STATUS=1
     fi
-else
-    echo "lint: clang-tidy not installed; ran grep rules only"
+elif [ "$JSON" -eq 0 ]; then
+    echo "lint: clang-tidy not installed; astra-lint is the gate" >&2
 fi
 
 if [ "$STATUS" -eq 0 ]; then
-    echo "lint: all green"
+    echo "lint: all green" >&2
 else
     echo "lint: FAILED" >&2
 fi
