@@ -57,6 +57,20 @@ identicalResults(const std::vector<CandidateResult> &a,
     return true;
 }
 
+/** Per-candidate retired-event-stream digests, pairwise identical. */
+bool
+identicalDigests(const std::vector<CandidateResult> &a,
+                 const std::vector<CandidateResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].digest != b[i].digest)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -83,7 +97,16 @@ main(int argc, char **argv)
     spec.setSplits = args.quick ? std::vector<int>{1, 8}
                                 : std::vector<int>{1, 4, 16};
     spec.bytes = args.quick ? 128 * KiB : 1 * MiB;
-    const int par_jobs = args.jobs > 0 ? args.jobs : 8;
+    // Default to the hardware thread count: more workers than cores
+    // only adds context-switch overhead (ThreadPool warns if --jobs
+    // asks for that explicitly).
+    const int hw = ThreadPool::defaultThreads();
+    const int par_jobs = args.jobs > 0 ? args.jobs : hw;
+    if (par_jobs > hw) {
+        warn("--jobs=%d exceeds the %d hardware thread(s); expect "
+             "oversubscription, not speedup",
+             par_jobs, hw);
+    }
 
     const std::size_t candidates = enumerateCandidates(spec).size();
     std::printf("sweep: %d modules, %zu candidates, %s allreduce\n",
@@ -96,6 +119,7 @@ main(int argc, char **argv)
     const double parallel_ms = wallMs(
         [&] { parallel = exploreDesignSpace(spec, par_jobs); });
     const bool identical = identicalResults(serial, parallel);
+    const bool digests_identical = identicalDigests(serial, parallel);
     const double speedup = serial_ms / parallel_ms;
 
     std::printf("  serial (--jobs 1):   %8.1f ms\n", serial_ms);
@@ -103,9 +127,14 @@ main(int argc, char **argv)
                 par_jobs, parallel_ms, speedup);
     std::printf("  ranked results byte-identical: %s\n",
                 identical ? "yes" : "NO — DETERMINISM BUG");
+    std::printf("  event digests byte-identical:  %s\n",
+                digests_identical ? "yes" : "NO — DETERMINISM BUG");
     std::printf("  best: %s\n", serial.front().label.c_str());
     if (!identical)
         fatal("parallel sweep diverged from the serial reference");
+    if (!digests_identical)
+        fatal("parallel sweep retired a different event stream than "
+              "the serial reference");
 
     // --- 2. Per-event cost on the packet-level hot path --------------
     SimConfig cfg;
@@ -148,6 +177,7 @@ main(int argc, char **argv)
         "    \"parallel_jobs\": %d,\n"
         "    \"speedup\": %.3f,\n"
         "    \"results_identical\": %s,\n"
+        "    \"digests_identical\": %s,\n"
         "    \"best\": \"%s\"\n"
         "  },\n"
         "  \"event_loop\": {\n"
@@ -163,6 +193,7 @@ main(int argc, char **argv)
         spec.modules, candidates,
         static_cast<unsigned long long>(spec.bytes), serial_ms,
         parallel_ms, par_jobs, speedup, identical ? "true" : "false",
+        digests_identical ? "true" : "false",
         serial.front().label.c_str(),
         static_cast<unsigned long long>(ev_bytes),
         static_cast<unsigned long long>(events), event_ms, per_event_ns,

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/event_queue.hh"
 #include "collective/chunk_state.hh"
 #include "collective/phase_plan.hh"
 #include "net/network_api.hh"
@@ -72,8 +73,13 @@ class AlgContext
     /** Channel this chunk's LSQ is bound to. */
     virtual int myChannel() const = 0;
 
-    /** Run @p fn after @p delay cycles. */
-    virtual void scheduleAfter(Tick delay, std::function<void()> fn) = 0;
+    /**
+     * Run @p fn after @p delay cycles. Takes the event queue's own
+     * EventCallback (not std::function) so a small lambda goes from
+     * the algorithm into the queue's slab without an intermediate
+     * type-erased wrapper — this is the per-chunk hot path.
+     */
+    virtual void scheduleAfter(Tick delay, EventCallback fn) = 0;
 
     /** Per-received-message endpoint processing delay (parameter #13). */
     virtual Tick endpointDelay() const = 0;

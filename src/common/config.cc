@@ -455,6 +455,8 @@ SimConfig::trySet(const std::string &key, const std::string &value,
         traceFile = value;
     } else if (k == "net-metrics") {
         setBool(netMetrics, k, value);
+    } else if (k == "net-coalesce") {
+        setBool(netCoalesce, k, value);
     } else if (k == "digest") {
         setBool(digest, k, value);
     } else if (k == "num-passes") {

@@ -131,6 +131,17 @@ struct SimConfig
      */
     bool digest = false;
 
+    /**
+     * Opt-in garnet-lite event coalescing (net-coalesce): fold a busy
+     * source link's per-packet pump wake-ups into one batched grant
+     * pass where that is provably ordering-equivalent (fault-free
+     * source-link grants; see docs/performance.md). Deliveries and
+     * comm time are unchanged, but fewer events retire, so the event
+     * *digest* differs from a non-coalesced run — hence default off:
+     * the digest contract only covers the default configuration.
+     */
+    bool netCoalesce = false;
+
     // --- System level ------------------------------------------------
     AlgorithmFlavor algorithm = AlgorithmFlavor::Baseline; //!< #3
     TopologyKind topology = TopologyKind::Torus3D;         //!< #8

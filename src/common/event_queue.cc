@@ -1,26 +1,37 @@
 #include "common/event_queue.hh"
 
 #include <algorithm>
-
-#include "common/logging.hh"
+#include <bit>
 
 namespace astra
 {
 
-namespace
+EventQueue::EventQueue()
+    : _buckets(kWindow),
+      _auditOrder(validationAtLeast(ValidateLevel::kFull))
 {
+}
 
-struct EntryGreater
+std::uint32_t
+EventQueue::allocSlot()
 {
-    template <typename E>
-    bool
-    operator()(const E &a, const E &b) const
-    {
-        return a > b;
+    if (_freeList.empty()) {
+        // A slot index must stay addressable in 32 bits next to its
+        // generation tag; 2^32 concurrently pending events would mean
+        // something far worse is wrong anyway.
+        ASTRA_CHECK(_slotCount <= 0xffffffffU - kChunkSize,
+                    "event slab exhausted (%u slots live)", _slotCount);
+        _chunks.push_back(std::make_unique<Entry[]>(kChunkSize));
+        _freeList.reserve(_freeList.capacity() + kChunkSize);
+        // Reverse order so the lowest new slot is handed out first.
+        for (std::size_t i = kChunkSize; i-- > 0;)
+            _freeList.push_back(_slotCount + static_cast<std::uint32_t>(i));
+        _slotCount += static_cast<std::uint32_t>(kChunkSize);
     }
-};
-
-} // namespace
+    const std::uint32_t slot = _freeList.back();
+    _freeList.pop_back();
+    return slot;
+}
 
 EventId
 EventQueue::schedule(Tick when, EventCallback cb, int priority)
@@ -38,80 +49,262 @@ EventQueue::schedule(Tick when, EventCallback cb, int priority)
                 static_cast<unsigned long long>(
                     when < _now ? _now - when : 0),
                 priority);
-    EventId id = _nextId++;
-    if (_heap.empty() && _heap.capacity() < kInitialReserve)
-        _heap.reserve(kInitialReserve);
-    _heap.push_back(Entry{when, priority, _seq++, id, std::move(cb)});
-    std::push_heap(_heap.begin(), _heap.end(), EntryGreater{});
-    _live.insert(id);
+    const std::uint32_t slot = allocSlot();
+    Entry &e = entryAt(slot);
+    e.when = when;
+    e.seq = _seq++;
+    e.priority = priority;
+    e.cb = std::move(cb);
+    const EventId id = (std::uint64_t(e.gen) << 32) | slot;
+
+    if (when - _now < Tick(kWindow)) {
+        // Near future: append to the tick's bucket. Appends carry
+        // strictly increasing seq, so the bucket stays sorted by
+        // (priority, seq) unless this priority undercuts the tail.
+        e.region = Region::kNear;
+        Bucket &b = bucketAt(when);
+        if (b.refs.empty())
+            markBucket(static_cast<std::size_t>(when & kWindowMask));
+        else if (priority < b.lastPrio)
+            b.dirty = true;
+        b.refs.push_back(id);
+        b.lastPrio = priority;
+        ++_nearLive;
+        // The cursor can sit ahead of now() after runUntil() stopped
+        // short; a schedule behind it must pull it back (the skipped
+        // buckets are empty of live refs, so rescanning is exact).
+        if (when < _cursorTick) {
+            _cursorTick = when;
+            _cursorIdx = 0;
+        }
+    } else {
+        e.region = Region::kFar;
+        _far.push_back(FarRef{when, e.seq, slot, e.gen, priority});
+        std::push_heap(_far.begin(), _far.end(),
+                       [](const FarRef &a, const FarRef &b) {
+                           return a > b;
+                       });
+        _farMin = _far.front().when;
+    }
+    ++_size;
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    // An id is cancellable exactly while it is live: still in the heap
-    // and not yet fired. Cancelled entries stay in the heap and are
-    // skipped at pop time — unless they pile up, in which case
-    // maybePurge() compacts them away in bulk.
-    if (_live.erase(id) == 0)
+    // An id is cancellable exactly while its generation tag matches
+    // the slot's: one probe. The entry (callback included) is
+    // reclaimed immediately; only the slot's 8-byte ref stays parked
+    // in its bucket or the far heap, skipped by the mismatch when its
+    // position is reached (or purged in bulk, for the far heap).
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= _slotCount)
         return false;
-    ++_cancelledInHeap;
-    maybePurge();
+    Entry &e = entryAt(slot);
+    if (e.gen != genOf(id))
+        return false;
+    const Region region = e.region;
+    freeSlot(slot);
+    --_size;
+    if (region == Region::kNear) {
+        --_nearLive;
+    } else {
+        ++_staleFar;
+        maybePurgeFar();
+    }
     return true;
 }
 
 void
-EventQueue::maybePurge()
+EventQueue::maybePurgeFar()
 {
-    if (_heap.size() < kPurgeMinHeap ||
-        _cancelledInHeap * 2 < _heap.size()) {
+    if (_far.size() < kPurgeMinFar || _staleFar * 2 < _far.size())
         return;
-    }
-    std::erase_if(_heap, [this](const Entry &e) {
-        return _live.find(e.id) == _live.end();
+    std::erase_if(_far, [this](const FarRef &fr) {
+        return entryAt(fr.slot).gen != fr.gen;
     });
-    std::make_heap(_heap.begin(), _heap.end(), EntryGreater{});
-    _cancelledInHeap = 0;
+    std::make_heap(_far.begin(), _far.end(),
+                   [](const FarRef &a, const FarRef &b) { return a > b; });
+    _staleFar = 0;
+    _farMin = _far.empty() ? kTickInvalid : _far.front().when;
+}
+
+std::size_t
+EventQueue::findMarked(std::size_t from) const
+{
+    if (_bmSummary == 0)
+        return kWindow;
+    constexpr std::size_t kWords = kWindow / 64;
+    const std::size_t w0 = from >> 6;
+    const std::size_t b0 = from & 63;
+    const std::uint64_t head = _bmWords[w0] >> b0;
+    if (head != 0)
+        return static_cast<std::size_t>(std::countr_zero(head));
+    for (std::size_t k = 1; k <= kWords; ++k) {
+        const std::size_t wi = (w0 + k) & (kWords - 1);
+        std::uint64_t word = _bmWords[wi];
+        if (wi == w0) // wrapped to the start word: only bits below from
+            word &= (std::uint64_t(1) << b0) - 1;
+        if (word != 0) {
+            return 64 * k - b0 +
+                   static_cast<std::size_t>(std::countr_zero(word));
+        }
+    }
+    return kWindow;
 }
 
 void
-EventQueue::skim()
+EventQueue::migrateNear(Tick base)
 {
-    while (!_heap.empty() && !_live.count(_heap.front().id)) {
-        std::pop_heap(_heap.begin(), _heap.end(), EntryGreater{});
-        _heap.pop_back();
-        --_cancelledInHeap;
+    // Pull every far event inside [base, base + kWindow) into its
+    // bucket. Heap pops arrive in (when, priority, seq) order, so
+    // consecutive migrations into an empty bucket stay sorted; a
+    // bucket that already has refs goes dirty and is cleaned once,
+    // when its tick fires.
+    const auto greater = [](const FarRef &a, const FarRef &b) {
+        return a > b;
+    };
+    while (!_far.empty() && _far.front().when - base < Tick(kWindow)) {
+        std::pop_heap(_far.begin(), _far.end(), greater);
+        const FarRef fr = _far.back();
+        _far.pop_back();
+        Entry &e = entryAt(fr.slot);
+        if (e.gen != fr.gen) {
+            --_staleFar; // cancelled while parked: drop the ref here
+            continue;
+        }
+        ASTRA_DCHECK(fr.when >= _now,
+                     "far event migrating into the past (when=%llu "
+                     "now=%llu)",
+                     static_cast<unsigned long long>(fr.when),
+                     static_cast<unsigned long long>(_now));
+        e.region = Region::kNear;
+        Bucket &b = bucketAt(fr.when);
+        if (b.refs.empty())
+            markBucket(static_cast<std::size_t>(fr.when & kWindowMask));
+        else
+            b.dirty = true;
+        b.refs.push_back((std::uint64_t(fr.gen) << 32) | fr.slot);
+        b.lastPrio = fr.priority;
+        ++_nearLive;
+    }
+    _farMin = _far.empty() ? kTickInvalid : _far.front().when;
+}
+
+void
+EventQueue::cleanBucket(Bucket &b)
+{
+    // Drop stale refs from the unfired remainder, then restore
+    // (priority, seq) order. Live refs have unique seq, so the order
+    // is strict and deterministic; no stable_sort needed.
+    const auto first = b.refs.begin() +
+                       static_cast<std::ptrdiff_t>(_cursorIdx);
+    b.refs.erase(std::remove_if(first, b.refs.end(),
+                                [this](Ref r) {
+                                    return entryAt(slotOf(r)).gen !=
+                                           genOf(r);
+                                }),
+                 b.refs.end());
+    std::sort(b.refs.begin() + static_cast<std::ptrdiff_t>(_cursorIdx),
+              b.refs.end(), [this](Ref a, Ref c) {
+                  const Entry &ea = entryAt(slotOf(a));
+                  const Entry &ec = entryAt(slotOf(c));
+                  if (ea.priority != ec.priority)
+                      return ea.priority < ec.priority;
+                  return ea.seq < ec.seq;
+              });
+    b.dirty = false;
+    if (b.refs.size() > _cursorIdx)
+        b.lastPrio = entryAt(slotOf(b.refs.back())).priority;
+}
+
+std::uint32_t
+EventQueue::findNext(Tick bound)
+{
+    for (;;) {
+        // Far events entering the near horizon must be bucketed
+        // before anything at or past their tick can fire.
+        if (_farMin != kTickInvalid && _farMin - _now < Tick(kWindow))
+            migrateNear(_now);
+        if (_nearLive == 0) {
+            if (_far.empty())
+                return kNoSlot;
+            // Everything pending is far. Only leap the window there
+            // if the caller will actually fire that event: jumping
+            // commits its tick to a bucket, and a bucket is only
+            // unambiguous while every live near event is within
+            // kWindow of now() — which the immediate fire (advancing
+            // now() to the jump target) is what re-establishes.
+            if (_farMin > bound)
+                return kNoSlot;
+            const Tick base = _farMin;
+            migrateNear(base);
+            if (_cursorTick < base) {
+                _cursorTick = base;
+                _cursorIdx = 0;
+            }
+            continue;
+        }
+        for (;;) {
+            Bucket &b = bucketAt(_cursorTick);
+            if (b.dirty && _cursorIdx < b.refs.size())
+                cleanBucket(b);
+            while (_cursorIdx < b.refs.size()) {
+                const Ref r = b.refs[_cursorIdx];
+                if (entryAt(slotOf(r)).gen == genOf(r))
+                    return slotOf(r);
+                ++_cursorIdx; // stale (cancelled or recycled): skip
+            }
+            // Bucket exhausted: reset it and advance to the next
+            // marked tick inside the window.
+            b.refs.clear();
+            b.dirty = false;
+            clearBucket(static_cast<std::size_t>(_cursorTick &
+                                                 kWindowMask));
+            _cursorIdx = 0;
+            const std::size_t d = findMarked(static_cast<std::size_t>(
+                (_cursorTick + 1) & kWindowMask));
+            if (d == kWindow)
+                break; // no marked buckets left: far heap or drained
+            _cursorTick += 1 + Tick(d);
+        }
     }
 }
 
-bool
-EventQueue::popNext(Entry &out)
+void
+EventQueue::fireAt(std::uint32_t slot)
 {
-    skim();
-    if (_heap.empty())
-        return false;
-    std::pop_heap(_heap.begin(), _heap.end(), EntryGreater{});
-    out = std::move(_heap.back());
-    _heap.pop_back();
-    _live.erase(out.id);
-    ASTRA_DCHECK(out.when >= _now,
-                 "heap returned a past event (when=%llu now=%llu)",
-                 static_cast<unsigned long long>(out.when),
+    Entry &e = entryAt(slot);
+    ASTRA_DCHECK(e.when == _cursorTick && e.when >= _now,
+                 "ladder returned an out-of-order event (when=%llu "
+                 "cursor=%llu now=%llu)",
+                 static_cast<unsigned long long>(e.when),
+                 static_cast<unsigned long long>(_cursorTick),
                  static_cast<unsigned long long>(_now));
-    return true;
+    ++_cursorIdx; // consume the cursor's ref
+    --_nearLive;
+    --_size;
+    _now = e.when;
+    noteFired(e);
+    ++_executed;
+    // Retire the handle before invoking: cancel() of this event now
+    // reports false, and the slot cannot be recycled mid-fire because
+    // it only reaches the free list after the callback returns (so
+    // re-entrant schedule() calls can never alias it).
+    e.gen = nextGen(e.gen);
+    e.cb();
+    e.cb.reset();
+    _freeList.push_back(slot);
 }
 
 bool
 EventQueue::step()
 {
-    Entry e;
-    if (!popNext(e))
+    const std::uint32_t slot = findNext(kTickInvalid);
+    if (slot == kNoSlot)
         return false;
-    noteFired(e);
-    _now = e.when;
-    ++_executed;
-    e.cb();
+    fireAt(slot);
     return true;
 }
 
@@ -128,35 +321,51 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (true) {
-        skim();
-        if (_heap.empty() || _heap.front().when > until)
+    for (;;) {
+        const std::uint32_t slot = findNext(until);
+        if (slot == kNoSlot || entryAt(slot).when > until)
             break;
-        Entry e;
-        if (!popNext(e))
-            break;
-        noteFired(e);
-        _now = e.when;
-        ++_executed;
-        e.cb();
+        fireAt(slot);
         ++n;
     }
-    if (_now < until)
+    if (_now < until) {
         _now = until;
+        // Ticks in (cursor, now] fired nothing, so their buckets hold
+        // at most stale refs; restart the scan at now.
+        if (_cursorTick < _now) {
+            _cursorTick = _now;
+            _cursorIdx = 0;
+        }
+    }
     return n;
+}
+
+void
+EventQueue::debugSetFreeSlotGeneration(std::uint32_t slot,
+                                       std::uint32_t gen)
+{
+    ASTRA_CHECK(slot < _slotCount,
+                "debugSetFreeSlotGeneration: slot %u out of range (%u "
+                "allocated)",
+                slot, _slotCount);
+    ASTRA_CHECK(std::find(_freeList.begin(), _freeList.end(), slot) !=
+                    _freeList.end(),
+                "debugSetFreeSlotGeneration: slot %u is live", slot);
+    ASTRA_CHECK(gen != 0, "generation 0 is reserved for kEventIdInvalid");
+    entryAt(slot).gen = gen;
 }
 
 void
 EventQueue::validateDrained() const
 {
-    ASTRA_CHECK(_live.empty(),
+    ASTRA_CHECK(_size == 0,
                 "event queue drained with %zu live event(s) still "
                 "pending at tick %llu",
-                _live.size(), static_cast<unsigned long long>(_now));
-    ASTRA_CHECK(_heap.empty() && _cancelledInHeap == 0,
-                "event queue drained with %zu heap entr(ies) "
-                "(%zu cancelled) unreclaimed at tick %llu",
-                _heap.size(), _cancelledInHeap,
+                _size, static_cast<unsigned long long>(_now));
+    ASTRA_CHECK(_freeList.size() == _slotCount,
+                "event queue drained with %zu slab slot(s) unreclaimed "
+                "at tick %llu",
+                static_cast<std::size_t>(_slotCount) - _freeList.size(),
                 static_cast<unsigned long long>(_now));
 }
 

@@ -16,29 +16,49 @@
  *
  * The FIFO tiebreak makes simulations bit-for-bit deterministic, which
  * the repeatability tests (and the sweep engine's determinism
- * contract, DESIGN.md) rely on.
+ * contract, DESIGN.md) rely on. The retired-event digest (--digest)
+ * folds every fired (tick, priority, seq) triple, so any change to the
+ * firing stream is detectable; the structures below are pure mechanics
+ * and retire the exact same stream as a binary heap would.
  *
- * Hot-path design, in per-event cost order:
+ * Hot-path design (docs/performance.md has the full rationale):
+ *  - **Ladder buckets, not a heap.** Discrete-event traffic here
+ *    schedules overwhelmingly at `now + small latency`, so events land
+ *    in a kWindow-tick array of per-tick buckets indexed by `when &
+ *    kWindowMask`. schedule() is an append; popping walks the current
+ *    tick's bucket with a cursor. No O(log n) sift, no Entry moves.
+ *    A two-level bitmap finds the next non-empty tick in O(1).
+ *  - **Far-future overflow heap.** The rare event beyond the window
+ *    (compute phases, retry backoff) waits in a small binary heap of
+ *    32-byte POD refs — the callback never moves — and migrates into
+ *    the bucket array as the window reaches it.
+ *  - **Slab-allocated entries.** Entry objects (callback included)
+ *    live in chunked slab storage with a free list; scheduling never
+ *    touches the general heap and a fired entry's storage is reused by
+ *    the next schedule(). Chunk addresses are stable, so callbacks run
+ *    in place — no move out of the container to invoke.
+ *  - **Generation-tagged handles, no hash set.** An EventId packs
+ *    {generation, slot}; cancel() and liveness checks are one slab
+ *    probe comparing generations. The old per-event unordered_set
+ *    insert/erase/find pair is gone entirely.
  *  - EventCallback stores small callables inline (48 bytes of
  *    in-object storage) instead of heap-allocating through
  *    std::function — nearly every callback in the simulator captures
- *    only a pointer or two plus an id;
- *  - the heap is an explicit std::vector kept warm across events with
- *    an up-front reservation, rather than a std::priority_queue whose
- *    container restarts cold on every simulation phase;
- *  - cancelled entries are lazily skipped at pop time, but when they
- *    come to dominate the heap they are purged eagerly in one O(n)
- *    compaction so sift costs track *live* events, not dead ones.
+ *    only a pointer or two plus an id.
  */
+
+// astra-lint: allocator-tu (EventCallback's small-buffer storage and
+// the entry slab construct objects via placement new; this TU owns
+// that machinery — see docs/static-analysis.md.)
 
 #ifndef ASTRA_COMMON_EVENT_QUEUE_HH
 #define ASTRA_COMMON_EVENT_QUEUE_HH
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <type_traits>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -106,6 +126,16 @@ class EventCallback
 
     void operator()() { _ops->invoke(_buf); }
 
+    /** Destroy the stored callable (no-op when already empty). */
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(_buf);
+            _ops = nullptr;
+        }
+    }
+
   private:
     struct Ops
     {
@@ -159,24 +189,25 @@ class EventCallback
         }
     }
 
-    void
-    reset() noexcept
-    {
-        if (_ops) {
-            _ops->destroy(_buf);
-            _ops = nullptr;
-        }
-    }
-
     const Ops *_ops = nullptr;
     alignas(std::max_align_t) unsigned char _buf[kInlineBytes];
 };
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Generation-tagged handle to a scheduled event: the high 32 bits are
+ * the slab slot's generation at schedule time, the low 32 bits the
+ * slot index. cancel()/live() compare the tag against the slot's
+ * current generation — one array probe, no hashing. Never zero for a
+ * real event (generations start at 1), so 0 can mean "no event".
+ */
 using EventId = std::uint64_t;
 
+/** No-event sentinel (never returned by schedule()). */
+inline constexpr EventId kEventIdInvalid = 0;
+
 /**
- * A deterministic discrete-event queue.
+ * A deterministic discrete-event queue (ladder buckets + far heap over
+ * a slab of recycled entries; see the file comment).
  */
 class EventQueue
 {
@@ -185,12 +216,22 @@ class EventQueue
     static constexpr int kDefaultPriority = 0;
 
     /**
+     * Near-future horizon: events within kWindow ticks of now() are
+     * bucketed per tick; anything farther waits in the far heap. Sized
+     * so link/router/endpoint latencies land in buckets and only
+     * compute phases and retry backoffs spill far.
+     */
+    static constexpr std::size_t kWindowBits = 12;
+    static constexpr std::size_t kWindow = std::size_t(1) << kWindowBits;
+    static constexpr Tick kWindowMask = Tick(kWindow) - 1;
+
+    /**
      * The ordering audit (validate::eventOrder per fired event) is
      * armed here when the process-global validation level is `full` at
      * construction time; set the level before building the queue (the
      * CLI does, before any Cluster exists).
      */
-    EventQueue() : _auditOrder(validationAtLeast(ValidateLevel::kFull)) {}
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -205,7 +246,7 @@ class EventQueue
      *              violate the non-decreasing-time guarantee.
      * @param cb    Callback to invoke.
      * @param priority  Lower fires first within a tick.
-     * @return a handle usable with cancel().
+     * @return a generation-tagged handle usable with cancel()/live().
      */
     EventId schedule(Tick when, EventCallback cb,
                      int priority = kDefaultPriority);
@@ -219,18 +260,45 @@ class EventQueue
     }
 
     /**
-     * Cancel a previously scheduled event.
+     * Cancel a previously scheduled event. One slab probe: the slot's
+     * entry is destroyed and recycled immediately (only an 8-byte
+     * stale ref stays behind, skipped by its generation mismatch).
      *
      * @return true if the event was pending and is now cancelled,
      *         false if it already fired or was already cancelled.
      */
     bool cancel(EventId id);
 
+    /**
+     * True while @p id is scheduled and not yet fired or cancelled.
+     * One generation compare against the slab — no hashing.
+     */
+    bool
+    live(EventId id) const
+    {
+        const std::uint32_t slot = slotOf(id);
+        return slot < _slotCount && entryAt(slot).gen == genOf(id);
+    }
+
+    /** Slot index of a handle (for diagnostics/tests). */
+    static std::uint32_t
+    slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffU);
+    }
+
+    /** Generation tag of a handle (for diagnostics/tests). */
+    static std::uint32_t
+    genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
     /** Number of pending (live, non-cancelled) events. */
-    std::size_t pendingEvents() const { return _live.size(); }
+    std::size_t pendingEvents() const { return _size; }
 
     /** True when no runnable events remain. */
-    bool empty() const { return _live.empty(); }
+    bool empty() const { return _size == 0; }
 
     /**
      * Run events until the queue drains or @p max_events fire.
@@ -253,8 +321,24 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executedEvents() const { return _executed; }
 
-    /** Heap slots currently occupied by cancelled entries (for tests). */
-    std::size_t cancelledInHeap() const { return _cancelledInHeap; }
+    // --- introspection for tests -------------------------------------
+
+    /** Far-heap refs whose event was cancelled but not yet purged. */
+    std::size_t staleFarRefs() const { return _staleFar; }
+
+    /** Entries currently parked in the far-future heap (incl. stale). */
+    std::size_t farHeapSize() const { return _far.size(); }
+
+    /** Slab slots ever allocated (high-water mark of pending events). */
+    std::size_t allocatedSlots() const { return _slotCount; }
+
+    /**
+     * Test hook for generation wraparound: retag a *free* slot so the
+     * next event allocated into it starts at @p gen. Fatal if the slot
+     * is live or out of range.
+     */
+    void debugSetFreeSlotGeneration(std::uint32_t slot,
+                                    std::uint32_t gen);
 
     // --- integrity layer (docs/validation.md) -------------------------
 
@@ -276,22 +360,66 @@ class EventQueue
 
     /**
      * Drain-time checker: after run() returns, no live events may
-     * remain and every cancelled entry must have been reclaimed.
+     * remain and every entry slot must be back on the free list.
      * Raises an ASTRA_CHECK diagnostic otherwise.
      */
     void validateDrained() const;
 
   private:
+    /** Where an entry's pending ref currently lives. */
+    enum class Region : std::uint8_t { kNear, kFar };
+
+    /**
+     * One slab slot. `gen` is the slot's *current* generation: equal
+     * to a ref's tag iff that ref's event is live. Bumped (skipping 0)
+     * every time the slot is freed, which is what invalidates every
+     * outstanding handle and bucket/heap ref in O(1).
+     */
     struct Entry
     {
-        Tick when;
-        int priority;
-        std::uint64_t seq; //!< insertion order, for the FIFO tiebreak
-        EventId id;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        int priority = 0;
+        std::uint32_t gen = 1;
+        Region region = Region::kNear;
         EventCallback cb;
+    };
+
+    /** Slab granularity: chunk addresses are stable forever. */
+    static constexpr std::size_t kChunkBits = 8;
+    static constexpr std::size_t kChunkSize = std::size_t(1) << kChunkBits;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+    /** Far-heap purge threshold (entries; below this, skipping wins). */
+    static constexpr std::size_t kPurgeMinFar = 64;
+
+    /** An 8-byte bucket ref: {generation, slot} packed like EventId. */
+    using Ref = std::uint64_t;
+
+    /**
+     * One tick's pending events, in append order. `lastPrio` is the
+     * priority of the last ref appended; `dirty` is set when an append
+     * (or a far-heap migration) may have broken the (priority, seq)
+     * sort order, and triggers one cleanup pass when the tick fires.
+     */
+    struct Bucket
+    {
+        std::vector<Ref> refs;
+        int lastPrio = 0;
+        bool dirty = false;
+    };
+
+    /** Far-heap element: POD ref, ordered by (when, priority, seq). */
+    struct FarRef
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+        int priority;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const FarRef &o) const
         {
             if (when != o.when)
                 return when > o.when;
@@ -301,14 +429,100 @@ class EventQueue
         }
     };
 
-    /** Initial heap reservation: skips the early doubling ramp. */
-    static constexpr std::size_t kInitialReserve = 1024;
+    Entry &
+    entryAt(std::uint32_t slot)
+    {
+        return _chunks[slot >> kChunkBits][slot & kChunkMask];
+    }
 
-    /** Below this heap size the lazy skim is always cheap enough. */
-    static constexpr std::size_t kPurgeMinHeap = 64;
+    const Entry &
+    entryAt(std::uint32_t slot) const
+    {
+        return _chunks[slot >> kChunkBits][slot & kChunkMask];
+    }
 
-    /** Pop the next live entry; false if drained. */
-    bool popNext(Entry &out);
+    Bucket &
+    bucketAt(Tick when)
+    {
+        return _buckets[static_cast<std::size_t>(when & kWindowMask)];
+    }
+
+    /** Next generation for a freed slot (never 0, so ids stay valid). */
+    static std::uint32_t
+    nextGen(std::uint32_t gen)
+    {
+        ++gen;
+        return gen == 0 ? 1 : gen;
+    }
+
+    /** Take a free slot, growing the slab by one chunk when dry. */
+    std::uint32_t allocSlot();
+
+    /** Recycle @p slot: destroy its callback and retag the handle. */
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        Entry &e = entryAt(slot);
+        e.cb.reset();
+        e.gen = nextGen(e.gen);
+        _freeList.push_back(slot);
+    }
+
+    // Bitmap over the kWindow buckets (two levels: one summary word,
+    // kWindow/64 leaf words), tracking which buckets hold refs.
+    void
+    markBucket(std::size_t idx)
+    {
+        _bmWords[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+        _bmSummary |= std::uint64_t(1) << (idx >> 6);
+    }
+
+    void
+    clearBucket(std::size_t idx)
+    {
+        _bmWords[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+        if (_bmWords[idx >> 6] == 0)
+            _bmSummary &= ~(std::uint64_t(1) << (idx >> 6));
+    }
+
+    /**
+     * Circular-scan the bitmap for the first marked bucket at or after
+     * window index @p from; @return its distance (0..kWindow-1), or
+     * kWindow when every bucket is empty.
+     */
+    std::size_t findMarked(std::size_t from) const;
+
+    /**
+     * Move every far-heap event with when < @p base + kWindow into its
+     * bucket (stale refs are dropped). Called when the window reaches
+     * the far heap's minimum.
+     */
+    void migrateNear(Tick base);
+
+    /** Compact the far heap when stale refs dominate it. */
+    void maybePurgeFar();
+
+    /**
+     * Position the cursor on the next live ref in firing order.
+     * @param bound  Highest tick the caller may fire. When everything
+     *        pending is beyond the near window, the queue must NOT
+     *        leap the window there unless that event is fireable
+     *        (<= bound): committing the jump early would leave far
+     *        events bucketed kWindow+ ticks ahead of now(), and a
+     *        later schedule() inside the window would alias their
+     *        bucket indices (ticks are bucketed modulo kWindow).
+     * @return the live ref's slot, or kNoSlot when nothing <= bound
+     *         remains (far events may still be parked).
+     */
+    static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+    std::uint32_t findNext(Tick bound);
+
+    /** Drop stale refs and restore (priority, seq) order from the
+     *  cursor onward in @p b. */
+    void cleanBucket(Bucket &b);
+
+    /** Fire the entry the cursor points at (advances the cursor). */
+    void fireAt(std::uint32_t slot);
 
     /**
      * Bookkeeping for the integrity layer, called once per fired
@@ -336,22 +550,31 @@ class EventQueue
         }
     }
 
-    /** Drop cancelled entries off the top of the heap. */
-    void skim();
+    // Entry slab.
+    std::vector<std::unique_ptr<Entry[]>> _chunks;
+    std::vector<std::uint32_t> _freeList;
+    std::uint32_t _slotCount = 0;
 
-    /** Compact the heap when cancelled entries dominate it. */
-    void maybePurge();
+    // Ladder: per-tick buckets + occupancy bitmap.
+    std::vector<Bucket> _buckets;
+    std::uint64_t _bmSummary = 0;
+    std::uint64_t _bmWords[kWindow / 64] = {};
+    std::size_t _nearLive = 0; //!< live (non-cancelled) bucket refs
 
-    std::vector<Entry> _heap; //!< binary min-heap (std::*_heap helpers)
-    // Audited for astra-lint's unordered-iter rule: membership-only
-    // (insert/erase/find/count/size/empty) — never iterated, so hash
-    // order cannot leak into event order or the --digest stream.
-    std::unordered_set<EventId> _live; //!< ids scheduled and not yet
-                                       //!< fired or cancelled
-    std::size_t _cancelledInHeap = 0; //!< dead entries still in _heap
+    // Scan cursor: next tick to examine and position within its
+    // bucket. Invariant outside pops: _cursorTick >= _now and every
+    // bucket for a tick < _cursorTick is empty.
+    Tick _cursorTick = 0;
+    std::size_t _cursorIdx = 0;
+
+    // Far-future overflow heap.
+    std::vector<FarRef> _far; //!< binary min-heap (std::*_heap helpers)
+    Tick _farMin = kTickInvalid; //!< cached _far top when (or invalid)
+    std::size_t _staleFar = 0;   //!< cancelled refs still in _far
+
+    std::size_t _size = 0; //!< live events across buckets and far heap
     Tick _now = 0;
     std::uint64_t _seq = 0;
-    EventId _nextId = 1;
     std::uint64_t _executed = 0;
 
     // Integrity layer (see noteFired).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/logging.hh"
+
 namespace astra
 {
 
@@ -17,6 +19,17 @@ ThreadPool::ThreadPool(int threads)
 {
     if (threads <= 0)
         threads = defaultThreads();
+    // Workers block on a condition variable between jobs (no spinning),
+    // so oversubscription does not burn cycles while idle — but with
+    // more runnable workers than hardware threads the active jobs
+    // context-switch against each other and a "parallel" run can come
+    // out *slower* than serial. That is a caller mistake worth
+    // flagging, not failing: --jobs is user-controlled.
+    if (threads > defaultThreads()) {
+        warn("thread pool created with %d workers on %d hardware "
+             "thread(s): expect oversubscription, not speedup",
+             threads, defaultThreads());
+    }
     _workers.reserve(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i)
         _workers.emplace_back([this] { workerLoop(); });

@@ -83,7 +83,7 @@ Stream::sendToRankVia(int dst_rank, int channel, Bytes bytes, int step,
 }
 
 void
-Stream::scheduleAfter(Tick delay, std::function<void()> fn)
+Stream::scheduleAfter(Tick delay, EventCallback fn)
 {
     _sys.eventQueue().scheduleAfter(delay, std::move(fn));
 }

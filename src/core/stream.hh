@@ -99,7 +99,7 @@ class Stream final : public AlgContext
                        std::shared_ptr<void> payload) override;
     int numChannels() const override;
     int myChannel() const override { return channelFor(_phase); }
-    void scheduleAfter(Tick delay, std::function<void()> fn) override;
+    void scheduleAfter(Tick delay, EventCallback fn) override;
     Tick endpointDelay() const override;
     int phaseCoordOfGlobalRank(int global_rank) const override;
     void phaseDone() override;

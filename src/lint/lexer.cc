@@ -33,14 +33,22 @@ isStringPrefix(const std::string &id)
 
 /**
  * Parse suppression markers out of one comment line: a NOLINT word,
- * and `astra-lint: allow(rule-a, rule-b)` lists. Both accumulate into
- * @p marks.
+ * `astra-lint: allow(rule-a, rule-b)` lists (into @p marks), and bare
+ * `astra-lint: <tag>` words, which are file-scoped declarations (into
+ * @p file_tags) — e.g. `allocator-tu` marks a TU that legitimately
+ * uses placement new.
  */
 void
-parseMarkers(const std::string &comment, LineMarks &marks)
+parseMarkers(const std::string &comment, LineMarks &marks,
+             std::set<std::string> &file_tags)
 {
     if (comment.find("NOLINT") != std::string::npos)
         marks.nolint = true;
+
+    auto isTagChar = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '-';
+    };
 
     static const std::string kTag = "astra-lint:";
     std::size_t pos = 0;
@@ -50,7 +58,15 @@ parseMarkers(const std::string &comment, LineMarks &marks)
             ++p;
         static const std::string kAllow = "allow(";
         if (comment.compare(p, kAllow.size(), kAllow) != 0) {
-            pos = p;
+            // Not an allow-list: a bare lowercase word here is a
+            // file-level tag ("astra-lint: allocator-tu"). Anything
+            // else is prose mentioning the tool.
+            std::size_t e = p;
+            while (e < comment.size() && isTagChar(comment[e]))
+                ++e;
+            if (e > p)
+                file_tags.insert(comment.substr(p, e - p));
+            pos = e > p ? e : p;
             continue;
         }
         p += kAllow.size();
@@ -120,7 +136,7 @@ lexSource(const std::string &path, const std::string &source)
 
     auto markLine = [&](int line, const std::string &text) {
         LineMarks &m = out.marks[line];
-        parseMarkers(text, m);
+        parseMarkers(text, m, out.fileTags);
         if (m.allowed.empty() && !m.nolint)
             out.marks.erase(line);
     };

@@ -10,7 +10,9 @@
  * analyzer needs:
  *
  *   - per-line suppression marks parsed out of comments
- *     (`// NOLINT`, `// astra-lint: allow(rule-id, ...)`), and
+ *     (`// NOLINT`, `// astra-lint: allow(rule-id, ...)`),
+ *   - file-level tags (`// astra-lint: allocator-tu`) that describe
+ *     the whole translation unit rather than one line, and
  *   - the file's `#include` directives with line numbers, feeding the
  *     layering check (include_graph.hh).
  *
@@ -78,6 +80,14 @@ struct LexedFile
     std::map<int, LineMarks> marks;  //!< line -> suppression marks
     std::vector<IncludeDirective> includes;
     std::vector<LexError> errors;    //!< unterminated literals etc.
+
+    /**
+     * File-level tags: `// astra-lint: <tag>` comments whose word after
+     * the colon is not `allow(`. Unlike line marks, a tag describes the
+     * whole translation unit — e.g. `allocator-tu` declares that this
+     * file implements an arena/slab and may use placement new.
+     */
+    std::set<std::string> fileTags;
 };
 
 /** Lex @p source (contents of @p path) into tokens + side channels. */

@@ -70,6 +70,13 @@ class RuleContext
                set.count(_file.tokens[i].text) > 0;
     }
 
+    /** Does the file carry the file-level tag @p tag? */
+    bool
+    fileTagged(const std::string &tag) const
+    {
+        return _file.fileTags.count(tag) > 0;
+    }
+
     /** Emit unless the line carries NOLINT / allow(rule). */
     void
     emit(const Token &at, const std::string &rule,
@@ -216,20 +223,34 @@ ruleNoFloat(RuleContext &ctx)
     }
 }
 
-// ---- no-naked-new ----------------------------------------------------
+// ---- no-naked-new / allocator-tu -------------------------------------
 
 void
 ruleNoNakedNew(RuleContext &ctx)
 {
+    const bool allocator_tu = ctx.fileTagged("allocator-tu");
     for (std::size_t i = 0; i < ctx.size(); ++i) {
         if (!ctx.isIdent(i, "new"))
             continue;
-        // operator-new declarations and placement new (`new (buf) T`,
-        // which constructs without allocating) are not ownership leaks.
+        // operator-new declarations are not allocations.
         if (i > 0 && ctx.isIdent(i - 1, "operator"))
             continue;
-        if (ctx.isPunct(i + 1, "("))
+        // Placement new (`new (buf) T`) constructs without allocating,
+        // so it is never an ownership leak — but manual lifetime
+        // management belongs only in files that declare themselves
+        // allocator TUs (slab/arena/SBO implementations) with a
+        // file-level tag, so the construct cannot quietly spread into
+        // ordinary simulation code.
+        if (ctx.isPunct(i + 1, "(")) {
+            if (allocator_tu)
+                continue;
+            ctx.emit(ctx.toks()[i], "allocator-tu",
+                     "placement new outside an allocator TU (move the "
+                     "construct into a slab/arena file tagged "
+                     "allocator-tu, or own the object via "
+                     "make_unique/containers)");
             continue;
+        }
         ctx.emit(ctx.toks()[i], "no-naked-new",
                  "naked new (own memory via containers, unique_ptr or "
                  "arenas)");
@@ -576,6 +597,13 @@ allRules()
          "the lexer could not tokenize the file (unterminated literal "
          "or comment)",
          "fix the malformed construct"},
+        {"allocator-tu",
+         "placement new is manual lifetime management and belongs only "
+         "in translation units that implement an allocator (slab, "
+         "arena, small-buffer storage)",
+         "tag the implementing file with a file-level `astra-lint: "
+         "allocator-tu` comment, or own the object via "
+         "make_unique/containers"},
     };
     return kRules;
 }

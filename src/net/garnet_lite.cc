@@ -21,6 +21,7 @@ GarnetLiteNetwork::GarnetLiteNetwork(EventQueue &eq, const Topology &topo,
       _protocolDelay(cfg.scaleoutProtocolDelay),
       _links(std::size_t(_fabric.numLinks())),
       _validate(validationAtLeast(ValidateLevel::kBasic)),
+      _coalesce(cfg.netCoalesce),
       _metrics(cfg.netMetrics),
       _usage(std::size_t(_fabric.numLinks()))
 {
@@ -158,9 +159,28 @@ GarnetLiteNetwork::pump(LinkId l)
         }
 
         const Tick now = _eq.now();
+        // `start` is when the wire begins serializing this packet.
+        // Normally the pump runs at that instant (start == now); under
+        // net-coalesce a busy link batch-grants future wire slots from
+        // the current event instead of waking once per packet, but
+        // only where that is ordering-equivalent: source-link grants
+        // (no upstream credits to release at a specific time, no
+        // injection-pacing side effect) on a fault-free run (fault
+        // windows are sampled at grant time). Every per-packet time —
+        // serialization start, arrival, queue-wait — still uses
+        // `start`, so deliveries are bit-identical to the unbatched
+        // schedule; only the pump wake-ups themselves are folded.
+        Tick start = now;
         if (ls.freeAt > now) {
-            schedulePump(l, ls.freeAt);
-            return;
+            const bool batchable =
+                _coalesce && !faults() && pkt->hop == 0 &&
+                (_injection == InjectionPolicy::Aggressive ||
+                 pkt->parent->packetsUninjected <= 0);
+            if (!batchable) {
+                schedulePump(l, ls.freeAt);
+                return;
+            }
+            start = ls.freeAt;
         }
 
         Tick tx = flitTxTime(desc.cls, pkt->flits);
@@ -196,7 +216,7 @@ GarnetLiteNetwork::pump(LinkId l)
 
         // Grant.
         ls.waiting.pop_front();
-        ls.freeAt = now + tx;
+        ls.freeAt = start + tx;
         if (!dropped) {
             ls.bufferOcc += pkt->flits;
             if (_validate)
@@ -210,9 +230,9 @@ GarnetLiteNetwork::pump(LinkId l)
             u.busy += tx;
             u.bytes += pkt->bytes;
             ++u.grants;
-            u.queueWait += now - pkt->waitSince;
+            u.queueWait += start - pkt->waitSince;
             if (pkt->creditStallSince != kTickInvalid) {
-                _creditStall += now - pkt->creditStallSince;
+                _creditStall += start - pkt->creditStallSince;
                 pkt->creditStallSince = kTickInvalid;
             }
             if (!dropped)
@@ -242,7 +262,7 @@ GarnetLiteNetwork::pump(LinkId l)
             injectNext(pkt->parent, pkt->path);
         }
 
-        const Tick arrival = now + tx + p.latency + _routerLatency;
+        const Tick arrival = start + tx + p.latency + _routerLatency;
         _eq.schedule(arrival, [this, pkt, l] { arrive(pkt, l); });
     }
 }

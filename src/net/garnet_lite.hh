@@ -228,6 +228,15 @@ class GarnetLiteNetwork : public NetworkApi
     /** Incremental credit-ledger checks on (level >= basic). */
     bool _validate;
 
+    /**
+     * Opt-in pump coalescing (net-coalesce, SimConfig::netCoalesce):
+     * a busy source link batch-grants future wire slots from the
+     * current pump event instead of waking once per packet. Delivery
+     * times are unchanged; the retired-event stream (and so the event
+     * digest) is not — see pump().
+     */
+    bool _coalesce;
+
     // Observer-only instrumentation (see DESIGN.md).
     bool _metrics;
     std::vector<LinkUsage> _usage;

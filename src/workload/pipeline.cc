@@ -132,7 +132,7 @@ PipelineNode::await(NodeId src, std::uint64_t tag,
 }
 
 void
-PipelineNode::compute(Tick cycles, std::function<void()> cont)
+PipelineNode::compute(Tick cycles, EventCallback cont)
 {
     _stats.compute += cycles;
     if (cycles == 0) {

@@ -93,7 +93,7 @@ class PipelineNode
     void await(NodeId src, std::uint64_t tag, std::function<void()> cont);
 
     /** Busy the node for @p cycles. */
-    void compute(Tick cycles, std::function<void()> cont);
+    void compute(Tick cycles, EventCallback cont);
 
     /** Transfer tag for (pass, microbatch, direction, boundary). */
     std::uint64_t tagFor(int m, bool backward, int boundary) const;

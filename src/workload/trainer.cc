@@ -161,7 +161,7 @@ NodeTrainer::waitHandle(const std::shared_ptr<CollectiveHandle> &handle,
 }
 
 void
-NodeTrainer::compute(std::size_t l, Tick cycles, std::function<void()> cont)
+NodeTrainer::compute(std::size_t l, Tick cycles, EventCallback cont)
 {
     _stats[l].compute += cycles;
     if (cycles == 0) {

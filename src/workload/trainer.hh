@@ -126,7 +126,7 @@ class NodeTrainer
                     std::function<void()> cont);
 
     /** Busy the NPU for @p cycles of compute charged to layer @p l. */
-    void compute(std::size_t l, Tick cycles, std::function<void()> cont);
+    void compute(std::size_t l, Tick cycles, EventCallback cont);
 
     /** Compute delay under the compute-power scale. */
     Tick scaled(Tick base) const;

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Model-based tests for the ladder-queue event core: a reference
+ * binary-heap queue with the contractual (tick, priority, seq) FIFO
+ * ordering runs side by side with the real EventQueue through
+ * deterministic, counter-derived schedule/cancel/runUntil sequences,
+ * and both must fire the exact same event stream.
+ *
+ * No RNG anywhere (astra-lint bans it): every "varied" quantity is
+ * derived from the operation index through an integer mixing function,
+ * so a failure reproduces bit-for-bit from the test source alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace astra
+{
+namespace
+{
+
+/**
+ * SplitMix64-style finalizer: a fixed bijective scramble of the
+ * operation counter. Deterministic arithmetic, not a random source.
+ */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Reference implementation of the EventQueue ordering contract: an
+ * unordered pending list popped by exhaustive (when, priority, seq)
+ * minimum search. Obviously correct, O(n) per pop — the oracle the
+ * ladder queue must match event for event.
+ */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t
+    schedule(Tick when, int priority, int tag)
+    {
+        EXPECT_GE(when, _now);
+        _pending.push_back(Ev{when, _seq, priority, tag});
+        return _seq++;
+    }
+
+    bool
+    cancel(std::uint64_t id)
+    {
+        for (std::size_t i = 0; i < _pending.size(); ++i) {
+            if (_pending[i].seq == id) {
+                _pending.erase(_pending.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Fire everything with when <= until into @p fired (tags). */
+    void
+    runUntil(Tick until, std::vector<int> &fired)
+    {
+        for (;;) {
+            std::size_t best = _pending.size();
+            for (std::size_t i = 0; i < _pending.size(); ++i) {
+                if (_pending[i].when > until)
+                    continue;
+                if (best == _pending.size() ||
+                    firesBefore(_pending[i], _pending[best])) {
+                    best = i;
+                }
+            }
+            if (best == _pending.size())
+                break;
+            _now = _pending[best].when;
+            fired.push_back(_pending[best].tag);
+            _pending.erase(_pending.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+        }
+        _now = std::max(_now, until);
+    }
+
+    /**
+     * Fire exactly the next pending event (unbounded), writing its tag
+     * to @p tag. @return false when drained. Lets a driver interleave
+     * re-entrant scheduling between pops, like a real callback would.
+     */
+    bool
+    stepOne(int *tag)
+    {
+        std::size_t best = _pending.size();
+        for (std::size_t i = 0; i < _pending.size(); ++i) {
+            if (best == _pending.size() ||
+                firesBefore(_pending[i], _pending[best])) {
+                best = i;
+            }
+        }
+        if (best == _pending.size())
+            return false;
+        _now = _pending[best].when;
+        *tag = _pending[best].tag;
+        _pending.erase(_pending.begin() +
+                       static_cast<std::ptrdiff_t>(best));
+        return true;
+    }
+
+    Tick now() const { return _now; }
+    std::size_t pending() const { return _pending.size(); }
+
+  private:
+    struct Ev
+    {
+        Tick when;
+        std::uint64_t seq;
+        int priority;
+        int tag;
+    };
+
+    static bool
+    firesBefore(const Ev &a, const Ev &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    std::vector<Ev> _pending;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+};
+
+/**
+ * Drive @p ops counter-derived operations through both queues with
+ * tick deltas drawn from [0, spread) and compare the fired-tag streams
+ * after every runUntil window and at the final drain.
+ */
+void
+runSideBySide(int ops, std::uint64_t spread)
+{
+    EventQueue eq;
+    ReferenceQueue ref;
+    std::vector<int> eq_fired, ref_fired;
+    std::vector<std::pair<EventId, std::uint64_t>> live;
+
+    for (int i = 0; i < ops; ++i) {
+        const std::uint64_t r = mix(std::uint64_t(i));
+        const Tick when = eq.now() + Tick(mix(r) % spread);
+        const int priority = int(mix(r + 1) % 5) - 2;
+        const int tag = i;
+
+        const EventId id = eq.schedule(
+            when, [&eq_fired, tag] { eq_fired.push_back(tag); },
+            priority);
+        const std::uint64_t rid = ref.schedule(when, priority, tag);
+        live.emplace_back(id, rid);
+
+        // Every third op cancels a mixer-chosen earlier event; the
+        // two queues must agree on whether it was still pending.
+        if (i % 3 == 2 && !live.empty()) {
+            const std::size_t victim = std::size_t(r % live.size());
+            EXPECT_EQ(eq.cancel(live[victim].first),
+                      ref.cancel(live[victim].second))
+                << "op " << i;
+        }
+        // Every seventh op runs a window forward.
+        if (i % 7 == 6) {
+            const Tick until = eq.now() + Tick(mix(r + 2) % (2 * spread));
+            eq.runUntil(until);
+            ref.runUntil(until, ref_fired);
+            ASSERT_EQ(eq_fired, ref_fired) << "after op " << i;
+            EXPECT_EQ(eq.now(), ref.now());
+        }
+    }
+
+    eq.run();
+    ref.runUntil(kTickInvalid - 1, ref_fired);
+    ASSERT_EQ(eq_fired, ref_fired);
+    EXPECT_EQ(eq.pendingEvents(), ref.pending());
+    eq.validateDrained();
+}
+
+TEST(EventQueueModel, DenseNearTraffic)
+{
+    // Deltas inside a few buckets: same-tick FIFO ties, priority
+    // inversions, dirty-bucket sorts.
+    runSideBySide(3000, 16);
+}
+
+TEST(EventQueueModel, WindowStraddlingTraffic)
+{
+    // Deltas up to 1.5 windows: every event class — bucket appends,
+    // far-heap parks, migration back into the buckets, cancellations
+    // of both near refs and parked FarRefs.
+    runSideBySide(2000, EventQueue::kWindow + EventQueue::kWindow / 2);
+}
+
+TEST(EventQueueModel, SparseFarTraffic)
+{
+    // Mostly-far deltas: epoch jumps where the whole window is empty
+    // and the cursor leaps to the far heap's minimum.
+    runSideBySide(600, 64 * EventQueue::kWindow);
+}
+
+TEST(EventQueueModel, SameTickBucketStorm)
+{
+    // Bucket overflow: thousands of refs in one tick's bucket with
+    // mixed priorities must still fire in exact (priority, seq) order.
+    EventQueue eq;
+    ReferenceQueue ref;
+    std::vector<int> eq_fired, ref_fired;
+    for (int i = 0; i < 5000; ++i) {
+        const int priority = int(mix(std::uint64_t(i)) % 7) - 3;
+        eq.schedule(
+            100, [&eq_fired, i] { eq_fired.push_back(i); }, priority);
+        ref.schedule(100, priority, i);
+    }
+    eq.run();
+    ref.runUntil(100, ref_fired);
+    ASSERT_EQ(eq_fired, ref_fired);
+    eq.validateDrained();
+}
+
+constexpr int kCascadeDepth = 6;
+
+Tick
+successorDelta(int tag)
+{
+    return Tick(mix(std::uint64_t(tag)) % (2 * EventQueue::kWindow));
+}
+
+int
+successorPriority(int tag)
+{
+    return int(mix(std::uint64_t(tag) + 7) % 3) - 1;
+}
+
+/** Re-entrant cascade driver for the real queue: each fired event
+ *  schedules its successor from inside the callback. */
+struct Cascade
+{
+    EventQueue &eq;
+    std::vector<int> &fired;
+
+    void
+    fire(int tag)
+    {
+        fired.push_back(tag);
+        if (tag % kCascadeDepth == kCascadeDepth - 1)
+            return;
+        eq.scheduleAfter(
+            successorDelta(tag), [this, tag] { fire(tag + 1); },
+            successorPriority(tag));
+    }
+};
+
+TEST(EventQueueModel, ReentrantCascadesMatch)
+{
+    // Callbacks that schedule follow-ups while the cursor is mid-
+    // bucket: successor deltas derived from the firing tag, spanning
+    // same-tick appends, near appends and far spills. The reference
+    // runs the identical cascade rule, one pop at a time.
+    constexpr int kSeeds = 40;
+
+    EventQueue eq;
+    std::vector<int> eq_fired;
+    Cascade cascade{eq, eq_fired};
+    for (int s = 0; s < kSeeds; ++s) {
+        const int tag = s * kCascadeDepth;
+        eq.schedule(
+            Tick(mix(std::uint64_t(s) + 99) % 200),
+            [&cascade, tag] { cascade.fire(tag); },
+            successorPriority(tag));
+    }
+    eq.run();
+
+    ReferenceQueue ref;
+    std::vector<int> ref_fired;
+    for (int s = 0; s < kSeeds; ++s) {
+        const int tag = s * kCascadeDepth;
+        ref.schedule(Tick(mix(std::uint64_t(s) + 99) % 200),
+                     successorPriority(tag), tag);
+    }
+    int tag = 0;
+    while (ref.stepOne(&tag)) {
+        ref_fired.push_back(tag);
+        if (tag % kCascadeDepth != kCascadeDepth - 1) {
+            ref.schedule(ref.now() + successorDelta(tag),
+                         successorPriority(tag), tag + 1);
+        }
+    }
+    ASSERT_EQ(eq_fired, ref_fired);
+    eq.validateDrained();
+}
+
+TEST(EventQueueModel, CancelAfterFireFails)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId id = eq.schedule(5, [&fired] { ++fired; });
+    EXPECT_TRUE(eq.live(id));
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.live(id));
+    EXPECT_FALSE(eq.cancel(id)) << "cancel after fire must fail";
+    EXPECT_FALSE(eq.cancel(id)) << "and stay failed";
+
+    // Cancelling yourself from inside your own callback is also a
+    // miss: the handle dies the moment the event is taken to fire.
+    EventId self = kEventIdInvalid;
+    bool self_cancelled = true;
+    self = eq.schedule(10, [&eq, &self, &self_cancelled] {
+        self_cancelled = eq.cancel(self);
+    });
+    eq.run();
+    EXPECT_FALSE(self_cancelled);
+    eq.validateDrained();
+}
+
+TEST(EventQueueModel, GenerationWraparoundOfRecycledSlots)
+{
+    EventQueue eq;
+    int fired = 0;
+    const EventId first = eq.schedule(1, [&fired] { ++fired; });
+    const std::uint32_t slot = EventQueue::slotOf(first);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+
+    // Park the freed slot at the maximum generation; the slab hands
+    // the same slot back LIFO, so the next event allocates it.
+    eq.debugSetFreeSlotGeneration(slot, 0xffffffffU);
+    const EventId wrapped = eq.schedule(2, [&fired] { ++fired; });
+    ASSERT_EQ(EventQueue::slotOf(wrapped), slot);
+    EXPECT_EQ(EventQueue::genOf(wrapped), 0xffffffffU);
+    EXPECT_TRUE(eq.live(wrapped));
+    EXPECT_FALSE(eq.live(first));
+    eq.run();
+    EXPECT_EQ(fired, 2);
+
+    // Firing at generation 2^32-1 wraps — but never through 0, which
+    // is reserved so kEventIdInvalid can never match a live slot.
+    const EventId after = eq.schedule(3, [&fired] { ++fired; });
+    ASSERT_EQ(EventQueue::slotOf(after), slot);
+    EXPECT_EQ(EventQueue::genOf(after), 1u);
+    EXPECT_NE(EventQueue::genOf(after), 0u);
+    EXPECT_FALSE(eq.live(wrapped));
+    EXPECT_FALSE(eq.cancel(wrapped));
+    EXPECT_FALSE(eq.live(kEventIdInvalid));
+    EXPECT_FALSE(eq.cancel(kEventIdInvalid));
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    eq.validateDrained();
+}
+
+TEST(EventQueueModel, FarSpillMigratesInOrder)
+{
+    // Events parked far and events bucketed near that collide on the
+    // same window index (ticks congruent modulo kWindow) must still
+    // fire strictly by time.
+    EventQueue eq;
+    std::vector<int> fired;
+    const Tick w = Tick(EventQueue::kWindow);
+    const Tick ticks[] = {5,     w - 1, w,     w + 5, 2 * w + 5,
+                          3 * w, 7 * w, 7 * w, 9 * w - 1};
+    int tag = 0;
+    for (const Tick t : ticks) {
+        eq.schedule(t, [&fired, tag] { fired.push_back(tag); });
+        ++tag;
+    }
+    EXPECT_GT(eq.farHeapSize(), 0u);
+    eq.run();
+    ASSERT_EQ(fired.size(), std::size(ticks));
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    eq.validateDrained();
+}
+
+} // namespace
+} // namespace astra

@@ -119,8 +119,10 @@ TEST(EventQueue, SmallCallbacksNeedNoHeapAllocation)
     EXPECT_EQ(a, 0);
 }
 
-TEST(EventQueue, MassCancellationPurgesTheHeap)
+TEST(EventQueue, MassCancellationReclaimsSlotsEagerly)
 {
+    // Cancelling an event recycles its slab slot immediately; only an
+    // 8-byte stale ref stays parked in a bucket or the far heap.
     EventQueue eq;
     std::vector<EventId> victims;
     for (int i = 0; i < 1000; ++i)
@@ -129,12 +131,45 @@ TEST(EventQueue, MassCancellationPurgesTheHeap)
     eq.schedule(2000, [&] { ++survivors; });
     for (EventId id : victims)
         EXPECT_TRUE(eq.cancel(id));
-    // Eager purge: dead entries no longer dominate the heap.
     EXPECT_EQ(eq.pendingEvents(), 1u);
-    EXPECT_LT(eq.cancelledInHeap(), 1000u);
+    // Cancelled entries are dead handles already...
+    for (EventId id : victims)
+        EXPECT_FALSE(eq.live(id));
+    // ...and their slots get reused: scheduling 1000 fresh events must
+    // not grow the slab past its existing high-water mark.
+    const std::size_t high_water = eq.allocatedSlots();
+    std::vector<EventId> fresh;
+    for (int i = 0; i < 1000; ++i)
+        fresh.push_back(eq.schedule(Tick(10 + i), [] {}));
+    EXPECT_EQ(eq.allocatedSlots(), high_water);
+    for (EventId id : fresh)
+        EXPECT_TRUE(eq.cancel(id));
     EXPECT_EQ(eq.run(), 1u);
     EXPECT_EQ(survivors, 1);
     EXPECT_EQ(eq.now(), 2000u);
+}
+
+TEST(EventQueue, FarHeapPurgeCompactsStaleRefs)
+{
+    // Events past the near window (now + kWindow) park in the far
+    // heap; cancelling most of them triggers the bulk purge so stale
+    // refs never dominate the heap.
+    EventQueue eq;
+    const Tick far = Tick(EventQueue::kWindow) + 100;
+    std::vector<EventId> victims;
+    for (int i = 0; i < 1000; ++i)
+        victims.push_back(eq.schedule(far + Tick(i), [] {}));
+    EXPECT_EQ(eq.farHeapSize(), 1000u);
+    int survivors = 0;
+    eq.schedule(far + 2000, [&] { ++survivors; });
+    for (EventId id : victims)
+        EXPECT_TRUE(eq.cancel(id));
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_LT(eq.staleFarRefs(), 1000u);
+    EXPECT_LT(eq.farHeapSize(), 1001u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(survivors, 1);
+    EXPECT_EQ(eq.now(), far + 2000);
 }
 
 TEST(EventQueue, CancellationKeepsOrderingDeterministic)

@@ -1,0 +1,19 @@
+// Positive fixture for allocator-tu: this file carries no file-level
+// allocator tag, so every placement new fires — ordinary simulation
+// code must not manage object lifetimes by hand. The per-line
+// suppressions still work as an escape hatch.
+#include <new>
+
+struct Slot
+{
+    alignas(8) unsigned char bytes[32];
+};
+
+int *
+construct(Slot &s, Slot &t, Slot &u)
+{
+    int *a = ::new (static_cast<void *>(s.bytes)) int(1); // FIRE(allocator-tu)
+    int *b = new (static_cast<void *>(t.bytes)) int(2);   // FIRE(allocator-tu)
+    int *c = new (static_cast<void *>(u.bytes)) int(3); // NOLINT: escape hatch
+    return *a + *b > 0 ? a : c;
+}

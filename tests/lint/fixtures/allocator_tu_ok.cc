@@ -1,0 +1,32 @@
+// Negative fixture for allocator-tu: the file-level tag below declares
+// this TU an allocator implementation (slab / arena / small-buffer
+// storage), so its placement news are the legitimate machinery of
+// manual lifetime management and produce no diagnostics. Allocating
+// `new` is still banned here — the tag is not a blanket suppression —
+// but this fixture stays clean so the negative case is unambiguous.
+//
+// astra-lint: allocator-tu (tiny slab used by the fixture)
+#include <new>
+
+class FixtureSlab
+{
+  public:
+    int *
+    construct(int v)
+    {
+        int *p = ::new (static_cast<void *>(_bytes + _used)) int(v);
+        _used += sizeof(int);
+        return p;
+    }
+
+  private:
+    alignas(8) unsigned char _bytes[64];
+    unsigned _used = 0;
+};
+
+int
+use()
+{
+    FixtureSlab slab;
+    return *slab.construct(7);
+}

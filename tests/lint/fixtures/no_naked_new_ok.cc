@@ -1,6 +1,9 @@
-// Negative fixture: placement new constructs without allocating,
-// operator-new declarations are not allocations, and both suppression
-// spellings are honoured.
+// Negative fixture: placement new constructs without allocating (legal
+// here because the file carries the allocator-TU tag), operator-new
+// declarations are not allocations, and both suppression spellings are
+// honoured.
+//
+// astra-lint: allocator-tu
 #include <cstddef>
 #include <memory>
 

@@ -157,6 +157,24 @@ TEST(LintLexer, ParsesSuppressionMarks)
     EXPECT_FALSE(f.marks.count(3));
 }
 
+TEST(LintLexer, ParsesFileTags)
+{
+    LexedFile f = lexSource(
+        "t.cc",
+        "// astra-lint: allocator-tu (slab implementation)\n"
+        "int a; // astra-lint: allow(no-float)\n"
+        "// plain prose mentioning astra-lint: nothing more\n");
+    EXPECT_TRUE(f.fileTags.count("allocator-tu"));
+    // allow(...) lists are line marks, never file tags.
+    EXPECT_FALSE(f.fileTags.count("allow"));
+    // Prose after the colon still yields a word ("nothing") — tags are
+    // cheap declarations, not validated identifiers — but only exact
+    // matches mean anything to the rules.
+    EXPECT_FALSE(f.fileTags.count("prose"));
+    ASSERT_TRUE(f.marks.count(2));
+    EXPECT_TRUE(f.marks.at(2).allowed.count("no-float"));
+}
+
 TEST(LintLexer, TracksPositions)
 {
     LexedFile f = lexSource("t.cc", "int a;\n  long b;\n");
@@ -175,8 +193,9 @@ TEST(LintRules, RegistryKnowsEveryRule)
 {
     EXPECT_TRUE(knownRule("no-float"));
     EXPECT_TRUE(knownRule("layer-dag"));
+    EXPECT_TRUE(knownRule("allocator-tu"));
     EXPECT_FALSE(knownRule("no-such-rule"));
-    EXPECT_GE(allRules().size(), 12u);
+    EXPECT_GE(allRules().size(), 13u);
 }
 
 // ---- fixture corpus: one positive + one negative per rule ------------
@@ -203,6 +222,12 @@ TEST(LintFixtures, NoNakedNew)
 {
     expectMarkersMatch("no_naked_new_bad.cc");
     expectClean("no_naked_new_ok.cc");
+}
+
+TEST(LintFixtures, AllocatorTu)
+{
+    expectMarkersMatch("allocator_tu_bad.cc");
+    expectClean("allocator_tu_ok.cc");
 }
 
 TEST(LintFixtures, NoThrow)

@@ -106,6 +106,19 @@ set -e
     || { echo "bad fault rule exited $rc, want 2" >&2; exit 1; }
 echo "fault smoke green (completed/degraded/config-error all correct)"
 
+echo "=== perf smoke (bench/sweep_bench --quick) ==="
+# Determinism gates hard: the parallel sweep must reproduce the serial
+# reference bit-for-bit — ranked results AND per-candidate event
+# digests. Timing is printed for the CI log but never gates (shared
+# runners are too noisy for wall-clock thresholds).
+./build/bench/sweep_bench --quick --jobs=4 --out=build/ci_bench.json
+python3 -m json.tool build/ci_bench.json >/dev/null
+grep -q '"results_identical": true' build/ci_bench.json \
+    || { echo "perf smoke: parallel sweep results diverged" >&2; exit 1; }
+grep -q '"digests_identical": true' build/ci_bench.json \
+    || { echo "perf smoke: parallel sweep digests diverged" >&2; exit 1; }
+echo "perf smoke: $(grep -o '"per_event_ns": [0-9.]*' build/ci_bench.json) (informational)"
+
 if [ "$RUN_UBSAN" -eq 1 ]; then
     # UBSan doubles as the "full suite with checkers on" job: the tree
     # also sets -DASTRA_VALIDATE=ON, which compiles the hot-path
