@@ -1,3 +1,6 @@
+// astra-lint: hot-path (every event schedule/retire crosses this TU)
+// astra-lint: allocator-tu (the slab below is the amortization point:
+// allocSlot() grabs whole chunks so the per-event path never mallocs)
 #include "common/event_queue.hh"
 
 #include <algorithm>

@@ -47,6 +47,7 @@
  *    only a pointer or two plus an id.
  */
 
+// astra-lint: hot-path (every event schedule/retire crosses this TU)
 // astra-lint: allocator-tu (EventCallback's small-buffer storage and
 // the entry slab construct objects via placement new; this TU owns
 // that machinery — see docs/static-analysis.md.)

@@ -6,9 +6,11 @@
 #include <map>
 #include <regex>
 #include <sstream>
+#include <tuple>
 
 #include "common/json.hh"
 #include "lint/include_graph.hh"
+#include "lint/symbols.hh"
 
 namespace astra::lint
 {
@@ -91,7 +93,7 @@ loadAllowlist(const std::string &path, LintOptions &opts, std::string *err)
                        ": bad regex '" + pattern + "'";
             return false;
         }
-        opts.allow.push_back(AllowEntry{rule, pattern});
+        opts.allow.push_back(AllowEntry{rule, pattern, path, lineno});
     }
     return true;
 }
@@ -146,6 +148,7 @@ analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
         declared[lf.path] = unorderedNames(lf);
 
     std::vector<Diagnostic> diags;
+    std::vector<SuppressionUse> uses;
     for (const LexedFile &lf : lexed) {
         std::set<std::string> extra;
         fs::path p(lf.path);
@@ -158,29 +161,87 @@ analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
                     extra.insert(it->second.begin(), it->second.end());
             }
         }
-        runTokenRules(lf, opts.rules, extra, diags);
+        runTokenRules(lf, opts.rules, extra, diags, &uses);
     }
 
-    checkIncludeGraph(lexed, opts.root, opts.rules, diags);
+    // Declaration-indexed concurrency rules over the cross-TU index.
+    SymbolIndex index = buildSymbolIndex(lexed);
+    runIndexRules(lexed, index, opts.rules, diags, &uses);
 
-    // Allowlist filter.
+    checkIncludeGraph(lexed, opts.root, opts.rules, diags, &uses);
+
+    // Allowlist filter, counting the findings each entry absorbs: a
+    // diagnostic must be tested against EVERY entry (not first-match)
+    // so the stale pass below knows which entries are dead.
+    std::vector<int> entry_hits(opts.allow.size(), 0);
     if (!opts.allow.empty()) {
-        std::vector<std::pair<const AllowEntry *, std::regex>> compiled;
-        for (const AllowEntry &a : opts.allow) {
+        std::vector<std::pair<std::size_t, std::regex>> compiled;
+        for (std::size_t n = 0; n < opts.allow.size(); ++n) {
             std::regex re;
-            if (compileRegex(a.pattern, re))
-                compiled.emplace_back(&a, std::move(re));
+            if (compileRegex(opts.allow[n].pattern, re))
+                compiled.emplace_back(n, std::move(re));
         }
         auto allowed = [&](const Diagnostic &d) {
-            for (const auto &[entry, re] : compiled) {
-                if ((entry->rule == "*" || entry->rule == d.rule) &&
-                    std::regex_search(d.file, re))
-                    return true;
+            bool hit = false;
+            for (const auto &[n, re] : compiled) {
+                const AllowEntry &entry = opts.allow[n];
+                if ((entry.rule == "*" || entry.rule == d.rule) &&
+                    std::regex_search(d.file, re)) {
+                    ++entry_hits[n];
+                    hit = true;
+                }
             }
-            return false;
+            return hit;
         };
         diags.erase(std::remove_if(diags.begin(), diags.end(), allowed),
                     diags.end());
+    }
+
+    // Stale-suppression pass: every suppression written in the tree
+    // must have absorbed at least one finding in this run. Stale
+    // findings are appended after the allowlist filter on purpose —
+    // a suppression cannot suppress the report of its own staleness.
+    if (opts.strictSuppressions &&
+        (opts.rules.empty() || opts.rules.count("stale-suppression"))) {
+        auto ruleChecked = [&](const std::string &r) {
+            return opts.rules.empty() || opts.rules.count(r) > 0;
+        };
+        std::set<std::tuple<std::string, int, std::string>> used;
+        for (const SuppressionUse &u : uses)
+            used.insert({u.file, u.line, u.rule});
+        for (const LexedFile &lf : lexed) {
+            for (const auto &[line, m] : lf.marks) {
+                for (const std::string &r : m.allowed) {
+                    if (!knownRule(r)) {
+                        diags.push_back(Diagnostic{
+                            lf.path, line, 1, "stale-suppression",
+                            "allow(" + r + ") names no known rule"});
+                        continue;
+                    }
+                    if (r == "stale-suppression" || !ruleChecked(r))
+                        continue;
+                    if (used.count({lf.path, line, r}) == 0)
+                        diags.push_back(Diagnostic{
+                            lf.path, line, 1, "stale-suppression",
+                            "inline allow(" + r +
+                                ") matched no finding on this line "
+                                "(delete it)"});
+                }
+            }
+        }
+        for (std::size_t n = 0; n < opts.allow.size(); ++n) {
+            const AllowEntry &e = opts.allow[n];
+            // A rule-filtered run cannot judge entries for rules it
+            // did not execute ("*" entries need the full set).
+            if (e.rule == "*" ? !opts.rules.empty() : !ruleChecked(e.rule))
+                continue;
+            if (entry_hits[n] == 0)
+                diags.push_back(Diagnostic{
+                    e.file.empty() ? std::string("<allowlist>") : e.file,
+                    e.line, 1, "stale-suppression",
+                    "allowlist entry `" + e.rule + " " + e.pattern +
+                        "` matched no finding (delete it)"});
+        }
     }
 
     std::sort(diags.begin(), diags.end(), diagnosticLess);
@@ -233,6 +294,94 @@ renderFixable(const std::vector<Diagnostic> &diags)
            << "\n";
     }
     return ss.str();
+}
+
+std::string
+renderSarif(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream ss;
+    ss << "{\n"
+       << " \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << " \"version\": \"2.1.0\",\n"
+       << " \"runs\": [{\n"
+       << "  \"tool\": {\"driver\": {\n"
+       << "   \"name\": \"astra-lint\",\n"
+       << "   \"informationUri\": \"docs/static-analysis.md\",\n"
+       << "   \"rules\": [";
+    const std::vector<RuleInfo> &rules = allRules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        ss << (i ? ",\n    " : "\n    ") << "{\"id\": \""
+           << jsonEscape(rules[i].id)
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].summary)
+           << "\"}, \"help\": {\"text\": \"" << jsonEscape(rules[i].fix)
+           << "\"}}";
+    }
+    ss << "\n   ]\n"
+       << "  }},\n"
+       << "  \"results\": [";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        // SARIF regions are 1-based; clamp the line-0 file errors.
+        int line = d.line > 0 ? d.line : 1;
+        int col = d.col > 0 ? d.col : 1;
+        ss << (i ? ",\n   " : "\n   ") << "{\"ruleId\": \""
+           << jsonEscape(d.rule)
+           << "\", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(d.message)
+           << "\"}, \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(d.file) << "\"}, \"region\": {\"startLine\": "
+           << line << ", \"startColumn\": " << col << "}}}]}";
+    }
+    ss << (diags.empty() ? "]\n" : "\n  ]\n") << " }]\n}\n";
+    return ss.str();
+}
+
+std::string
+baselineKey(const Diagnostic &d)
+{
+    return d.file + "\t" + d.rule + "\t" + d.message;
+}
+
+std::string
+renderBaselineFile(const std::vector<Diagnostic> &diags)
+{
+    std::set<std::string> keys;
+    for (const Diagnostic &d : diags)
+        keys.insert(baselineKey(d));
+    std::ostringstream ss;
+    ss << "# astra-lint baseline v1 — one `file<TAB>rule<TAB>message`"
+          " per line.\n"
+       << "# Findings listed here are pre-existing debt: runs with"
+          " --baseline fail\n"
+       << "# only on findings NOT in this file, so the list can only"
+          " shrink.\n";
+    for (const std::string &k : keys)
+        ss << k << "\n";
+    return ss.str();
+}
+
+bool
+loadBaseline(const std::string &path, std::set<std::string> &keys,
+             std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot open baseline";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        keys.insert(line);
+    }
+    return true;
 }
 
 } // namespace astra::lint

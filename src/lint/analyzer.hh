@@ -23,6 +23,8 @@ struct AllowEntry
 {
     std::string rule;    //!< rule id, or "*" for every rule
     std::string pattern; //!< ERE matched against the relative path
+    std::string file;    //!< allowlist file the entry came from
+    int line = 0;        //!< its line there (for stale reports)
 };
 
 /** Analyzer configuration. */
@@ -32,6 +34,14 @@ struct LintOptions
     std::set<std::string> rules;  //!< enabled rule ids; empty = all
     std::vector<AllowEntry> allow;
     bool skipFixtureDirs = true;  //!< skip */lint/fixtures/* in dir walks
+
+    /**
+     * Report stale suppressions: every inline `allow(<rule>)` comment
+     * and every allowlist entry that absorbed zero findings in this
+     * run becomes a `stale-suppression` finding, so the suppression
+     * surface can only shrink. On in CI (tools/lint.sh).
+     */
+    bool strictSuppressions = false;
 };
 
 /**
@@ -73,6 +83,30 @@ std::string renderJson(const std::vector<Diagnostic> &diags);
  * mechanical fix (the `--fixable` summary). Empty string when clean.
  */
 std::string renderFixable(const std::vector<Diagnostic> &diags);
+
+/**
+ * Render @p diags as a minimal SARIF 2.1.0 log (one run, the full
+ * rule catalog in the driver, one result per diagnostic) for code-
+ * scanning upload. Always a single valid JSON document.
+ */
+std::string renderSarif(const std::vector<Diagnostic> &diags);
+
+/**
+ * Baseline identity of @p d: file, rule and message — deliberately no
+ * line/column, so editing unrelated parts of a file cannot resurrect
+ * a baselined finding.
+ */
+std::string baselineKey(const Diagnostic &d);
+
+/** Render @p diags as a baseline file (sorted unique keys). */
+std::string renderBaselineFile(const std::vector<Diagnostic> &diags);
+
+/**
+ * Load a baseline written by renderBaselineFile() (or an empty file)
+ * into @p keys. Returns false and fills @p err when unreadable.
+ */
+bool loadBaseline(const std::string &path, std::set<std::string> &keys,
+                  std::string *err);
 
 } // namespace astra::lint
 

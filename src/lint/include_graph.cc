@@ -73,14 +73,17 @@ void
 emitAt(const LexedFile &file, int line, const std::string &rule,
        const std::string &message,
        const std::set<std::string> &enabled,
-       std::vector<Diagnostic> &out)
+       std::vector<Diagnostic> &out, std::vector<SuppressionUse> *uses)
 {
     if (!enabled.empty() && enabled.count(rule) == 0)
         return;
     auto it = file.marks.find(line);
     if (it != file.marks.end() &&
-        (it->second.nolint || it->second.allowed.count(rule) > 0))
+        (it->second.nolint || it->second.allowed.count(rule) > 0)) {
+        if (uses)
+            uses->push_back(SuppressionUse{file.path, line, rule});
         return;
+    }
     out.push_back(Diagnostic{file.path, line, 1, rule, message});
 }
 
@@ -115,7 +118,8 @@ void
 checkIncludeGraph(const std::vector<LexedFile> &files,
                   const std::string &root,
                   const std::set<std::string> &enabled,
-                  std::vector<Diagnostic> &out)
+                  std::vector<Diagnostic> &out,
+                  std::vector<SuppressionUse> *uses)
 {
     // Resolved project-include edges, with the directive line of each.
     struct Edge
@@ -147,7 +151,7 @@ checkIncludeGraph(const std::vector<LexedFile> &files,
                            "); the layer DAG flows workload > core > "
                            "collective > net/topo > compute/fault > "
                            "common",
-                       enabled, out);
+                       enabled, out, uses);
             }
         }
     }
@@ -191,7 +195,7 @@ checkIncludeGraph(const std::vector<LexedFile> &files,
                             emitAt(*byPath.at(node), e.line,
                                    "include-cycle",
                                    "include cycle: " + chain, enabled,
-                                   out);
+                                   out, uses);
                         }
                     }
                 }

@@ -60,7 +60,8 @@ std::string layerName(const std::string &relpath);
 void checkIncludeGraph(const std::vector<LexedFile> &files,
                        const std::string &root,
                        const std::set<std::string> &enabled,
-                       std::vector<Diagnostic> &out);
+                       std::vector<Diagnostic> &out,
+                       std::vector<SuppressionUse> *uses = nullptr);
 
 } // namespace astra::lint
 

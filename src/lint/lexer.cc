@@ -32,11 +32,15 @@ isStringPrefix(const std::string &id)
 }
 
 /**
- * Parse suppression markers out of one comment line: a NOLINT word,
- * `astra-lint: allow(rule-a, rule-b)` lists (into @p marks), and bare
- * `astra-lint: <tag>` words, which are file-scoped declarations (into
- * @p file_tags) — e.g. `allocator-tu` marks a TU that legitimately
- * uses placement new.
+ * Parse suppression markers and annotations out of one comment line:
+ * a NOLINT word, plus the constructs behind the `astra-lint:` comment
+ * tag — rule-id allow-lists, the concurrency annotations naming a
+ * guarding mutex or declaring thread confinement (into @p marks), and
+ * bare tag words, which are file-scoped declarations (into
+ * @p file_tags): an allocator-tu tag marks a TU that legitimately
+ * uses placement new, a hot-path tag opts it into the allocation
+ * rule. (This doc spells the grammar indirectly on purpose: writing a
+ * literal mark here would annotate this very line.)
  */
 void
 parseMarkers(const std::string &comment, LineMarks &marks,
@@ -56,6 +60,29 @@ parseMarkers(const std::string &comment, LineMarks &marks,
         std::size_t p = pos + kTag.size();
         while (p < comment.size() && comment[p] == ' ')
             ++p;
+        static const std::string kGuard = "guarded-by(";
+        if (comment.compare(p, kGuard.size(), kGuard) == 0) {
+            std::size_t b = p + kGuard.size();
+            std::size_t close = comment.find(')', b);
+            if (close == std::string::npos)
+                break;
+            std::size_t s = comment.find_first_not_of(" \t", b);
+            std::size_t e = comment.find_last_not_of(" \t", close - 1);
+            if (s != std::string::npos && s <= e)
+                marks.guardedBy = comment.substr(s, e - s + 1);
+            pos = close;
+            continue;
+        }
+        static const std::string kConfined = "thread-confined(";
+        if (comment.compare(p, kConfined.size(), kConfined) == 0) {
+            // The reason is documentation for the reader; the mark is
+            // what the rules consume.
+            marks.threadConfined = true;
+            std::size_t close = comment.find(')', p + kConfined.size());
+            pos = close == std::string::npos ? p + kConfined.size()
+                                             : close;
+            continue;
+        }
         static const std::string kAllow = "allow(";
         if (comment.compare(p, kAllow.size(), kAllow) != 0) {
             // Not an allow-list: a bare lowercase word here is a
@@ -86,23 +113,45 @@ parseMarkers(const std::string &comment, LineMarks &marks,
     }
 }
 
-/** Character-cursor over the source with 1-based line/col tracking. */
+/**
+ * Character-cursor over the source with 1-based line/col tracking.
+ *
+ * Performs translation phase 2: a backslash immediately followed by a
+ * newline (or CRLF) is a line splice and is skipped transparently by
+ * peek()/advance(), so callers never observe it — an identifier,
+ * string literal, comment or #include target split across a splice
+ * reads as one contiguous construct. Raw string literals revert the
+ * splice (the standard's exception); setSplicing(false) turns the
+ * transparency off while their bodies are consumed.
+ */
 class Cursor
 {
   public:
     explicit Cursor(const std::string &src) : _src(src) {}
 
-    bool atEnd() const { return _i >= _src.size(); }
-    char peek(std::size_t ahead = 0) const
+    bool atEnd() const { return spliced(_i) >= _src.size(); }
+
+    char
+    peek(std::size_t ahead = 0) const
     {
-        return _i + ahead < _src.size() ? _src[_i + ahead] : '\0';
+        std::size_t i = spliced(_i);
+        while (ahead > 0 && i < _src.size()) {
+            i = spliced(i + 1);
+            --ahead;
+        }
+        return i < _src.size() ? _src[i] : '\0';
     }
+
     int line() const { return _line; }
     int col() const { return _col; }
+
+    /** Toggle splice transparency (off inside raw string literals). */
+    void setSplicing(bool on) { _splice = on; }
 
     char
     advance()
     {
+        skipSplices();
         char c = _src[_i++];
         if (c == '\n') {
             ++_line;
@@ -114,10 +163,45 @@ class Cursor
     }
 
   private:
+    /** Length of the splice starting at @p i, or 0. */
+    std::size_t
+    spliceLen(std::size_t i) const
+    {
+        if (!_splice || i + 1 >= _src.size() || _src[i] != '\\')
+            return 0;
+        if (_src[i + 1] == '\n')
+            return 2;
+        if (_src[i + 1] == '\r' && i + 2 < _src.size() &&
+            _src[i + 2] == '\n')
+            return 3;
+        return 0;
+    }
+
+    /** First non-splice position at or after @p i. */
+    std::size_t
+    spliced(std::size_t i) const
+    {
+        for (std::size_t n; (n = spliceLen(i)) != 0;)
+            i += n;
+        return i;
+    }
+
+    /** Consume splices at the cursor, keeping line/col honest. */
+    void
+    skipSplices()
+    {
+        for (std::size_t n; (n = spliceLen(_i)) != 0;) {
+            _i += n;
+            ++_line;
+            _col = 1;
+        }
+    }
+
     const std::string &_src;
     std::size_t _i = 0;
     int _line = 1;
     int _col = 1;
+    bool _splice = true;
 };
 
 } // namespace
@@ -137,8 +221,19 @@ lexSource(const std::string &path, const std::string &source)
     auto markLine = [&](int line, const std::string &text) {
         LineMarks &m = out.marks[line];
         parseMarkers(text, m, out.fileTags);
-        if (m.allowed.empty() && !m.nolint)
+        if (m.allowed.empty() && !m.nolint && m.guardedBy.empty() &&
+            !m.threadConfined)
             out.marks.erase(line);
+    };
+
+    // Physical start line of the preprocessing directive currently
+    // being tokenized (0 = none); closed at the next real newline.
+    int directive_start = 0;
+    auto closeDirective = [&](int end_line) {
+        if (directive_start != 0) {
+            out.directiveSpans.emplace_back(directive_start, end_line);
+            directive_start = 0;
+        }
     };
 
     // Consume a (non-raw) quoted literal whose opening delimiter has
@@ -164,6 +259,7 @@ lexSource(const std::string &path, const std::string &source)
         char ch = c.peek();
 
         if (ch == '\n') {
+            closeDirective(c.line());
             c.advance();
             line_start = true;
             continue;
@@ -246,7 +342,9 @@ lexSource(const std::string &path, const std::string &source)
                 // the directive line still feeds suppression marks.
             } else {
                 // Other directives are tokenized like code so rules
-                // still see `#define BAD float`.
+                // still see `#define BAD float`; record the span so
+                // the symbol indexer can skip the non-declaration.
+                directive_start = line;
                 out.tokens.push_back({TokKind::kPunct, "#", line, col});
                 if (!directive.empty())
                     out.tokens.push_back(
@@ -269,14 +367,32 @@ lexSource(const std::string &path, const std::string &source)
                 char quote = c.peek();
                 c.advance();
                 if (id.back() == 'R' && quote == '"') {
-                    // Raw string: R"delim( ... )delim"
+                    // Raw string: R"delim( ... )delim". Splices are
+                    // reverted inside (the standard's exception to
+                    // phase 2), so a backslash-newline in the body is
+                    // two literal characters, never a continuation.
+                    c.setSplicing(false);
                     int start_line = line;
                     std::string delim;
+                    bool bad_delim = false;
                     while (!c.atEnd() && c.peek() != '(' &&
-                           c.peek() != '\n')
-                        delim += c.advance();
-                    if (c.peek() != '(') {
-                        addError("malformed raw string delimiter");
+                           c.peek() != '\n') {
+                        char dc = c.advance();
+                        // d-chars exclude space, parens, backslash and
+                        // control characters; 16 chars max.
+                        if (dc == ' ' || dc == ')' || dc == '\\' ||
+                            static_cast<unsigned char>(dc) < 0x20)
+                            bad_delim = true;
+                        delim += dc;
+                    }
+                    if (delim.size() > 16)
+                        bad_delim = true;
+                    if (c.peek() != '(' || bad_delim) {
+                        addError(delim.size() > 16
+                                     ? "raw string delimiter longer "
+                                       "than 16 characters"
+                                     : "malformed raw string delimiter");
+                        c.setSplicing(true);
                         continue;
                     }
                     c.advance();
@@ -295,6 +411,7 @@ lexSource(const std::string &path, const std::string &source)
                     if (!done)
                         out.errors.push_back(LexError{
                             start_line, "unterminated raw string"});
+                    c.setSplicing(true);
                 } else {
                     skipQuoted(quote, quote == '"' ? "string literal"
                                                    : "character literal");
@@ -359,6 +476,7 @@ lexSource(const std::string &path, const std::string &source)
         out.tokens.push_back({TokKind::kPunct, std::string(1, ch),
                               line, col});
     }
+    closeDirective(c.line()); // directive on the last line, no newline
 
     return out;
 }

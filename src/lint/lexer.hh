@@ -10,16 +10,23 @@
  * analyzer needs:
  *
  *   - per-line suppression marks parsed out of comments
- *     (`// NOLINT`, `// astra-lint: allow(rule-id, ...)`),
+ *     (`// NOLINT`, and rule-id allow-lists behind the `astra-lint:`
+ *     comment tag),
  *   - file-level tags (`// astra-lint: allocator-tu`) that describe
  *     the whole translation unit rather than one line, and
  *   - the file's `#include` directives with line numbers, feeding the
  *     layering check (include_graph.hh).
  *
- * It is not a full phase-3 translator: trigraphs and line splices
- * inside tokens are not handled (the repo bans both styles anyway),
- * and preprocessing directives other than #include are tokenized like
- * ordinary code so rules still see `#define BAD float`.
+ * Phase 2 of translation (backslash line-splices) is performed: a
+ * `\` immediately followed by a newline is transparent everywhere
+ * except inside raw string literals, exactly as the standard orders
+ * the phases — so `flo\<newline>at` lexes as the single token `float`
+ * and a `//` comment ending in `\` swallows the next physical line.
+ * Trigraphs are not handled (removed from the language in C++17), and
+ * preprocessing directives other than #include are tokenized like
+ * ordinary code so rules still see `#define BAD float`; their line
+ * spans are recorded in `directiveSpans` so the symbol indexer
+ * (symbols.hh) can tell directive tokens from declarations.
  */
 
 #ifndef ASTRA_LINT_LEXER_HH
@@ -50,11 +57,29 @@ struct Token
     int col = 0;
 };
 
-/** Suppression marks found in the comments of one source line. */
+/**
+ * Suppression marks and concurrency annotations found in the comments
+ * of one source line (the annotation grammar, docs/static-analysis.md).
+ */
 struct LineMarks
 {
     bool nolint = false;            //!< line carries a NOLINT comment
-    std::set<std::string> allowed;  //!< rule ids from astra-lint: allow(...)
+    std::set<std::string> allowed;  //!< rule ids from an allow-list mark
+
+    /**
+     * Mutex named by a guarded-by annotation, empty when the line
+     * carries none. The shared-state rule accepts the annotated
+     * declaration; the unresolved-mutex rule checks the name resolves
+     * in the cross-TU symbol index.
+     */
+    std::string guardedBy;
+
+    /**
+     * Line carries a thread-confined annotation: the declaration (or
+     * the scope whose head this line is) never escapes its owning
+     * thread, for the reason stated in the annotation.
+     */
+    bool threadConfined = false;
 };
 
 /** One #include directive. */
@@ -80,6 +105,15 @@ struct LexedFile
     std::map<int, LineMarks> marks;  //!< line -> suppression marks
     std::vector<IncludeDirective> includes;
     std::vector<LexError> errors;    //!< unterminated literals etc.
+
+    /**
+     * Inclusive (first, last) physical-line spans of preprocessing
+     * directives other than #include (`#define`, `#pragma`, `#if`...),
+     * splice-continued lines included. Directive bodies are tokenized
+     * so token rules still see them, but they are not declarations —
+     * the symbol indexer skips tokens inside these spans.
+     */
+    std::vector<std::pair<int, int>> directiveSpans;
 
     /**
      * File-level tags: `// astra-lint: <tag>` comments whose word after

@@ -35,8 +35,9 @@ class RuleContext
 {
   public:
     RuleContext(const LexedFile &file, const std::set<std::string> &enabled,
-                std::vector<Diagnostic> &out)
-        : _file(file), _enabled(enabled), _out(out)
+                std::vector<Diagnostic> &out,
+                std::vector<SuppressionUse> *uses = nullptr)
+        : _file(file), _enabled(enabled), _out(out), _uses(uses)
     {
     }
 
@@ -77,7 +78,23 @@ class RuleContext
         return _file.fileTags.count(tag) > 0;
     }
 
-    /** Emit unless the line carries NOLINT / allow(rule). */
+    /** thread-confined(<reason>) annotation on @p line or the line above. */
+    bool
+    confinedNear(int line) const
+    {
+        for (int l : {line - 1, line}) {
+            auto it = _file.marks.find(l);
+            if (it != _file.marks.end() && it->second.threadConfined)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Emit unless the line carries NOLINT / allow(rule). A suppression
+     * that absorbs a finding is recorded so the stale-suppression pass
+     * can tell live suppressions from dead ones.
+     */
     void
     emit(const Token &at, const std::string &rule,
          const std::string &message)
@@ -86,8 +103,12 @@ class RuleContext
             return;
         auto it = _file.marks.find(at.line);
         if (it != _file.marks.end()) {
-            if (it->second.nolint || it->second.allowed.count(rule) > 0)
+            if (it->second.nolint || it->second.allowed.count(rule) > 0) {
+                if (_uses)
+                    _uses->push_back(
+                        SuppressionUse{_file.path, at.line, rule});
                 return;
+            }
         }
         _out.push_back(
             Diagnostic{_file.path, at.line, at.col, rule, message});
@@ -136,6 +157,7 @@ class RuleContext
     const LexedFile &_file;
     const std::set<std::string> &_enabled;
     std::vector<Diagnostic> &_out;
+    std::vector<SuppressionUse> *_uses;
 };
 
 // ---- no-rand ---------------------------------------------------------
@@ -535,6 +557,131 @@ rulePtrSort(RuleContext &ctx)
     }
 }
 
+// ---- shared-state (declaration-indexed) ------------------------------
+
+void
+ruleSharedState(RuleContext &ctx, const LexedFile &file,
+                const SymbolIndex &index)
+{
+    for (const VarDecl &v : index.vars) {
+        if (v.file != file.path)
+            continue;
+        // Instance members are per-object state, not static storage;
+        // they may still carry guarded-by annotations (checked by
+        // unresolved-mutex) but are not required to.
+        if (v.scope == VarScope::kClassMember)
+            continue;
+        if (v.isConst || v.isAtomic || v.isThreadLocal || v.isSync)
+            continue;
+        if (!v.guardedBy.empty() || v.threadConfined)
+            continue;
+        ctx.emitAtLine(
+            v.line, "shared-state",
+            "mutable static-storage variable '" + v.name +
+                "' is unsynchronized: make it std::atomic, constexpr "
+                "or thread_local, or annotate it `astra-lint: "
+                "guarded-by(<mutex>)` / `thread-confined(<reason>)`");
+    }
+}
+
+// ---- unresolved-mutex ------------------------------------------------
+
+void
+ruleUnresolvedMutex(RuleContext &ctx, const LexedFile &file,
+                    const SymbolIndex &index)
+{
+    for (const auto &[line, m] : file.marks) {
+        if (m.guardedBy.empty())
+            continue;
+        if (index.mutexNames.count(m.guardedBy) > 0)
+            continue;
+        ctx.emitAtLine(line, "unresolved-mutex",
+                       "guarded-by(" + m.guardedBy +
+                           ") names no mutex declared anywhere in the "
+                           "analyzed tree (typo, or the lock was "
+                           "removed and the annotation went stale)");
+    }
+}
+
+// ---- thread-capture --------------------------------------------------
+
+const std::set<std::string> kPoolEntryPoints = {"submit", "forEach",
+                                                "parallelFor"};
+
+void
+ruleThreadCapture(RuleContext &ctx, const LexedFile &file,
+                  const SymbolIndex &index)
+{
+    for (std::size_t i = 0; i + 1 < ctx.size(); ++i) {
+        if (!ctx.identIn(i, kPoolEntryPoints) || !ctx.isPunct(i + 1, "("))
+            continue;
+        std::size_t close = ctx.findMatch(i + 1);
+        if (close >= ctx.size())
+            continue;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (!ctx.isPunct(j, "["))
+                continue;
+            // `x[...]` is a subscript, not a lambda introducer.
+            const Token &prev = ctx.toks()[j - 1];
+            if (prev.kind == TokKind::kIdent ||
+                prev.kind == TokKind::kNumber ||
+                (prev.kind == TokKind::kPunct &&
+                 (prev.text == "]" || prev.text == ")")))
+                continue;
+            std::size_t intro_end = ctx.findMatch(j);
+            if (intro_end >= close)
+                break;
+            bool by_ref = false;
+            for (std::size_t k = j + 1; k < intro_end; ++k) {
+                if (ctx.isPunct(k, "&")) {
+                    by_ref = true;
+                    break;
+                }
+            }
+            if (!by_ref)
+                continue;
+            int call_line = ctx.toks()[i].line;
+            if (ctx.confinedNear(call_line) ||
+                index.threadConfinedAt(file.path, call_line))
+                continue;
+            ctx.emit(ctx.toks()[j], "thread-capture",
+                     "lambda passed to " + ctx.toks()[i].text +
+                         "() captures by reference; the worker may "
+                         "outlive or race the captured frame (capture "
+                         "by value, or annotate the enclosing scope "
+                         "`astra-lint: thread-confined(<reason>)` if "
+                         "it joins before returning)");
+        }
+    }
+}
+
+// ---- hot-path-alloc --------------------------------------------------
+
+void
+ruleHotPathAlloc(RuleContext &ctx)
+{
+    // Only TUs that opted in via the hot-path file tag are checked;
+    // allocator TUs (the slab/arena implementations themselves) are
+    // where the amortized allocations belong.
+    if (!ctx.fileTagged("hot-path") || ctx.fileTagged("allocator-tu"))
+        return;
+    const char *kMsg =
+        "allocation in a hot-path TU (per-event allocations regress "
+        "the slab discipline; use the arena/free-list, or move setup "
+        "work out of the pump)";
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+        if (ctx.isIdent(i, "new")) {
+            if (i > 0 && ctx.isIdent(i - 1, "operator"))
+                continue;
+            ctx.emit(ctx.toks()[i], "hot-path-alloc", kMsg);
+        } else if ((ctx.isIdent(i, "make_unique") ||
+                    ctx.isIdent(i, "make_shared")) &&
+                   (ctx.isPunct(i + 1, "<") || ctx.isPunct(i + 1, "("))) {
+            ctx.emit(ctx.toks()[i], "hot-path-alloc", kMsg);
+        }
+    }
+}
+
 } // namespace
 
 bool
@@ -604,6 +751,33 @@ allRules()
          "tag the implementing file with a file-level `astra-lint: "
          "allocator-tu` comment, or own the object via "
          "make_unique/containers"},
+        {"shared-state",
+         "mutable static-storage state without a synchronization "
+         "discipline races once a thread pool or the partitioned event "
+         "loop touches it",
+         "make it std::atomic/constexpr/thread_local, or annotate "
+         "`astra-lint: guarded-by(<mutex>)` / "
+         "`thread-confined(<reason>)`"},
+        {"unresolved-mutex",
+         "a guarded-by(<mutex>) annotation naming no declared mutex is "
+         "a typo or went stale when the lock was removed",
+         "name an existing mutex variable, or delete the annotation"},
+        {"thread-capture",
+         "reference captures handed to ThreadPool::submit/forEach/"
+         "parallelFor can dangle or race when the worker outlives the "
+         "frame",
+         "capture by value, or annotate the enclosing scope "
+         "`astra-lint: thread-confined(<reason>)` when it joins before "
+         "returning"},
+        {"hot-path-alloc",
+         "per-event allocations in hot-path TUs (event queue, "
+         "garnet-lite pump) regress the slab discipline",
+         "allocate from the arena/free-list, or move the setup out of "
+         "the pump"},
+        {"stale-suppression",
+         "a suppression that matches zero findings hides nothing and "
+         "will silently mask the next real finding at that site",
+         "delete the unused allow(...) comment or allowlist entry"},
     };
     return kRules;
 }
@@ -627,11 +801,27 @@ unorderedNames(const LexedFile &file)
 }
 
 void
+runIndexRules(const std::vector<LexedFile> &files, const SymbolIndex &index,
+              const std::set<std::string> &enabled,
+              std::vector<Diagnostic> &out,
+              std::vector<SuppressionUse> *uses)
+{
+    for (const LexedFile &f : files) {
+        RuleContext ctx(f, enabled, out, uses);
+        ruleSharedState(ctx, f, index);
+        ruleUnresolvedMutex(ctx, f, index);
+        ruleThreadCapture(ctx, f, index);
+        ruleHotPathAlloc(ctx);
+    }
+}
+
+void
 runTokenRules(const LexedFile &file, const std::set<std::string> &enabled,
               const std::set<std::string> &extra_tracked,
-              std::vector<Diagnostic> &out)
+              std::vector<Diagnostic> &out,
+              std::vector<SuppressionUse> *uses)
 {
-    RuleContext ctx(file, enabled, out);
+    RuleContext ctx(file, enabled, out, uses);
     ruleNoRand(ctx);
     ruleNoWallClock(ctx, file);
     ruleNoFloat(ctx);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lint/lexer.hh"
+#include "lint/symbols.hh"
 
 namespace astra::lint
 {
@@ -37,6 +38,19 @@ struct Diagnostic
 
 /** Sort key: path, then position, then rule id. */
 bool diagnosticLess(const Diagnostic &a, const Diagnostic &b);
+
+/**
+ * One inline suppression that absorbed a finding: the `allow(<rule>)`
+ * (or NOLINT) on @p line of @p file matched a diagnostic of @p rule.
+ * The analyzer compares these against every suppression written in
+ * the tree to report the stale ones (--strict-suppressions).
+ */
+struct SuppressionUse
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+};
 
 /** Static description of a rule, for --list-rules and --fixable. */
 struct RuleInfo
@@ -55,8 +69,8 @@ bool knownRule(const std::string &id);
 /**
  * Run every enabled token rule over @p file and append findings to
  * @p out. @p enabled is a set of rule ids (empty = all). Findings on
- * lines whose comments carry `NOLINT` or `astra-lint: allow(rule)`
- * are dropped here.
+ * lines whose comments carry `NOLINT` or an allow-list mark naming
+ * the rule are dropped here (and recorded in @p uses when given).
  *
  * @p extra_tracked seeds the unordered-container symbol table with
  * names declared elsewhere (the analyzer passes the names found in a
@@ -66,7 +80,20 @@ bool knownRule(const std::string &id);
 void runTokenRules(const LexedFile &file,
                    const std::set<std::string> &enabled,
                    const std::set<std::string> &extra_tracked,
-                   std::vector<Diagnostic> &out);
+                   std::vector<Diagnostic> &out,
+                   std::vector<SuppressionUse> *uses = nullptr);
+
+/**
+ * Run the declaration-indexed concurrency rules (shared-state,
+ * unresolved-mutex, thread-capture, hot-path-alloc) over every file,
+ * against the cross-TU @p index built by buildSymbolIndex(). Same
+ * suppression semantics as runTokenRules.
+ */
+void runIndexRules(const std::vector<LexedFile> &files,
+                   const SymbolIndex &index,
+                   const std::set<std::string> &enabled,
+                   std::vector<Diagnostic> &out,
+                   std::vector<SuppressionUse> *uses = nullptr);
 
 /**
  * The names of unordered-container variables/aliases declared in

@@ -18,6 +18,7 @@ TEST(ThreadPool, DefaultThreadsIsAtLeastOne)
     EXPECT_GE(ThreadPool::defaultThreads(), 1);
 }
 
+// astra-lint: thread-confined(pool.wait joins before the frame exits)
 TEST(ThreadPool, RunsEverySubmittedJob)
 {
     ThreadPool pool(4);
@@ -29,6 +30,7 @@ TEST(ThreadPool, RunsEverySubmittedJob)
     EXPECT_EQ(ran.load(), 100);
 }
 
+// astra-lint: thread-confined(every submit is followed by a wait)
 TEST(ThreadPool, WaitIsReusable)
 {
     ThreadPool pool(2);
@@ -48,6 +50,9 @@ TEST(ThreadPool, WaitOnIdlePoolReturnsImmediately)
     pool.wait();
 }
 
+// The pool's destructor drains the queue before the captured counter
+// dies; that drain is exactly what this test proves.
+// astra-lint: thread-confined(pool destructor drains before counter dies)
 TEST(ThreadPool, DestructorDrainsOutstandingJobs)
 {
     std::atomic<int> ran{0};
@@ -60,6 +65,7 @@ TEST(ThreadPool, DestructorDrainsOutstandingJobs)
     EXPECT_EQ(ran.load(), 50);
 }
 
+// astra-lint: thread-confined(pool.wait joins before the frame exits)
 TEST(ThreadPool, WaitRethrowsFirstJobException)
 {
     ThreadPool pool(2);
@@ -75,6 +81,7 @@ TEST(ThreadPool, WaitRethrowsFirstJobException)
     EXPECT_EQ(ran.load(), 1);
 }
 
+// astra-lint: thread-confined(parallelFor joins before returning)
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
 {
     for (int jobs : {1, 2, 4, 8}) {
@@ -86,6 +93,7 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce)
     }
 }
 
+// astra-lint: thread-confined(parallelFor joins; disjoint out[i] slots)
 TEST(ParallelFor, SerialAndParallelProduceIdenticalOutput)
 {
     auto compute = [](int jobs) {
@@ -97,6 +105,7 @@ TEST(ParallelFor, SerialAndParallelProduceIdenticalOutput)
     EXPECT_EQ(compute(1), compute(4));
 }
 
+// astra-lint: thread-confined(parallelFor joins before returning)
 TEST(ParallelFor, ZeroCountIsANoop)
 {
     bool ran = false;

@@ -1,0 +1,40 @@
+# Round-trip check of astra-lint's baseline mode, run via ctest:
+#   1. --write-baseline over a seeded fixture captures its findings
+#      (and must exit 0 even though findings exist),
+#   2. re-running with --baseline=<that file> filters every finding
+#      (exit 0),
+#   3. running a *different* bad fixture against the same baseline
+#      still fails — a baseline only forgives what it lists.
+#
+# Invoked with -DLINT_TOOL=... -DSOURCE_DIR=... -DWORK_DIR=...
+
+set(baseline "${WORK_DIR}/lint_roundtrip_baseline.txt")
+set(fixture "tests/lint/fixtures/no_float_bad.cc")
+set(other "tests/lint/fixtures/no_rand_bad.cc")
+
+execute_process(
+    COMMAND "${LINT_TOOL}" "--root=${SOURCE_DIR}" --no-allowlist
+            "--write-baseline=${baseline}" "${fixture}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--write-baseline exited ${rc}, want 0")
+endif()
+if(NOT EXISTS "${baseline}")
+    message(FATAL_ERROR "--write-baseline wrote no file")
+endif()
+
+execute_process(
+    COMMAND "${LINT_TOOL}" "--root=${SOURCE_DIR}" --no-allowlist
+            "--baseline=${baseline}" "${fixture}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "baselined fixture exited ${rc}, want 0")
+endif()
+
+execute_process(
+    COMMAND "${LINT_TOOL}" "--root=${SOURCE_DIR}" --no-allowlist
+            "--baseline=${baseline}" "${other}"
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "unlisted findings passed under a foreign baseline")
+endif()

@@ -1,0 +1,18 @@
+// Positive fixture for hot-path-alloc: this TU opts in via the
+// hot-path file tag but is NOT an allocator TU, so every heap
+// allocation fires. A naked `new` additionally trips no-naked-new —
+// the rules compose, they do not shadow each other.
+//
+// astra-lint: hot-path
+#include <memory>
+
+int
+pump()
+{
+    auto owned = std::make_unique<int>(7);  // FIRE(hot-path-alloc)
+    auto shared = std::make_shared<int>(9); // FIRE(hot-path-alloc)
+    int *raw = new int(3); // FIRE(hot-path-alloc) FIRE(no-naked-new)
+    int out = *owned + *shared + *raw;
+    delete raw;
+    return out;
+}

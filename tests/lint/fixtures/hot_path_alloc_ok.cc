@@ -1,0 +1,43 @@
+// Negative fixture for hot-path-alloc: this TU is tagged hot-path AND
+// allocator-tu — it owns the arena whose amortized growth is the one
+// legitimate allocation site on the pump — so nothing fires.
+//
+// astra-lint: hot-path
+// astra-lint: allocator-tu (fixture arena: growth amortized over reuse)
+#include <memory>
+#include <vector>
+
+struct FixtureArena
+{
+    int *
+    alloc()
+    {
+        if (_free.empty()) {
+            _chunks.push_back(std::make_unique<int>(0));
+            return _chunks.back().get();
+        }
+        int *slot = _free.back();
+        _free.pop_back();
+        return slot;
+    }
+
+    void
+    release(int *slot)
+    {
+        _free.push_back(slot);
+    }
+
+    std::vector<std::unique_ptr<int>> _chunks;
+    std::vector<int *> _free;
+};
+
+int
+pump()
+{
+    FixtureArena arena;
+    int *slot = arena.alloc();
+    *slot = 5;
+    int out = *slot;
+    arena.release(slot);
+    return out;
+}

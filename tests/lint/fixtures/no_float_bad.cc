@@ -3,8 +3,8 @@
 // catch every type position (ISSUE 5 satellite).
 #include <vector>
 
-float g_scale = 1.0f;                  // FIRE(no-float)
-std::vector<float> g_weights;          // FIRE(no-float)
+const float g_scale = 1.0f;                  // FIRE(no-float)
+const std::vector<float> g_weights;          // FIRE(no-float)
 using Scalar = float;                  // FIRE(no-float)
 typedef float NarrowTick;              // FIRE(no-float)
 #define BAD_ACCUMULATOR_TYPE float    // FIRE(no-float)

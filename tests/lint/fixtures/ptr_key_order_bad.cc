@@ -9,9 +9,9 @@ struct Node
     int id;
 };
 
-std::map<Node *, int> g_rank;         // FIRE(ptr-key-order)
-std::set<const Node *> g_members;     // FIRE(ptr-key-order)
-std::multimap<int *, int> g_multi;    // FIRE(ptr-key-order)
+const std::map<Node *, int> g_rank;         // FIRE(ptr-key-order)
+const std::set<const Node *> g_members;     // FIRE(ptr-key-order)
+const std::multimap<int *, int> g_multi;    // FIRE(ptr-key-order)
 
 int
 use()

@@ -10,9 +10,9 @@ struct Node
     int id;
 };
 
-std::map<int, Node *> g_byId;                   // pointer value: fine
-std::set<std::pair<int, int>> g_edges;          // value keys: fine
-std::map<std::string, int> g_byName;            // string keys: fine
+const std::map<int, Node *> g_byId;                   // pointer value: fine
+const std::set<std::pair<int, int>> g_edges;          // value keys: fine
+const std::map<std::string, int> g_byName;            // string keys: fine
 
 int
 use()

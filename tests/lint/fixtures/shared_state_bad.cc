@@ -1,0 +1,28 @@
+// Positive fixture for shared-state: every mutable static-storage
+// variable below lacks synchronization and carries no guarded-by /
+// thread-confined annotation, so each declaration line fires.
+#include <string>
+#include <vector>
+
+int g_counter = 0;       // FIRE(shared-state)
+static long g_total;     // FIRE(shared-state)
+std::string g_name;      // FIRE(shared-state)
+std::vector<int> g_log;  // FIRE(shared-state)
+
+namespace fixture
+{
+int g_nested = 1; // FIRE(shared-state)
+} // namespace fixture
+
+struct Registry
+{
+    static int s_instances; // FIRE(shared-state)
+    int _perObject = 0;     // instance state: never required to annotate
+};
+
+int
+bump()
+{
+    static int s_calls = 0; // FIRE(shared-state)
+    return ++s_calls + g_counter + Registry::s_instances;
+}

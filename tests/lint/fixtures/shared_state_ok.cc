@@ -1,0 +1,27 @@
+// Negative fixture for shared-state: each static-storage variable
+// below is either synchronized by construction (atomic, mutex,
+// thread_local), immutable, or annotated with a guarded-by /
+// thread-confined mark that the symbol index can resolve.
+#include <atomic>
+#include <mutex>
+
+std::atomic<int> g_hits{0};          // atomic: clean
+std::atomic_bool g_armed{false};     // atomic alias: clean
+constexpr int kLimit = 64;           // constexpr: clean
+const char *const kName = "fixture"; // const: clean
+thread_local int t_depth = 0;        // thread_local: clean
+std::mutex g_lock;                   // sync primitive itself: clean
+
+int g_table = 3; // astra-lint: guarded-by(g_lock)
+
+// astra-lint: thread-confined(written only by the pump thread)
+int g_pumpTicks = 0;
+
+int
+use()
+{
+    std::lock_guard<std::mutex> guard(g_lock);
+    int local = kLimit + t_depth; // automatic storage: never shared
+    return g_table + g_pumpTicks + local + g_hits.load() +
+           static_cast<int>(g_armed.load());
+}

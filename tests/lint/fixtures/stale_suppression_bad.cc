@@ -1,0 +1,16 @@
+// Positive fixture for stale-suppression (analyzed with strict
+// suppressions on, as CI runs): each inline allow below either names
+// a rule that does not exist or sits on a line where its rule finds
+// nothing — dead weight that would silently mask a future regression.
+
+int
+answer()
+{
+    return 42; // astra-lint: allow(no-rand) FIRE(stale-suppression)
+}
+
+int
+sum(int a, int b)
+{
+    return a + b; // astra-lint: allow(not-a-rule) FIRE(stale-suppression)
+}

@@ -1,0 +1,10 @@
+// Negative fixture for stale-suppression (analyzed with strict
+// suppressions on): the allow below absorbs a live no-rand finding,
+// so it is earning its keep and nothing fires.
+#include <cstdlib>
+
+int
+roll()
+{
+    return rand(); // astra-lint: allow(no-rand)
+}

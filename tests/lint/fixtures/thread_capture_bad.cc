@@ -1,0 +1,37 @@
+// Positive fixture for thread-capture: lambdas handed to the pool
+// entry points (submit / forEach / parallelFor) capture by reference
+// with no thread-confined annotation in sight, so a worker may outlive
+// or race the captured frame.
+
+struct FixturePool
+{
+    template <class F>
+    void
+    submit(F f)
+    {
+        f();
+    }
+    void wait() {}
+};
+
+template <class F>
+void
+parallelFor(int jobs, int count, F fn)
+{
+    (void)jobs;
+    for (int i = 0; i < count; ++i)
+        fn(i);
+}
+
+int
+run()
+{
+    int counter = 0;
+    FixturePool pool;
+    pool.submit([&] { ++counter; });         // FIRE(thread-capture)
+    pool.submit([&counter] { ++counter; });  // FIRE(thread-capture)
+    pool.wait();
+    int sum = 0;
+    parallelFor(2, 8, [&](int i) { sum += i; }); // FIRE(thread-capture)
+    return counter + sum;
+}

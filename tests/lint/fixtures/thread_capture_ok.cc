@@ -1,0 +1,48 @@
+// Negative fixture for thread-capture: by-value captures are always
+// fine, and by-reference captures pass once the enclosing function (or
+// the callsite itself) carries a thread-confined annotation stating
+// why the workers cannot outlive the frame.
+
+struct FixturePool
+{
+    template <class F>
+    void
+    submit(F f)
+    {
+        f();
+    }
+    void wait() {}
+};
+
+int
+byValue()
+{
+    int counter = 0;
+    FixturePool pool;
+    pool.submit([counter] { (void)counter; }); // by value: clean
+    pool.wait();
+    return counter;
+}
+
+int
+confinedCallsite()
+{
+    int counter = 0;
+    FixturePool pool;
+    // astra-lint: thread-confined(wait joins before this frame exits)
+    pool.submit([&] { ++counter; });
+    pool.wait();
+    return counter;
+}
+
+// astra-lint: thread-confined(wait joins before this frame exits)
+int
+confinedFunction()
+{
+    int total = 0;
+    FixturePool pool;
+    pool.submit([&] { ++total; });
+    pool.submit([&] { --total; });
+    pool.wait();
+    return total;
+}

@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-std::unordered_map<int, int> g_table;
+const std::unordered_map<int, int> g_table;
 
 int
 walk()

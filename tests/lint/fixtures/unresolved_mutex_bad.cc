@@ -1,0 +1,22 @@
+// Positive fixture for unresolved-mutex: the guarded-by annotations
+// below name mutexes that are declared nowhere in the analyzed file
+// set — a typo, or a lock that was deleted while its annotations
+// stayed behind. The annotated variables themselves do not fire
+// shared-state (the annotation is present, just dangling).
+#include <mutex>
+
+std::mutex g_present;
+
+int g_guarded = 0; // astra-lint: guarded-by(g_missing) FIRE(unresolved-mutex)
+
+// An orphan annotation (attached to no declaration) is still checked:
+// astra-lint: guarded-by(g_typo_lock) FIRE(unresolved-mutex)
+
+int g_fine = 1; // astra-lint: guarded-by(g_present)
+
+int
+use()
+{
+    std::lock_guard<std::mutex> guard(g_present);
+    return g_guarded + g_fine;
+}

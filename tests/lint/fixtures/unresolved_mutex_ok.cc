@@ -1,0 +1,17 @@
+// Negative fixture for unresolved-mutex: every guarded-by annotation
+// names a mutex the symbol index finds in the analyzed file set.
+#include <mutex>
+
+std::mutex g_lock;
+static std::recursive_mutex g_reentrant;
+
+int g_count = 0;   // astra-lint: guarded-by(g_lock)
+long g_bytes = 0;  // astra-lint: guarded-by(g_reentrant)
+
+int
+use()
+{
+    std::lock_guard<std::mutex> guard(g_lock);
+    std::lock_guard<std::recursive_mutex> inner(g_reentrant);
+    return g_count + static_cast<int>(g_bytes);
+}

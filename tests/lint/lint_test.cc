@@ -65,21 +65,23 @@ expectedFindings(const std::string &relpath)
 
 /** Analyze fixture files in-process, without any allowlist. */
 std::vector<Diagnostic>
-analyzeFixtures(const std::vector<std::string> &files)
+analyzeFixtures(const std::vector<std::string> &files, bool strict = false)
 {
     LintOptions opts;
     opts.root = kRoot;
+    opts.strictSuppressions = strict;
     return analyzeFiles(opts, files);
 }
 
 /** Positive fixture: diagnostics must equal the FIRE markers exactly. */
 void
 expectMarkersMatch(const std::string &file,
-                   const std::vector<std::string> &together = {})
+                   const std::vector<std::string> &together = {},
+                   bool strict = false)
 {
     std::vector<std::string> files = together;
     files.push_back(kFixtures + file);
-    std::vector<Diagnostic> diags = analyzeFixtures(files);
+    std::vector<Diagnostic> diags = analyzeFixtures(files, strict);
     for (const Diagnostic &d : diags)
         EXPECT_EQ(d.file, kFixtures + file) << d.rule;
     EXPECT_EQ(findingSet(diags), expectedFindings(kFixtures + file))
@@ -90,9 +92,10 @@ expectMarkersMatch(const std::string &file,
 
 /** Negative fixture: zero diagnostics. */
 void
-expectClean(const std::string &file)
+expectClean(const std::string &file, bool strict = false)
 {
-    std::vector<Diagnostic> diags = analyzeFixtures({kFixtures + file});
+    std::vector<Diagnostic> diags =
+        analyzeFixtures({kFixtures + file}, strict);
     EXPECT_TRUE(diags.empty())
         << "fixture " << file << " reported:\n" << renderText(diags);
 }
@@ -175,6 +178,91 @@ TEST(LintLexer, ParsesFileTags)
     EXPECT_TRUE(f.marks.at(2).allowed.count("no-float"));
 }
 
+TEST(LintLexer, SplicesLinesInsideTokens)
+{
+    // Translation phase 2: `flo\<newline>at` is the single token
+    // `float`, exactly what a determined contributor would write to
+    // sneak a float past a byte-oriented grep.
+    LexedFile f = lexSource("t.cc", "flo\\\nat x = 1;\n");
+    ASSERT_FALSE(f.tokens.empty());
+    EXPECT_EQ(f.tokens[0].text, "float");
+    EXPECT_EQ(f.tokens[0].line, 1);
+    EXPECT_TRUE(f.errors.empty());
+}
+
+TEST(LintLexer, SplicedCommentSwallowsNextLine)
+{
+    // A `//` comment ending in a backslash continues onto the next
+    // physical line, so the `float` below never becomes a token.
+    LexedFile f = lexSource("t.cc", "int a; // spliced \\\nfloat b;\nint c;\n");
+    for (const Token &t : f.tokens)
+        EXPECT_NE(t.text, "float");
+    bool saw_c = false;
+    for (const Token &t : f.tokens)
+        saw_c = saw_c || t.text == "c";
+    EXPECT_TRUE(saw_c);
+}
+
+TEST(LintLexer, RawStringsDoNotSplice)
+{
+    // Inside a raw string a backslash-newline is literal content, not
+    // a splice: the `)x"` terminator on the next line must still be
+    // found, and lexing resumes after it.
+    LexedFile f =
+        lexSource("t.cc", "const char *s = R\"x(a\\\nb)x\"; int z;\n");
+    EXPECT_TRUE(f.errors.empty())
+        << (f.errors.empty() ? "" : f.errors[0].what);
+    bool saw_z = false;
+    for (const Token &t : f.tokens)
+        saw_z = saw_z || t.text == "z";
+    EXPECT_TRUE(saw_z);
+}
+
+TEST(LintLexer, RawStringDelimiterValidated)
+{
+    // A d-char-seq may not contain spaces (or parens/backslash) and is
+    // capped at 16 characters; both malformations are reported instead
+    // of silently desynchronizing the lexer.
+    LexedFile bad_space = lexSource("t.cc", "auto s = R\"a b(x)a b\";\n");
+    EXPECT_FALSE(bad_space.errors.empty());
+    LexedFile bad_long = lexSource(
+        "t.cc", "auto s = R\"abcdefghijklmnopq(x)abcdefghijklmnopq\";\n");
+    EXPECT_FALSE(bad_long.errors.empty());
+    LexedFile unterminated = lexSource("t.cc", "auto s = R\"x(never ends\n");
+    EXPECT_FALSE(unterminated.errors.empty());
+}
+
+TEST(LintLexer, RecordsDirectiveSpans)
+{
+    // `#define` bodies are tokenized (rules still see them) but their
+    // physical-line spans — splice continuations included — are
+    // recorded so the symbol indexer can skip the non-declarations.
+    LexedFile f = lexSource("t.cc",
+                            "#define ACC(x) \\\n    ((x) + 1)\n"
+                            "#pragma once\n"
+                            "#include <vector>\n"
+                            "int g = 0;\n");
+    ASSERT_EQ(f.directiveSpans.size(), 2u);
+    EXPECT_EQ(f.directiveSpans[0].first, 1);
+    EXPECT_GE(f.directiveSpans[0].second, 2);
+    EXPECT_EQ(f.directiveSpans[1].first, 3);
+    ASSERT_EQ(f.includes.size(), 1u); // #include is its own channel
+}
+
+TEST(LintLexer, ParsesConcurrencyAnnotations)
+{
+    LexedFile f = lexSource(
+        "t.cc",
+        "int a; // astra-lint: guarded-by(g_lock)\n"
+        "// astra-lint: thread-confined(joined before return)\n"
+        "int b;\n");
+    ASSERT_TRUE(f.marks.count(1));
+    EXPECT_EQ(f.marks.at(1).guardedBy, "g_lock");
+    ASSERT_TRUE(f.marks.count(2));
+    EXPECT_TRUE(f.marks.at(2).threadConfined);
+    EXPECT_FALSE(f.marks.count(3));
+}
+
 TEST(LintLexer, TracksPositions)
 {
     LexedFile f = lexSource("t.cc", "int a;\n  long b;\n");
@@ -194,8 +282,68 @@ TEST(LintRules, RegistryKnowsEveryRule)
     EXPECT_TRUE(knownRule("no-float"));
     EXPECT_TRUE(knownRule("layer-dag"));
     EXPECT_TRUE(knownRule("allocator-tu"));
+    EXPECT_TRUE(knownRule("shared-state"));
+    EXPECT_TRUE(knownRule("unresolved-mutex"));
+    EXPECT_TRUE(knownRule("thread-capture"));
+    EXPECT_TRUE(knownRule("hot-path-alloc"));
+    EXPECT_TRUE(knownRule("stale-suppression"));
     EXPECT_FALSE(knownRule("no-such-rule"));
-    EXPECT_GE(allRules().size(), 13u);
+    EXPECT_GE(allRules().size(), 18u);
+}
+
+// ---- symbol index ----------------------------------------------------
+
+TEST(LintSymbols, IndexesVariableScopesAndTraits)
+{
+    LexedFile f = lexSource("t.cc",
+                            "#include <atomic>\n"
+                            "#include <mutex>\n"
+                            "int g_plain = 0;\n"
+                            "std::atomic<int> g_atomic{0};\n"
+                            "std::mutex g_lock;\n"
+                            "struct S { static int s_count; int _m; };\n"
+                            "int f() { static int s_local = 1;"
+                            " int autovar = 2; return s_local + autovar; }\n");
+    SymbolIndex idx = buildSymbolIndex({f});
+    auto find = [&](const std::string &name) -> const VarDecl * {
+        for (const VarDecl &v : idx.vars)
+            if (v.name == name)
+                return &v;
+        return nullptr;
+    };
+    ASSERT_NE(find("g_plain"), nullptr);
+    EXPECT_EQ(find("g_plain")->scope, VarScope::kNamespace);
+    EXPECT_FALSE(find("g_plain")->isAtomic);
+    ASSERT_NE(find("g_atomic"), nullptr);
+    EXPECT_TRUE(find("g_atomic")->isAtomic);
+    ASSERT_NE(find("g_lock"), nullptr);
+    EXPECT_TRUE(find("g_lock")->isSync);
+    EXPECT_TRUE(idx.mutexNames.count("g_lock"));
+    ASSERT_NE(find("s_count"), nullptr);
+    EXPECT_EQ(find("s_count")->scope, VarScope::kClassStatic);
+    ASSERT_NE(find("_m"), nullptr);
+    EXPECT_EQ(find("_m")->scope, VarScope::kClassMember);
+    ASSERT_NE(find("s_local"), nullptr);
+    EXPECT_EQ(find("s_local")->scope, VarScope::kLocalStatic);
+    EXPECT_EQ(find("autovar"), nullptr); // automatic storage not indexed
+}
+
+TEST(LintSymbols, FunctionExtentsCarryThreadConfinement)
+{
+    LexedFile f = lexSource(
+        "t.cc",
+        "// astra-lint: thread-confined(joins before return)\n"
+        "void confined() {\n"
+        "    int x = 0;\n"
+        "    (void)x;\n"
+        "}\n"
+        "void open() {\n"
+        "    int y = 0;\n"
+        "    (void)y;\n"
+        "}\n");
+    SymbolIndex idx = buildSymbolIndex({f});
+    EXPECT_TRUE(idx.threadConfinedAt("t.cc", 3));
+    EXPECT_FALSE(idx.threadConfinedAt("t.cc", 7));
 }
 
 // ---- fixture corpus: one positive + one negative per rule ------------
@@ -270,6 +418,39 @@ TEST(LintFixtures, PtrSort)
 TEST(LintFixtures, ParseError)
 {
     expectMarkersMatch("parse_error_bad.cc");
+}
+
+TEST(LintFixtures, SharedState)
+{
+    expectMarkersMatch("shared_state_bad.cc");
+    expectClean("shared_state_ok.cc");
+}
+
+TEST(LintFixtures, UnresolvedMutex)
+{
+    expectMarkersMatch("unresolved_mutex_bad.cc");
+    expectClean("unresolved_mutex_ok.cc");
+}
+
+TEST(LintFixtures, ThreadCapture)
+{
+    expectMarkersMatch("thread_capture_bad.cc");
+    expectClean("thread_capture_ok.cc");
+}
+
+TEST(LintFixtures, HotPathAlloc)
+{
+    expectMarkersMatch("hot_path_alloc_bad.cc");
+    expectClean("hot_path_alloc_ok.cc");
+}
+
+TEST(LintFixtures, StaleSuppression)
+{
+    // Stale detection only runs under strict suppressions, as CI does.
+    expectMarkersMatch("stale_suppression_bad.cc", {}, /*strict=*/true);
+    expectClean("stale_suppression_ok.cc", /*strict=*/true);
+    // Without strict mode the same dead allows pass silently.
+    expectClean("stale_suppression_bad.cc", /*strict=*/false);
 }
 
 // ---- layering mini-trees ---------------------------------------------
@@ -399,12 +580,66 @@ TEST(LintRender, FixableSummarizesPerRule)
     EXPECT_TRUE(renderFixable({}).empty());
 }
 
+TEST(LintRender, SarifIsValidAndCarriesRuleCatalog)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_float_bad.cc"});
+    ASSERT_FALSE(diags.empty());
+    std::string sarif = renderSarif(diags);
+    EXPECT_TRUE(astra::testsupport::jsonValid(sarif)) << sarif;
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"astra-lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"no-float\""), std::string::npos);
+    // The full rule catalog ships in every log, findings or not.
+    for (const RuleInfo &r : allRules())
+        EXPECT_NE(sarif.find("\"id\": \"" + r.id + "\""),
+                  std::string::npos)
+            << r.id;
+    EXPECT_TRUE(astra::testsupport::jsonValid(renderSarif({})));
+}
+
+TEST(LintBaseline, KeyIgnoresPosition)
+{
+    // Baseline keys deliberately omit line/col so unrelated edits that
+    // shift a pre-existing finding do not resurrect it.
+    Diagnostic a{"src/a.cc", 10, 3, "no-float", "float here"};
+    Diagnostic b{"src/a.cc", 99, 1, "no-float", "float here"};
+    Diagnostic c{"src/b.cc", 10, 3, "no-float", "float here"};
+    EXPECT_EQ(baselineKey(a), baselineKey(b));
+    EXPECT_NE(baselineKey(a), baselineKey(c));
+}
+
+TEST(LintBaseline, RoundTripsThroughFile)
+{
+    LintOptions opts;
+    opts.root = kRoot;
+    std::vector<Diagnostic> diags =
+        analyzeFiles(opts, {kFixtures + "no_float_bad.cc"});
+    ASSERT_FALSE(diags.empty());
+    std::string path = testing::TempDir() + "/lint_baseline.txt";
+    std::ofstream(path) << renderBaselineFile(diags);
+    std::set<std::string> keys;
+    std::string err;
+    ASSERT_TRUE(loadBaseline(path, keys, &err)) << err;
+    EXPECT_FALSE(keys.empty());
+    EXPECT_LE(keys.size(), diags.size()); // keys dedupe by design
+    for (const Diagnostic &d : diags)
+        EXPECT_TRUE(keys.count(baselineKey(d))) << baselineKey(d);
+    std::set<std::string> missing;
+    EXPECT_FALSE(loadBaseline(path + ".nope", missing, &err));
+}
+
 // ---- the real tree ---------------------------------------------------
 
 TEST(LintRealTree, SrcToolsTestsAreClean)
 {
     LintOptions opts;
     opts.root = kRoot;
+    // Strict suppressions, as CI runs: every inline allow and every
+    // allowlist entry must absorb at least one finding.
+    opts.strictSuppressions = true;
     std::string err;
     ASSERT_TRUE(loadAllowlist(kRoot + "/tools/lint-allow.conf", opts, &err))
         << err;

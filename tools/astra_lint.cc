@@ -15,13 +15,25 @@
  *   --json             emit diagnostics as a JSON array
  *   --fixable          append a per-rule summary with suggested fixes
  *   --include-fixtures do not skip lint/fixtures dirs in directory walks
+ *   --sarif=PATH       also write the findings as SARIF 2.1.0 to PATH
+ *   --baseline=FILE    report (and fail on) only findings NOT in FILE;
+ *                      known findings are counted as suppressed
+ *   --write-baseline=FILE
+ *                      write the current findings as a baseline and
+ *                      exit 0 (the ratchet starting point)
+ *   --strict-suppressions
+ *                      fail on stale suppressions: inline allow(...)
+ *                      comments and allowlist entries that matched no
+ *                      finding (on in CI via tools/lint.sh)
  *
  * Exit status: 0 clean, 1 diagnostics reported, 2 usage/config error.
  * tools/lint.sh builds and runs this as the CI static-analysis gate.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -60,6 +72,9 @@ main(int argc, char **argv)
     LintOptions opts;
     std::vector<std::string> paths;
     std::string allowlist;
+    std::string sarif_path;
+    std::string baseline_path;
+    std::string write_baseline_path;
     bool no_allowlist = false;
     bool json = false;
     bool fixable = false;
@@ -103,6 +118,14 @@ main(int argc, char **argv)
             fixable = true;
         } else if (arg == "--include-fixtures") {
             opts.skipFixtureDirs = false;
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = value("--sarif=");
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = value("--baseline=");
+        } else if (arg.rfind("--write-baseline=", 0) == 0) {
+            write_baseline_path = value("--write-baseline=");
+        } else if (arg == "--strict-suppressions") {
+            opts.strictSuppressions = true;
         } else if (arg == "-h" || arg == "--help") {
             listRules();
             return 0;
@@ -138,6 +161,43 @@ main(int argc, char **argv)
 
     std::vector<Diagnostic> diags = analyzeFiles(opts, files);
 
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path);
+        if (!out) {
+            return usageError("cannot write baseline '" +
+                              write_baseline_path + "'");
+        }
+        out << renderBaselineFile(diags);
+        std::printf("astra-lint: baseline with %zu finding%s written "
+                    "to %s\n",
+                    diags.size(), diags.size() == 1 ? "" : "s",
+                    write_baseline_path.c_str());
+        return 0;
+    }
+
+    std::size_t baselined = 0;
+    if (!baseline_path.empty()) {
+        std::set<std::string> keys;
+        std::string err;
+        if (!loadBaseline(baseline_path, keys, &err))
+            return usageError(err);
+        std::size_t before = diags.size();
+        diags.erase(std::remove_if(diags.begin(), diags.end(),
+                                   [&](const Diagnostic &d) {
+                                       return keys.count(
+                                                  baselineKey(d)) > 0;
+                                   }),
+                    diags.end());
+        baselined = before - diags.size();
+    }
+
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path);
+        if (!out)
+            return usageError("cannot write SARIF '" + sarif_path + "'");
+        out << renderSarif(diags);
+    }
+
     if (json)
         std::fputs(renderJson(diags).c_str(), stdout);
     else
@@ -146,9 +206,12 @@ main(int argc, char **argv)
         std::fputs(renderFixable(diags).c_str(), stdout);
 
     if (!json) {
-        std::printf("astra-lint: %zu file%s checked, %zu finding%s\n",
+        std::printf("astra-lint: %zu file%s checked, %zu finding%s",
                     files.size(), files.size() == 1 ? "" : "s",
                     diags.size(), diags.size() == 1 ? "" : "s");
+        if (baselined > 0)
+            std::printf(" (%zu baselined)", baselined);
+        std::printf("\n");
     }
     return diags.empty() ? 0 : 1;
 }

@@ -5,10 +5,13 @@
 #   tools/ci.sh          # lint gate, normal build + full ctest,
 #                        # validated smoke, TSan build + concurrency
 #                        # subset
-#   tools/ci.sh --lint   # the static-analysis gate only (tools/lint.sh)
+#   tools/ci.sh --lint   # the static-analysis gate only (tools/lint.sh
+#                        # + SARIF artifact validation + baseline mode)
 #   tools/ci.sh --ubsan  # + UBSan tree with -DASTRA_VALIDATE=ON, full
 #                        # ctest (every integrity checker enabled)
 #   tools/ci.sh --asan   # + ASan tree, full ctest
+#   tools/ci.sh --tsan   # gated TSan stage only: thread-sanitized
+#                        # build, *full* ctest, --jobs=4 sweep smoke
 #   tools/ci.sh --full   # also run the *full* suite under TSan (slow)
 #
 # Build trees: build/ (normal), build-tsan/, build-ubsan/, build-asan/,
@@ -20,23 +23,70 @@ FULL_TSAN=0
 LINT_ONLY=0
 RUN_UBSAN=0
 RUN_ASAN=0
+TSAN_ONLY=0
 for arg in "$@"; do
     case "$arg" in
         --full) FULL_TSAN=1 ;;
         --lint) LINT_ONLY=1 ;;
         --ubsan) RUN_UBSAN=1 ;;
         --asan) RUN_ASAN=1 ;;
+        --tsan) TSAN_ONLY=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+if [ "$TSAN_ONLY" -eq 1 ]; then
+    # Gated TSan stage: everything the default run only samples. A
+    # thread-sanitized build of the whole tree, the complete test
+    # suite under it, and the parallel sweep smoke with the digest
+    # gates — the strongest dynamic complement to astra-lint's static
+    # concurrency rules (shared-state / thread-capture).
+    echo "=== TSan gate: build (-DASTRA_SANITIZE=thread) ==="
+    cmake -B build-tsan -S . -DASTRA_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$JOBS"
+    export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+    echo "=== TSan gate: ctest (full suite) ==="
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+    echo "=== TSan gate: sweep smoke (--jobs=4) ==="
+    ./build-tsan/bench/sweep_bench --quick --jobs=4 \
+        --out=build-tsan/ci_tsan_bench.json
+    python3 -m json.tool build-tsan/ci_tsan_bench.json >/dev/null
+    grep -q '"results_identical": true' build-tsan/ci_tsan_bench.json \
+        || { echo "TSan sweep smoke: results diverged" >&2; exit 1; }
+    grep -q '"digests_identical": true' build-tsan/ci_tsan_bench.json \
+        || { echo "TSan sweep smoke: digests diverged" >&2; exit 1; }
+    echo "=== ci.sh: TSan gate green ==="
+    exit 0
+fi
+
 echo "=== lint gate (tools/lint.sh -> astra-lint) ==="
 # Builds astra-lint from this tree and fails on any diagnostic over
-# src/, tools/ and tests/ (docs/static-analysis.md). clang-tidy runs
-# additionally when installed; it is not required.
+# src/, tools/ and tests/ (docs/static-analysis.md), stale
+# suppressions included. clang-tidy runs additionally when installed;
+# it is not required.
 tools/lint.sh
+
+echo "=== lint artifacts (SARIF + baseline mode) ==="
+# The SARIF log CI archives must parse and carry the right schema; the
+# checked-in baseline (empty: the tree is clean) must hold. lint.sh
+# just built the binary above — unless it fell back to grep rules in a
+# toolchain-less bootstrap environment, where there is no binary (and
+# no build either, so nothing downstream needs the artifact).
+if [ ! -x build/tools/astra-lint ]; then
+    echo "astra-lint binary missing (grep fallback?); skipping artifacts" >&2
+else
+./build/tools/astra-lint --sarif=build/lint.sarif src tools tests
+python3 -m json.tool build/lint.sarif >/dev/null
+grep -q '"version": "2.1.0"' build/lint.sarif \
+    || { echo "lint.sarif: missing SARIF 2.1.0 version" >&2; exit 1; }
+grep -q '"name": "astra-lint"' build/lint.sarif \
+    || { echo "lint.sarif: missing tool.driver.name" >&2; exit 1; }
+./build/tools/astra-lint --baseline=tools/lint-baseline.txt \
+    src tools tests
+echo "SARIF artifact valid; baseline holds"
+fi
 
 if [ "$LINT_ONLY" -eq 1 ]; then
     echo "=== ci.sh: lint green ==="

@@ -7,8 +7,11 @@
 #     project (zero external deps) and run over src/, tools/ and
 #     tests/. It owns every determinism/layering rule: banned
 #     constructs matched on real tokens (never comments or strings),
-#     unordered-container iteration, pointer-keyed ordering, and the
-#     include-graph layer DAG with cycle detection. Run
+#     unordered-container iteration, pointer-keyed ordering, the
+#     include-graph layer DAG with cycle detection, and the
+#     declaration-indexed concurrency rules (shared-state,
+#     thread-capture, hot-path-alloc). Stale suppressions fail the
+#     gate too (--strict-suppressions is always on here). Run
 #     `astra-lint --list-rules` for the full catalogue.
 #  2. a grep fallback for bootstrap environments with no working
 #     compiler/cmake: a strictly weaker approximation of the token
@@ -61,7 +64,10 @@ if have_toolchain; then
                 -j "$(nproc 2>/dev/null || echo 2)" >/dev/null ||
             { echo "lint: astra-lint build FAILED" >&2; exit 1; }
     fi
-    LINT_ARGS=()
+    # Strict suppressions always: an inline allow() or allowlist entry
+    # that matches no finding is itself a finding (stale-suppression),
+    # so dead escape hatches cannot accumulate.
+    LINT_ARGS=(--strict-suppressions)
     [ "$JSON" -eq 1 ] && LINT_ARGS+=(--json)
     [ "$FIXABLE" -eq 1 ] && LINT_ARGS+=(--fixable)
     if ! "$BUILD_DIR/tools/astra-lint" "${LINT_ARGS[@]+"${LINT_ARGS[@]}"}" \
