@@ -574,6 +574,14 @@ SimConfig::trySet(const std::string &key, const std::string &value,
         setTick(faultTimeout, k, value, 1);
     } else if (k == "fault-max-retries") {
         setInt(faultMaxRetries, k, value, 0);
+    } else if (k == "max-events") {
+        setTick(maxEvents, k, value, 1);
+    } else if (k == "max-sim-time") {
+        setTick(maxSimTime, k, value, 1);
+    } else if (k == "max-slab-bytes") {
+        setBytes(maxSlabBytes, k, value);
+    } else if (k == "watchdog-window") {
+        setTick(watchdogWindow, k, value, 1);
     } else {
         parseFail("unknown parameter '" + key + "'");
     }
@@ -814,6 +822,18 @@ SimConfig::toString() const
                     package.efficiency,
                     static_cast<unsigned long long>(package.packetSize),
                     package.rings, globalSwitches);
+    // Only when supervised: the default dump stays byte-identical to
+    // pre-guard builds, and the journal key (which folds this text)
+    // distinguishes runs under different ceilings.
+    if (maxEvents != 0 || maxSimTime != 0 || maxSlabBytes != 0 ||
+        watchdogWindow != 0) {
+        os << strprintf("budget: max-events=%llu max-sim-time=%llu "
+                        "max-slab-bytes=%llu watchdog-window=%llu\n",
+                        static_cast<unsigned long long>(maxEvents),
+                        static_cast<unsigned long long>(maxSimTime),
+                        static_cast<unsigned long long>(maxSlabBytes),
+                        static_cast<unsigned long long>(watchdogWindow));
+    }
     return os.str();
 }
 

@@ -241,6 +241,27 @@ struct SimConfig
      */
     int faultMaxRetries = 3;
 
+    // --- Run supervision (docs/robustness.md) -------------------------
+    /**
+     * Deterministic run budgets, all checked at event-loop slice
+     * boundaries only (never inside an event), so a run that stays
+     * under budget retires the identical event stream as an unbudgeted
+     * run. 0 disables each ceiling. Exceeding one ends the run with
+     * RunOutcome::BudgetExceeded and a structured FailureRecord;
+     * partial metrics and the digest so far are still flushed.
+     */
+    std::uint64_t maxEvents = 0;   //!< total events ("max-events=")
+    Tick maxSimTime = 0;           //!< highest tick ("max-sim-time=")
+    std::uint64_t maxSlabBytes = 0; //!< event-slab cap ("max-slab-bytes=")
+
+    /**
+     * Progress watchdog ("watchdog-window="): events the loop may
+     * drain without a single stream/chunk completion before the run is
+     * declared livelocked (RunOutcome::Deadlocked with a "watchdog:"
+     * failure record). 0 disables the watchdog.
+     */
+    std::uint64_t watchdogWindow = 0;
+
     // --- Logical-to-physical mapping (Sec. IV-B) ----------------------
     /**
      * When true, the system layer's *logical* topology (the fields

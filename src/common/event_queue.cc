@@ -321,6 +321,24 @@ EventQueue::run(std::uint64_t max_events)
 }
 
 std::uint64_t
+EventQueue::runBounded(Tick until, std::uint64_t max_events)
+{
+    // The guard loop's primitive: a strict prefix of run()'s firing
+    // stream. Stopping leaves _now at the last fired tick — a tripped
+    // budget reports where the run actually got to, and a later slice
+    // resumes the identical stream.
+    std::uint64_t n = 0;
+    while (n < max_events) {
+        const std::uint32_t slot = findNext(until);
+        if (slot == kNoSlot || entryAt(slot).when > until)
+            break;
+        fireAt(slot);
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;

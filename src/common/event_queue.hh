@@ -316,6 +316,20 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick until);
 
+    /**
+     * Run up to @p max_events events with tick <= @p until (inclusive),
+     * for the supervised loop (src/guard): unlike runUntil(), time is
+     * NOT advanced past the last fired event when the queue still holds
+     * later work — a budget-tripped run reports the tick it genuinely
+     * reached. The fired stream is a strict prefix of what run() would
+     * fire, so resuming the loop (or never tripping) retires the
+     * identical stream and the determinism digest is unchanged.
+     *
+     * @return the number of events executed (< max_events means
+     *         nothing fireable at or before @p until remains).
+     */
+    std::uint64_t runBounded(Tick until, std::uint64_t max_events);
+
     /** Execute exactly one event if available; @return true if one ran. */
     bool step();
 
@@ -332,6 +346,17 @@ class EventQueue
 
     /** Slab slots ever allocated (high-water mark of pending events). */
     std::size_t allocatedSlots() const { return _slotCount; }
+
+    /**
+     * Bytes of entry-slab storage currently allocated (chunk payloads;
+     * the dominant memory consumer of a runaway schedule loop). What
+     * the max-slab-bytes run budget is checked against.
+     */
+    std::size_t
+    slabBytes() const
+    {
+        return _chunks.size() * kChunkSize * sizeof(Entry);
+    }
 
     /**
      * Test hook for generation wraparound: retag a *free* slot so the

@@ -31,8 +31,25 @@ ThreadPool::ThreadPool(int threads)
              threads, defaultThreads());
     }
     _workers.reserve(static_cast<std::size_t>(threads));
-    for (int i = 0; i < threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+    try {
+        for (int i = 0; i < threads; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread spawn failed partway (std::system_error under resource
+        // exhaustion). The workers that DID start must be stopped and
+        // joined before the rethrow destroys _workers — a joinable
+        // std::thread's destructor calls std::terminate.
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _stop = true;
+        }
+        _workCv.notify_all();
+        for (std::thread &w : _workers)
+            w.join();
+        // Rethrow the original system_error: the caller's report keeps
+        // the real spawn-failure context.
+        throw; // astra-lint: allow(no-throw)
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -44,6 +61,11 @@ ThreadPool::~ThreadPool()
     _workCv.notify_all();
     for (std::thread &w : _workers)
         w.join();
+    // Every worker is joined, so _firstError needs no lock. A job that
+    // threw during the destructor drain (after the last wait()) has no
+    // thread left to rethrow on; surfacing it beats silent loss.
+    if (_firstError)
+        warn("thread pool destroyed with an unreported job exception");
 }
 
 void

@@ -38,7 +38,11 @@ class ThreadPool
     /** @param threads worker count; <= 0 selects defaultThreads(). */
     explicit ThreadPool(int threads = 0);
 
-    /** Drains outstanding jobs, then joins the workers. */
+    /**
+     * Drains outstanding jobs, then joins the workers. A job that
+     * throws during the drain is captured (never std::terminate) and
+     * reported with a warning, since no wait() is left to rethrow it.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;

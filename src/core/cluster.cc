@@ -1,7 +1,11 @@
 #include "core/cluster.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "guard/guard.hh"
+#include "guard/interrupt.hh"
 #include "net/analytical.hh"
 #include "net/garnet_lite.hh"
 
@@ -139,7 +143,90 @@ Cluster::issueAll(const CollectiveRequest &req)
 Tick
 Cluster::run()
 {
-    _eq.run();
+    // Supervised event loop (docs/robustness.md): events fire in
+    // fixed-size slices and budgets, the interrupt flag and the
+    // progress watchdog are polled only *between* slices — never
+    // inside an event — so a run that stays under budget retires the
+    // exact event stream an unsliced _eq.run() would (digests
+    // unchanged), and a tripped run stops at a clean event boundary
+    // with partial metrics and the digest so far intact.
+    const guard::RunBudget budget = guard::RunBudget::fromConfig(_cfg);
+    constexpr std::uint64_t kSlice = 4096;
+
+    std::uint64_t since_progress = 0;
+    std::uint64_t last_progress = progressSum();
+
+    for (;;) {
+        if (guard::interruptRequested()) {
+            trip(RunOutcome::Interrupted,
+                 "interrupted: cooperative SIGINT/SIGTERM drain at "
+                 "event boundary");
+            return _eq.now();
+        }
+        if (budget.maxSlabBytes != 0 &&
+            _eq.slabBytes() > budget.maxSlabBytes) {
+            trip(RunOutcome::BudgetExceeded,
+                 strprintf("budget: max-slab-bytes=%llu exceeded "
+                           "(slab holds %zu bytes)",
+                           static_cast<unsigned long long>(
+                               budget.maxSlabBytes),
+                           _eq.slabBytes()));
+            return _eq.now();
+        }
+        std::uint64_t slice = kSlice;
+        if (budget.maxEvents != 0) {
+            // The ceiling covers the queue's whole lifetime, so a
+            // multi-phase workload cannot dodge it by splitting the
+            // run into many run() calls.
+            const std::uint64_t used = _eq.executedEvents();
+            if (used >= budget.maxEvents && !_eq.empty()) {
+                trip(RunOutcome::BudgetExceeded,
+                     strprintf("budget: max-events=%llu exceeded",
+                               static_cast<unsigned long long>(
+                                   budget.maxEvents)));
+                return _eq.now();
+            }
+            slice = std::min(slice, budget.maxEvents - used);
+        }
+        const std::uint64_t fired =
+            budget.maxSimTime != 0
+                ? _eq.runBounded(budget.maxSimTime, slice)
+                : _eq.run(slice);
+        if (_eq.empty())
+            break; // normal drain
+        if (budget.maxSimTime != 0 && fired < slice) {
+            // Slice undershot with events still pending: everything
+            // left is beyond the time ceiling.
+            trip(RunOutcome::BudgetExceeded,
+                 strprintf("budget: max-sim-time=%llu reached (next "
+                           "event is later)",
+                           static_cast<unsigned long long>(
+                               budget.maxSimTime)));
+            return _eq.now();
+        }
+        if (budget.watchdogWindow != 0) {
+            const std::uint64_t p = progressSum();
+            if (p != last_progress) {
+                last_progress = p;
+                since_progress = 0;
+            } else {
+                since_progress += fired;
+                if (since_progress >= budget.watchdogWindow) {
+                    // Livelock: the queue keeps retiring events but no
+                    // stream or chunk has completed a phase for a full
+                    // window — the spinning cousin of the stranded-work
+                    // Deadlocked detection below.
+                    trip(RunOutcome::Deadlocked,
+                         strprintf(
+                             "watchdog: no stream/chunk progress in "
+                             "%llu events",
+                             static_cast<unsigned long long>(
+                                 since_progress)));
+                    return _eq.now();
+                }
+            }
+        }
+    }
     refreshOutcome();
     // The drain checkers assume a fully completed run: a degraded run
     // legitimately strands streams, queued transfers and credits, so
@@ -148,6 +235,25 @@ Cluster::run()
     if (_outcome == RunOutcome::Completed)
         _validators.runAll();
     return _eq.now();
+}
+
+std::uint64_t
+Cluster::progressSum() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &node : _nodes)
+        sum += node->progressCount();
+    return sum;
+}
+
+void
+Cluster::trip(RunOutcome outcome, const std::string &reason)
+{
+    _outcome = outcome;
+    FailureRecord rec;
+    rec.tick = _eq.now();
+    rec.reason = reason;
+    _failures.push_back(rec);
 }
 
 void
@@ -218,6 +324,15 @@ Cluster::exportMetrics() const
     cl.set("events.executed",
            static_cast<double>(_eq.executedEvents()));
     cl.set("nodes", double(_topo.numNodes()));
+
+    // Only present when a run budget / watchdog is configured, so
+    // unsupervised metric JSON is byte-identical to pre-guard output.
+    if (guard::RunBudget::fromConfig(_cfg).active()) {
+        StatGroup &g = reg.group("guard");
+        g.set("outcome", double(int(_outcome)));
+        g.set("slab.bytes", double(_eq.slabBytes()));
+        g.set("progress.count", double(progressSum()));
+    }
 
     // Only present under a fault plan, so fault-free metric JSON is
     // byte-identical to the pre-fault-layer output.

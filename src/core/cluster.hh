@@ -73,6 +73,15 @@ class Cluster
      * validation level is at least basic, every registered drain-time
      * checker (event queue, network backend, per-node schedulers) runs
      * after the queue empties; a violated invariant is fatal.
+     *
+     * The loop is supervised (docs/robustness.md): the configuration's
+     * run budgets (max-events / max-sim-time / max-slab-bytes), the
+     * progress watchdog (watchdog-window) and the cooperative
+     * interrupt flag (guard::interruptRequested) are checked at slice
+     * boundaries. A tripped run returns early with outcome()
+     * BudgetExceeded / Deadlocked / Interrupted and a FailureRecord
+     * naming the tripped ceiling; partial metrics and the digest
+     * accumulated so far remain valid.
      */
     Tick run();
 
@@ -92,10 +101,11 @@ class Cluster
     const FaultManager *faults() const { return _faults.get(); }
 
     /**
-     * How the last run() ended. Always Completed without a fault plan;
-     * Degraded when any send exhausted its retries, Deadlocked when
-     * work was stranded without a recorded failure (e.g. a transfer
-     * parked forever on a down link).
+     * How the last run() ended. Completed unless a fault plan degraded
+     * or deadlocked the run, a run budget tripped (BudgetExceeded),
+     * the progress watchdog fired (Deadlocked with a "watchdog:"
+     * record), or a cooperative interrupt drained it (Interrupted) —
+     * see docs/robustness.md for the taxonomy.
      */
     RunOutcome outcome() const { return _outcome; }
 
@@ -136,6 +146,12 @@ class Cluster
   private:
     /** Recompute _outcome after the event queue drains. */
     void refreshOutcome();
+
+    /** Sum of every node's progress counter (watchdog heartbeat). */
+    std::uint64_t progressSum() const;
+
+    /** End the run early: set @p outcome and record @p reason. */
+    void trip(RunOutcome outcome, const std::string &reason);
 
     SimConfig _cfg;
     EventQueue _eq;

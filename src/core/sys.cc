@@ -313,6 +313,7 @@ Sys::drainUnmatched(Stream &stream)
 void
 Sys::streamPhaseDone(Stream &stream)
 {
+    ++_progress; // watchdog heartbeat: a phase completed on this node
     const int p = stream.phase();
     const Tick t = now();
     stream.finishedAt[std::size_t(p)] = t;
@@ -366,6 +367,8 @@ Sys::advanceStream(StreamId sid)
 void
 Sys::finishStream(Stream &stream)
 {
+    ++_progress; // watchdog heartbeat: a whole stream completed
+
     // Built-in semantic post-conditions (Fig. 4): a schedule that
     // merely *timed* like a collective but moved the wrong data dies
     // here, on every run, not just under test.

@@ -108,6 +108,15 @@ class Sys
     /** Streams still alive (issued, not completed). */
     std::size_t liveStreams() const { return _streams.size(); }
 
+    /**
+     * Monotonic progress heartbeat for the livelock watchdog
+     * (docs/robustness.md): bumped whenever a stream finishes or
+     * completes a phase. The supervised loop compares the cluster-wide
+     * sum between slices — events draining without this moving for a
+     * full watchdog window is a livelocked run.
+     */
+    std::uint64_t progressCount() const { return _progress; }
+
     /** Outstanding P2P expectations (Cluster's deadlock scan). */
     std::size_t pendingP2P() const { return _p2pExpected.size(); }
 
@@ -199,6 +208,7 @@ class Sys
         _p2pExpected;
     std::map<std::pair<NodeId, std::uint64_t>, int> _p2pArrived;
     std::function<void(const Stream &)> _inspector;
+    std::uint64_t _progress = 0; //!< watchdog heartbeat (progressCount)
     TraceRecorder *_trace = nullptr;
     const FaultManager *_faults = nullptr; //!< null = no fault plan
     std::function<void(const FailureRecord &)> _failureSink;

@@ -85,6 +85,10 @@ enumerateCandidates(const ExploreSpec &spec)
                 r.cfg.algorithm = flavor;
                 if (split > 0)
                     r.cfg.preferredSetSplits = split;
+                r.cfg.maxEvents = spec.maxEvents;
+                r.cfg.maxSimTime = spec.maxSimTime;
+                r.cfg.maxSlabBytes = spec.maxSlabBytes;
+                r.cfg.watchdogWindow = spec.watchdogWindow;
                 r.label = name + "/" + toString(flavor);
                 if (split > 0)
                     r.label += strprintf("/%dch", split);
@@ -96,7 +100,8 @@ enumerateCandidates(const ExploreSpec &spec)
 }
 
 std::vector<CandidateResult>
-exploreDesignSpace(const ExploreSpec &spec, int jobs)
+exploreDesignSpace(const ExploreSpec &spec, int jobs,
+                   guard::SweepJournal *journal)
 {
     std::vector<CandidateResult> results = enumerateCandidates(spec);
 
@@ -104,11 +109,18 @@ exploreDesignSpace(const ExploreSpec &spec, int jobs)
     // order whatever the worker count; a stable sort on top keeps the
     // final ranking independent of jobs even among exact ties.
     SweepRunner runner(jobs);
-    runner.evaluate(results, spec.kind, spec.bytes);
+    runner.evaluate(results, spec.kind, spec.bytes, journal);
 
     std::stable_sort(
         results.begin(), results.end(),
         [](const CandidateResult &a, const CandidateResult &b) {
+            // Completed candidates first: a contained failure's zero
+            // commTime must not crown it the winner. All-completed
+            // sweeps rank exactly as they always have.
+            const int fa = a.outcome == RunOutcome::Completed ? 0 : 1;
+            const int fb = b.outcome == RunOutcome::Completed ? 0 : 1;
+            if (fa != fb)
+                return fa < fb;
             if (a.commTime != b.commTime)
                 return a.commTime < b.commTime;
             return a.energyUj < b.energyUj;

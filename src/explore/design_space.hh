@@ -21,9 +21,15 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 
 namespace astra
 {
+
+namespace guard
+{
+class SweepJournal;
+}
 
 /** What to optimize over. */
 struct ExploreSpec
@@ -44,6 +50,17 @@ struct ExploreSpec
     /** The operation under optimization. */
     CollectiveKind kind = CollectiveKind::AllReduce;
     Bytes bytes = 4 * 1024 * 1024;
+
+    /**
+     * Per-candidate run budgets (docs/robustness.md), stamped onto
+     * every enumerated candidate's SimConfig. 0 disables each ceiling;
+     * a candidate that trips one ends with a contained BudgetExceeded
+     * outcome instead of stalling the whole sweep.
+     */
+    std::uint64_t maxEvents = 0;
+    Tick maxSimTime = 0;
+    std::uint64_t maxSlabBytes = 0;
+    std::uint64_t watchdogWindow = 0;
 };
 
 /** One evaluated candidate. */
@@ -63,9 +80,25 @@ struct CandidateResult
     /**
      * Full metric snapshot of the candidate's run (Cluster::
      * exportMetrics), filled by SweepRunner::evaluate. Serialized per
-     * candidate by --report-json in explore mode.
+     * candidate by --report-json in explore mode. Empty for journal-
+     * restored candidates (the journal carries the ranked-table fields,
+     * not the full registry — docs/robustness.md).
      */
     MetricRegistry metrics;
+
+    /**
+     * How the candidate's run ended (docs/robustness.md taxonomy).
+     * Failed means the simulation itself died — an ASTRA_CHECK or
+     * config error contained by the sweep instead of aborting it; the
+     * first failure record's reason carries the diagnostic.
+     */
+    RunOutcome outcome = RunOutcome::Completed;
+
+    /** Structured failure records of a non-Completed candidate. */
+    std::vector<FailureRecord> failures;
+
+    /** True when the result was restored from a sweep journal. */
+    bool restored = false;
 };
 
 /**
@@ -88,9 +121,17 @@ std::vector<CandidateResult> enumerateCandidates(const ExploreSpec &spec);
  *              value — candidates are simulated on private event
  *              queues and collected in enumeration order (see
  *              SweepRunner).
+ * @param journal  Optional sweep journal (docs/robustness.md):
+ *              already-journaled candidates are restored instead of
+ *              re-simulated, freshly completed ones are appended.
+ *
+ * Candidates that did not complete (contained failures, budget trips,
+ * interrupts) rank after every completed candidate; an all-completed
+ * sweep's ranking is bit-for-bit the historical one.
  */
-std::vector<CandidateResult> exploreDesignSpace(const ExploreSpec &spec,
-                                                int jobs = 1);
+std::vector<CandidateResult>
+exploreDesignSpace(const ExploreSpec &spec, int jobs = 1,
+                   guard::SweepJournal *journal = nullptr);
 
 /** Convenience: the winning candidate. */
 CandidateResult bestDesign(const ExploreSpec &spec, int jobs = 1);

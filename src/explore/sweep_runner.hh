@@ -24,6 +24,11 @@
 namespace astra
 {
 
+namespace guard
+{
+class SweepJournal;
+}
+
 /**
  * Runs candidate simulations across worker threads, results in
  * candidate order.
@@ -40,9 +45,23 @@ class SweepRunner
     /**
      * Simulate every candidate's collective, filling commTime and
      * energyUj in place. cfg and label must already be set.
+     *
+     * Crash-contained (docs/robustness.md): an ASTRA_CHECK failure or
+     * a config error inside one candidate is caught on its worker and
+     * recorded as that candidate's Failed outcome + FailureRecord —
+     * the other candidates complete normally. While the sweep runs,
+     * fatal() throws instead of exiting (restored on return).
+     *
+     * With @p journal, already-journaled candidates are restored
+     * bit-for-bit instead of re-simulated (metrics stay empty), and
+     * every freshly evaluated candidate is appended + flushed. A
+     * pending interrupt (guard::interruptRequested) makes remaining
+     * candidates come back as Interrupted without being journaled, so
+     * a later --resume re-runs exactly those.
      */
     void evaluate(std::vector<CandidateResult> &candidates,
-                  CollectiveKind kind, Bytes bytes) const;
+                  CollectiveKind kind, Bytes bytes,
+                  guard::SweepJournal *journal = nullptr) const;
 
     /**
      * General fan-out: run fn(i) for every i in [0, count) across the

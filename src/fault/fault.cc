@@ -24,8 +24,31 @@ toString(RunOutcome o)
         return "degraded";
       case RunOutcome::Deadlocked:
         return "deadlocked";
+      case RunOutcome::BudgetExceeded:
+        return "budget-exceeded";
+      case RunOutcome::Interrupted:
+        return "interrupted";
+      case RunOutcome::Failed:
+        return "failed";
     }
     return "?";
+}
+
+bool
+parseRunOutcome(const std::string &name, RunOutcome *out)
+{
+    static const RunOutcome kAll[] = {
+        RunOutcome::Completed,      RunOutcome::Degraded,
+        RunOutcome::Deadlocked,     RunOutcome::BudgetExceeded,
+        RunOutcome::Interrupted,    RunOutcome::Failed,
+    };
+    for (RunOutcome o : kAll) {
+        if (name == toString(o)) {
+            *out = o;
+            return true;
+        }
+    }
+    return false;
 }
 
 namespace

@@ -49,12 +49,21 @@ struct SimConfig;
  */
 enum class RunOutcome
 {
-    Completed,  //!< all collectives finished
-    Degraded,   //!< finished what it could; retries were exhausted
-    Deadlocked, //!< work stranded without any recorded failure
+    Completed,      //!< all collectives finished
+    Degraded,       //!< finished what it could; retries were exhausted
+    Deadlocked,     //!< work stranded without any recorded failure
+    BudgetExceeded, //!< a run budget tripped (docs/robustness.md)
+    Interrupted,    //!< cooperative SIGINT/SIGTERM drain
+    Failed,         //!< contained per-candidate failure (sweeps)
 };
 
 const char *toString(RunOutcome o);
+
+/**
+ * Parse a toString(RunOutcome) name back (journal loading). @return
+ * false, leaving @p out untouched, for an unknown name.
+ */
+bool parseRunOutcome(const std::string &name, RunOutcome *out);
 
 /**
  * One retries-exhausted chunk send: which node gave up on which link,

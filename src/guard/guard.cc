@@ -1,0 +1,22 @@
+#include "guard/guard.hh"
+
+#include "common/config.hh"
+
+namespace astra
+{
+namespace guard
+{
+
+RunBudget
+RunBudget::fromConfig(const SimConfig &cfg)
+{
+    RunBudget b;
+    b.maxEvents = cfg.maxEvents;
+    b.maxSimTime = cfg.maxSimTime;
+    b.maxSlabBytes = cfg.maxSlabBytes;
+    b.watchdogWindow = cfg.watchdogWindow;
+    return b;
+}
+
+} // namespace guard
+} // namespace astra

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run supervision (docs/robustness.md): deterministic budgets and the
+ * progress watchdog that make every simulation interruptible and
+ * bounded without touching the determinism contract.
+ *
+ * A RunBudget is a set of hard ceilings checked only at event-loop
+ * *boundaries* (between fixed-size event slices), never inside an
+ * event: the retired-event stream of a run that completes under budget
+ * is bit-for-bit identical to an unbudgeted run, so every config
+ * digest is unchanged. Exceeding a budget ends the run with the
+ * first-class RunOutcome::BudgetExceeded — partial metrics, the digest
+ * accumulated so far, and a structured FailureRecord are still
+ * flushed, instead of the process running forever or OOM-ing.
+ *
+ * The watchdog extends deadlock detection to livelock: events keep
+ * draining but no stream or chunk completes over a configurable event
+ * window. Tripping it is the Deadlocked outcome with a "watchdog:"
+ * failure record.
+ */
+
+#ifndef ASTRA_GUARD_GUARD_HH
+#define ASTRA_GUARD_GUARD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace astra
+{
+
+struct SimConfig;
+
+namespace guard
+{
+
+/**
+ * Hard ceilings for one run. Zero means unlimited; a default
+ * constructed budget supervises nothing and the event loop behaves
+ * exactly as before the guard layer existed.
+ */
+struct RunBudget
+{
+    /** Total events the run may execute (max-events). */
+    std::uint64_t maxEvents = 0;
+
+    /** Highest simulated tick the run may reach (max-sim-time). */
+    Tick maxSimTime = 0;
+
+    /** Event-slab/arena byte ceiling (max-slab-bytes). */
+    std::uint64_t maxSlabBytes = 0;
+
+    /**
+     * Progress watchdog window (watchdog-window): events the loop may
+     * drain without a single stream/chunk completion before the run is
+     * declared livelocked.
+     */
+    std::uint64_t watchdogWindow = 0;
+
+    /** The budget keys of @p cfg, collected into one value. */
+    static RunBudget fromConfig(const SimConfig &cfg);
+
+    /** Any ceiling set? False selects the unsupervised fast semantics. */
+    bool
+    active() const
+    {
+        return maxEvents != 0 || maxSimTime != 0 || maxSlabBytes != 0 ||
+               watchdogWindow != 0;
+    }
+};
+
+} // namespace guard
+
+} // namespace astra
+
+#endif // ASTRA_GUARD_GUARD_HH

@@ -1,0 +1,57 @@
+#include "guard/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+
+namespace astra
+{
+namespace guard
+{
+
+namespace
+{
+
+/**
+ * The only state the signal handler touches. A lock-free atomic store
+ * is async-signal-safe; everything else (the drain, the journal
+ * flush, the report) happens later on the event-loop thread when it
+ * polls interruptRequested() at a slice boundary.
+ */
+std::atomic<int> g_interruptFlag{0};
+
+// astra-lint: signal-handler
+extern "C" void
+onInterruptSignal(int)
+{
+    g_interruptFlag.store(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installInterruptHandlers()
+{
+    std::signal(SIGINT, onInterruptSignal);
+    std::signal(SIGTERM, onInterruptSignal);
+}
+
+bool
+interruptRequested()
+{
+    return g_interruptFlag.load(std::memory_order_relaxed) != 0;
+}
+
+void
+requestInterrupt()
+{
+    g_interruptFlag.store(1, std::memory_order_relaxed);
+}
+
+void
+clearInterrupt()
+{
+    g_interruptFlag.store(0, std::memory_order_relaxed);
+}
+
+} // namespace guard
+} // namespace astra

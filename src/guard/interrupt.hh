@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling (docs/robustness.md).
+ *
+ * The handler itself only stores into a process-global atomic flag —
+ * the one operation that is async-signal-safe — and the event loop
+ * polls the flag at slice boundaries, drains cooperatively, and
+ * flushes the journal and partial results before exiting with the
+ * Interrupted outcome. Nothing here allocates, locks, or performs IO
+ * in signal context; the `signal-unsafe` astra-lint rule enforces
+ * that on the tagged handler.
+ */
+
+#ifndef ASTRA_GUARD_INTERRUPT_HH
+#define ASTRA_GUARD_INTERRUPT_HH
+
+namespace astra
+{
+namespace guard
+{
+
+/**
+ * Install the cooperative SIGINT/SIGTERM handlers. Idempotent; call
+ * once after configuration parsing, before the event loop starts.
+ */
+void installInterruptHandlers();
+
+/** Has an interrupt been requested (signal or requestInterrupt())? */
+bool interruptRequested();
+
+/**
+ * Raise the interrupt flag programmatically — what the signal handler
+ * does, callable from tests and from in-simulation events.
+ */
+void requestInterrupt();
+
+/** Lower the flag again (tests; the CLI process exits instead). */
+void clearInterrupt();
+
+} // namespace guard
+} // namespace astra
+
+#endif // ASTRA_GUARD_INTERRUPT_HH

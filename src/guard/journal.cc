@@ -1,0 +1,216 @@
+#include "guard/journal.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+
+namespace astra
+{
+namespace guard
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "astra-journal-v1";
+
+std::uint64_t
+fnv1aMix(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Split @p line on single spaces into at most @p max_fields tokens;
+ *  the last token keeps the rest of the line verbatim. */
+std::vector<std::string>
+splitFields(const std::string &line, std::size_t max_fields)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (out.size() + 1 < max_fields) {
+        std::size_t sp = line.find(' ', pos);
+        if (sp == std::string::npos)
+            break;
+        out.push_back(line.substr(pos, sp - pos));
+        pos = sp + 1;
+    }
+    if (pos <= line.size())
+        out.push_back(line.substr(pos));
+    return out;
+}
+
+std::uint64_t
+parseU64(const std::string &s, int base, const std::string &path, int lineno)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s.c_str(), &end, base);
+    if (end == s.c_str() || *end != '\0')
+        fatal("%s:%d: malformed journal field '%s'", path.c_str(), lineno,
+              s.c_str());
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+journalKey(const std::string &label, int kind, std::uint64_t bytes,
+           const std::string &cfg_text)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    h = fnv1aMix(h, label.data(), label.size());
+    h = fnv1aMix(h, &kind, sizeof(kind));
+    h = fnv1aMix(h, &bytes, sizeof(bytes));
+    h = fnv1aMix(h, cfg_text.data(), cfg_text.size());
+    return h;
+}
+
+SweepJournal::SweepJournal(const std::string &path, bool resume)
+    : _path(path)
+{
+    if (resume) {
+        if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+            char buf[4096];
+            int lineno = 0;
+            bool have_header = false;
+            JournalEntry *cur = nullptr;
+            int pending_failures = 0;
+            while (std::fgets(buf, sizeof(buf), in)) {
+                ++lineno;
+                std::string line(buf);
+                while (!line.empty() &&
+                       (line.back() == '\n' || line.back() == '\r'))
+                    line.pop_back();
+                if (line.empty())
+                    continue;
+                if (!have_header) {
+                    if (line != kHeader)
+                        fatal("%s:%d: not a sweep journal (want '%s')",
+                              path.c_str(), lineno, kHeader);
+                    have_header = true;
+                    continue;
+                }
+                if (line.size() < 2 || line[1] != ' ')
+                    fatal("%s:%d: malformed journal record", path.c_str(),
+                          lineno);
+                if (line[0] == 'C') {
+                    // C <key> <outcome> <commTime> <energy> <digest>
+                    //   <nfail> <label>
+                    auto f = splitFields(line.substr(2), 7);
+                    if (f.size() != 7)
+                        fatal("%s:%d: short candidate record", path.c_str(),
+                              lineno);
+                    JournalEntry e;
+                    e.key = parseU64(f[0], 16, path, lineno);
+                    if (!parseRunOutcome(f[1], &e.outcome))
+                        fatal("%s:%d: unknown outcome '%s'", path.c_str(),
+                              lineno, f[1].c_str());
+                    e.commTime = parseU64(f[2], 10, path, lineno);
+                    char *end = nullptr;
+                    e.energyUj = std::strtod(f[3].c_str(), &end);
+                    if (end == f[3].c_str() || *end != '\0')
+                        fatal("%s:%d: malformed energy '%s'", path.c_str(),
+                              lineno, f[3].c_str());
+                    e.digest = parseU64(f[4], 16, path, lineno);
+                    pending_failures =
+                        static_cast<int>(parseU64(f[5], 10, path, lineno));
+                    e.label = f[6];
+                    cur = &_entries[e.key];
+                    *cur = e;
+                } else if (line[0] == 'F') {
+                    // F <node> <link> <stream> <tick> <retries> <reason...>
+                    if (cur == nullptr || pending_failures <= 0)
+                        fatal("%s:%d: stray failure record", path.c_str(),
+                              lineno);
+                    auto f = splitFields(line.substr(2), 6);
+                    if (f.size() != 6)
+                        fatal("%s:%d: short failure record", path.c_str(),
+                              lineno);
+                    FailureRecord r;
+                    r.node = static_cast<NodeId>(
+                        std::strtol(f[0].c_str(), nullptr, 10));
+                    r.link = static_cast<int>(
+                        std::strtol(f[1].c_str(), nullptr, 10));
+                    r.stream = parseU64(f[2], 10, path, lineno);
+                    r.tick = parseU64(f[3], 10, path, lineno);
+                    r.retries = static_cast<int>(
+                        std::strtol(f[4].c_str(), nullptr, 10));
+                    r.reason = f[5];
+                    cur->failures.push_back(r);
+                    --pending_failures;
+                } else {
+                    fatal("%s:%d: unknown journal record '%c'", path.c_str(),
+                          lineno, line[0]);
+                }
+            }
+            std::fclose(in);
+        }
+        _file = std::fopen(path.c_str(), "a");
+        if (_file && _entries.empty()) {
+            // Resuming into a fresh (or empty) file still needs the
+            // header so a later resume parses it.
+            long at = std::ftell(_file);
+            if (at == 0)
+                std::fprintf(_file, "%s\n", kHeader);
+        }
+    } else {
+        _file = std::fopen(path.c_str(), "w");
+        if (_file)
+            std::fprintf(_file, "%s\n", kHeader);
+    }
+    if (_file == nullptr)
+        fatal("cannot open journal file '%s'", path.c_str());
+    std::fflush(_file);
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+const JournalEntry *
+SweepJournal::find(std::uint64_t key) const
+{
+    auto it = _entries.find(key);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+void
+SweepJournal::append(const JournalEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    // %a round-trips the double bit-exactly, so a restored candidate's
+    // energy compares equal to the freshly simulated value.
+    std::fprintf(_file, "C %016llx %s %llu %a %016llx %zu %s\n",
+                 static_cast<unsigned long long>(entry.key),
+                 toString(entry.outcome),
+                 static_cast<unsigned long long>(entry.commTime),
+                 entry.energyUj,
+                 static_cast<unsigned long long>(entry.digest),
+                 entry.failures.size(), entry.label.c_str());
+    for (const FailureRecord &r : entry.failures) {
+        // Reasons are one record line each; collected multi-error
+        // fatals can carry newlines, which would desync the parser.
+        std::string reason = r.reason;
+        for (char &c : reason) {
+            if (c == '\n' || c == '\r')
+                c = ' ';
+        }
+        std::fprintf(_file, "F %d %d %llu %llu %d %s\n",
+                     static_cast<int>(r.node), r.link,
+                     static_cast<unsigned long long>(r.stream),
+                     static_cast<unsigned long long>(r.tick), r.retries,
+                     reason.c_str());
+    }
+    std::fflush(_file);
+}
+
+} // namespace guard
+} // namespace astra

@@ -18,7 +18,7 @@ srcDirRank(const std::string &dir)
 {
     if (dir == "common")
         return 0;
-    if (dir == "compute" || dir == "fault")
+    if (dir == "compute" || dir == "fault" || dir == "guard")
         return 1;
     if (dir == "net" || dir == "topo")
         return 2;
@@ -149,8 +149,8 @@ checkIncludeGraph(const std::vector<LexedFile> &files,
                            "' must not include upper layer '" +
                            layerName(to) + "' (" + inc.target +
                            "); the layer DAG flows workload > core > "
-                           "collective > net/topo > compute/fault > "
-                           "common",
+                           "collective > net/topo > compute/fault/"
+                           "guard > common",
                        enabled, out, uses);
             }
         }

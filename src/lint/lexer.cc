@@ -83,6 +83,16 @@ parseMarkers(const std::string &comment, LineMarks &marks,
                                              : close;
             continue;
         }
+        static const std::string kSignal = "signal-handler";
+        if (comment.compare(p, kSignal.size(), kSignal) == 0 &&
+            (p + kSignal.size() >= comment.size() ||
+             !isTagChar(comment[p + kSignal.size()]))) {
+            // A line mark, not a file tag: it binds to the function
+            // head on (or right below) this line, like thread-confined.
+            marks.signalHandler = true;
+            pos = p + kSignal.size();
+            continue;
+        }
         static const std::string kAllow = "allow(";
         if (comment.compare(p, kAllow.size(), kAllow) != 0) {
             // Not an allow-list: a bare lowercase word here is a
@@ -222,7 +232,7 @@ lexSource(const std::string &path, const std::string &source)
         LineMarks &m = out.marks[line];
         parseMarkers(text, m, out.fileTags);
         if (m.allowed.empty() && !m.nolint && m.guardedBy.empty() &&
-            !m.threadConfined)
+            !m.threadConfined && !m.signalHandler)
             out.marks.erase(line);
     };
 

@@ -80,6 +80,14 @@ struct LineMarks
      * thread, for the reason stated in the annotation.
      */
     bool threadConfined = false;
+
+    /**
+     * Line carries a signal-handler annotation: the function whose
+     * head this line is (or precedes) runs in async-signal context,
+     * so the signal-unsafe rule restricts its body to
+     * async-signal-safe operations.
+     */
+    bool signalHandler = false;
 };
 
 /** One #include directive. */

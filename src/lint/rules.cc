@@ -655,6 +655,65 @@ ruleThreadCapture(RuleContext &ctx, const LexedFile &file,
     }
 }
 
+// ---- signal-unsafe ---------------------------------------------------
+
+const std::set<std::string> kSignalUnsafeAlloc = {
+    "new",  "delete",      "malloc",     "calloc",
+    "free", "realloc",     "make_unique", "make_shared"};
+
+const std::set<std::string> kSignalUnsafeLock = {
+    "lock",        "unlock",      "try_lock",    "lock_guard",
+    "unique_lock", "scoped_lock", "shared_lock", "mutex",
+    "condition_variable"};
+
+const std::set<std::string> kSignalUnsafeIo = {
+    "printf", "fprintf", "sprintf", "snprintf", "puts",  "putchar",
+    "fopen",  "fwrite",  "fread",   "fclose",   "fflush", "cout",
+    "cerr",   "clog",    "fatal",   "panic",    "inform", "warn"};
+
+/**
+ * Functions whose head carries a `signal-handler` mark run between
+ * any two instructions of the interrupted thread: the only portable
+ * operations are lock-free atomic stores (the POSIX async-signal-safe
+ * discipline). malloc holds the heap lock, a mutex the handler's own
+ * thread may already hold deadlocks instantly, and stdio buffers are
+ * in an unknown state — so allocation, locking, IO and throw are all
+ * findings inside the tagged extent.
+ */
+void
+ruleSignalUnsafe(RuleContext &ctx, const LexedFile &file,
+                 const SymbolIndex &index)
+{
+    for (const FunctionExtent &fe : index.functions) {
+        if (!fe.signalHandler || fe.file != file.path)
+            continue;
+        for (std::size_t i = 0; i < ctx.size(); ++i) {
+            const Token &t = ctx.toks()[i];
+            if (t.line < fe.firstLine || t.line > fe.lastLine)
+                continue;
+            if (t.kind != TokKind::kIdent)
+                continue;
+            const char *what = nullptr;
+            if (kSignalUnsafeAlloc.count(t.text) > 0)
+                what = "allocates";
+            else if (kSignalUnsafeLock.count(t.text) > 0)
+                what = "locks";
+            else if (kSignalUnsafeIo.count(t.text) > 0)
+                what = "performs IO";
+            else if (t.text == "throw")
+                what = "throws";
+            if (what == nullptr)
+                continue;
+            ctx.emit(t, "signal-unsafe",
+                     "'" + t.text + "' " + what +
+                         " inside a signal handler; only "
+                         "async-signal-safe operations (lock-free "
+                         "atomic stores) may run there — set a flag "
+                         "and act at the next event-loop boundary");
+        }
+    }
+}
+
 // ---- hot-path-alloc --------------------------------------------------
 
 void
@@ -734,7 +793,7 @@ allRules()
         {"layer-dag",
          "an include from a lower layer into an upper one inverts the "
          "architecture DAG (workload > core > collective > net/topo > "
-         "compute/fault > common)",
+         "compute/fault/guard > common)",
          "move the shared declaration down or invert the dependency"},
         {"include-cycle",
          "a cycle in the include graph makes build order and layering "
@@ -774,6 +833,12 @@ allRules()
          "garnet-lite pump) regress the slab discipline",
          "allocate from the arena/free-list, or move the setup out of "
          "the pump"},
+        {"signal-unsafe",
+         "a function tagged `astra-lint: signal-handler` may run "
+         "between any two instructions; allocation, locking, IO or "
+         "throw there deadlocks or corrupts state",
+         "restrict handlers to lock-free atomic flag stores and do "
+         "the real work at the next event-loop boundary"},
         {"stale-suppression",
          "a suppression that matches zero findings hides nothing and "
          "will silently mask the next real finding at that site",
@@ -811,6 +876,7 @@ runIndexRules(const std::vector<LexedFile> &files, const SymbolIndex &index,
         ruleSharedState(ctx, f, index);
         ruleUnresolvedMutex(ctx, f, index);
         ruleThreadCapture(ctx, f, index);
+        ruleSignalUnsafe(ctx, f, index);
         ruleHotPathAlloc(ctx);
     }
 }

@@ -128,8 +128,10 @@ class FileIndexer
         fe.firstLine = head_line;
         fe.lastLine = head_line;
         for (int l : {head_line - 1, head_line}) {
-            if (const LineMarks *m = marksAt(_file, l))
+            if (const LineMarks *m = marksAt(_file, l)) {
                 fe.threadConfined = fe.threadConfined || m->threadConfined;
+                fe.signalHandler = fe.signalHandler || m->signalHandler;
+            }
         }
         _index.functions.push_back(fe);
         _scopes.push_back(Scope{ScopeKind::kFunction,
@@ -258,7 +260,13 @@ class FileIndexer
 
         // ---- term == '{': open a scope or a brace initializer -----
         int head_line = _toks[i].line;
-        if (first_ident == "namespace" || first_ident == "extern") {
+        // `extern "C" {` opens a linkage block (no parens); with a
+        // statement-level paren it is a C-linkage function definition
+        // — `extern "C" void onSignal(int) {` — and must fall through
+        // to the function branch so its extent (and any signal-handler
+        // mark on the head) is indexed.
+        if (first_ident == "namespace" ||
+            (first_ident == "extern" && !saw_top_paren)) {
             _scopes.push_back(Scope{ScopeKind::kNamespace, -1});
             return end + 1;
         }

@@ -73,6 +73,8 @@ struct FunctionExtent
     int lastLine = 0;  //!< line of the closing brace
     /** Head carries a thread-confined(<reason>) annotation. */
     bool threadConfined = false;
+    /** Head carries a signal-handler annotation (signal-unsafe rule). */
+    bool signalHandler = false;
 };
 
 /** The cross-TU index the concurrency rules run against. */

@@ -81,6 +81,48 @@ TEST(ThreadPool, WaitRethrowsFirstJobException)
     EXPECT_EQ(ran.load(), 1);
 }
 
+// A worker exception must be captured on the worker and rethrown by
+// wait() — never allowed to escape the worker thread, where it would
+// call std::terminate. The drain path has no wait() left to rethrow
+// on, so surviving the scope exit IS the assertion.
+// astra-lint: thread-confined(pool destructor drains before counter dies)
+TEST(ThreadPool, DestructorDrainsThrowingJobsWithoutTerminate)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 20; ++i) {
+            pool.submit([&] {
+                ran.fetch_add(1);
+                if (ran.load() % 3 == 0) // deliberate: tests containment
+                    throw std::runtime_error("drain boom"); // astra-lint: allow(no-throw)
+            });
+        }
+        // No wait(): the destructor must drain the queue, capturing
+        // (not terminating on) every job exception.
+    }
+    EXPECT_EQ(ran.load(), 20);
+}
+
+// astra-lint: thread-confined(pool.wait joins before the frame exits)
+TEST(ThreadPool, EveryJobRunsEvenWhenEarlierJobsThrow)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&, i] {
+            ran.fetch_add(1);
+            if (i % 10 == 0) // deliberate: tests rethrow + continuation
+                throw std::runtime_error("boom"); // astra-lint: allow(no-throw)
+        });
+    }
+    // The first captured exception surfaces; the rest of the queue
+    // still runs to completion (workers never die with the job).
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    pool.wait(); // error consumed above; pool idle and healthy
+    EXPECT_EQ(ran.load(), 100);
+}
+
 // astra-lint: thread-confined(parallelFor joins before returning)
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
 {

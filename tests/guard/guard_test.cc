@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Run-supervision tests (docs/robustness.md): deterministic budgets
+ * (events / sim-time / slab bytes), the livelock watchdog, the
+ * cooperative interrupt flag, and the sweep journal's round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.hh"
+#include "core/cluster.hh"
+#include "guard/guard.hh"
+#include "guard/interrupt.hh"
+#include "guard/journal.hh"
+
+namespace astra
+{
+namespace
+{
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.torus(2, 2, 2);
+    return cfg;
+}
+
+/** First recorded failure reason, or "" when the run was clean. */
+std::string
+firstReason(const Cluster &cluster)
+{
+    return cluster.failures().empty() ? std::string()
+                                      : cluster.failures().front().reason;
+}
+
+TEST(RunBudget, InactiveByDefault)
+{
+    SimConfig cfg = smallConfig();
+    EXPECT_FALSE(guard::RunBudget::fromConfig(cfg).active());
+}
+
+TEST(RunBudget, FromConfigCopiesEveryCeiling)
+{
+    SimConfig cfg = smallConfig();
+    cfg.maxEvents = 10;
+    cfg.maxSimTime = 20;
+    cfg.maxSlabBytes = 30;
+    cfg.watchdogWindow = 40;
+    const guard::RunBudget b = guard::RunBudget::fromConfig(cfg);
+    EXPECT_TRUE(b.active());
+    EXPECT_EQ(b.maxEvents, 10u);
+    EXPECT_EQ(b.maxSimTime, 20u);
+    EXPECT_EQ(b.maxSlabBytes, 30u);
+    EXPECT_EQ(b.watchdogWindow, 40u);
+}
+
+TEST(GuardBudget, MaxEventsTripsAtTheExactCeiling)
+{
+    SimConfig cfg = smallConfig();
+    cfg.maxEvents = 50;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+    EXPECT_EQ(cluster.outcome(), RunOutcome::BudgetExceeded);
+    // The slice clamp means the ceiling is exact, not slice-granular.
+    EXPECT_LE(cluster.eventQueue().executedEvents(), 50u);
+    EXPECT_NE(firstReason(cluster).find("budget: max-events"),
+              std::string::npos);
+}
+
+TEST(GuardBudget, MaxSimTimeTripsWithoutOvershooting)
+{
+    SimConfig cfg = smallConfig();
+    cfg.maxSimTime = 100;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+    EXPECT_EQ(cluster.outcome(), RunOutcome::BudgetExceeded);
+    // runBounded never advances now() past the last fired event, so a
+    // tripped run's clock is still inside the allowed window.
+    EXPECT_LE(cluster.eventQueue().now(), 100u);
+    EXPECT_NE(firstReason(cluster).find("budget: max-sim-time"),
+              std::string::npos);
+}
+
+TEST(GuardBudget, SlabCapTrips)
+{
+    SimConfig cfg = smallConfig();
+    cfg.maxSlabBytes = 1; // any scheduled event exceeds one byte
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+    EXPECT_EQ(cluster.outcome(), RunOutcome::BudgetExceeded);
+    EXPECT_NE(firstReason(cluster).find("budget: max-slab-bytes"),
+              std::string::npos);
+}
+
+TEST(GuardBudget, GenerousBudgetsDoNotPerturbTheRun)
+{
+    // The supervised loop slices the event stream but must retire the
+    // identical stream: digest, final time and event count all match a
+    // budget-free run bit for bit.
+    auto once = [](bool guarded) {
+        SimConfig cfg;
+        cfg.torus(2, 2, 2);
+        cfg.digest = true;
+        if (guarded) {
+            cfg.maxEvents = 100 * 1000 * 1000;
+            cfg.maxSimTime = kTickInvalid - 1;
+            cfg.maxSlabBytes = 1 * GiB;
+            cfg.watchdogWindow = 100 * 1000 * 1000;
+        }
+        Cluster cluster(cfg);
+        Tick t = cluster.runCollective(CollectiveKind::AllReduce,
+                                       256 * KiB);
+        EXPECT_EQ(cluster.outcome(), RunOutcome::Completed);
+        return std::make_tuple(t, cluster.digest(),
+                               cluster.eventQueue().executedEvents());
+    };
+    EXPECT_EQ(once(false), once(true));
+}
+
+TEST(GuardWatchdog, TripsOnEventLivelock)
+{
+    // A self-rescheduling no-op chain drains nothing and completes
+    // nothing: events retire forever while stream progress stays flat.
+    // This is exactly the livelock shape the plain stranded-work
+    // detection (empty queue, live streams) can never see.
+    SimConfig cfg = smallConfig();
+    cfg.watchdogWindow = 200;
+    Cluster cluster(cfg);
+
+    struct Spinner
+    {
+        EventQueue &eq;
+        void
+        arm()
+        {
+            eq.scheduleAfter(1, [this] { arm(); });
+        }
+    };
+    Spinner spinner{cluster.eventQueue()};
+    spinner.arm();
+
+    cluster.run();
+    EXPECT_EQ(cluster.outcome(), RunOutcome::Deadlocked);
+    EXPECT_NE(firstReason(cluster).find("watchdog:"), std::string::npos);
+}
+
+TEST(GuardWatchdog, QuietWhileStreamsProgress)
+{
+    // A window far smaller than the run's event count still never
+    // trips while collective phases keep completing.
+    SimConfig cfg = smallConfig();
+    cfg.watchdogWindow = 100 * 1000;
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 256 * KiB);
+    EXPECT_EQ(cluster.outcome(), RunOutcome::Completed);
+}
+
+TEST(GuardInterrupt, PresetFlagStopsBeforeAnyEvent)
+{
+    guard::clearInterrupt();
+    guard::requestInterrupt();
+    SimConfig cfg = smallConfig();
+    Cluster cluster(cfg);
+    cluster.runCollective(CollectiveKind::AllReduce, 64 * KiB);
+    guard::clearInterrupt();
+    EXPECT_EQ(cluster.outcome(), RunOutcome::Interrupted);
+    EXPECT_EQ(cluster.eventQueue().executedEvents(), 0u);
+    EXPECT_NE(firstReason(cluster).find("interrupted"),
+              std::string::npos);
+}
+
+TEST(GuardInterrupt, MidRunRequestStopsAtEventBoundary)
+{
+    guard::clearInterrupt();
+    SimConfig cfg;
+    cfg.torus(4, 4, 4);
+    // Establish that this workload outlives the first 4096-event
+    // slice, so a flag raised at tick 1 must be seen mid-run.
+    {
+        Cluster probe(cfg);
+        probe.runCollective(CollectiveKind::AllReduce, 1 * MiB);
+        ASSERT_GT(probe.eventQueue().executedEvents(), 4096u);
+    }
+    Cluster cluster(cfg);
+    CollectiveRequest req;
+    req.kind = CollectiveKind::AllReduce;
+    req.bytes = 1 * MiB;
+    cluster.issueAll(req);
+    cluster.eventQueue().schedule(1, [] { guard::requestInterrupt(); });
+    cluster.run();
+    guard::clearInterrupt();
+    EXPECT_EQ(cluster.outcome(), RunOutcome::Interrupted);
+    // Stopped at a boundary with work still pending, not at drain.
+    EXPECT_FALSE(cluster.eventQueue().empty());
+    EXPECT_GT(cluster.eventQueue().executedEvents(), 0u);
+}
+
+TEST(SweepJournal, RoundTripsEntriesBitForBit)
+{
+    const std::string path =
+        ::testing::TempDir() + "astra_guard_journal_rt.txt";
+    {
+        guard::SweepJournal j(path, /*resume=*/false);
+        guard::JournalEntry e;
+        e.key = guard::journalKey("torus-2x2x2/baseline", 0, 65536,
+                                  "cfg-text");
+        e.outcome = RunOutcome::Failed;
+        e.commTime = 123456789;
+        e.energyUj = 0.1 + 0.2; // a value with no short decimal form
+        e.digest = 0xdeadbeefcafef00dULL;
+        e.label = "torus-2x2x2/baseline";
+        FailureRecord f;
+        f.node = 3;
+        f.link = -1;
+        f.stream = 7;
+        f.tick = 42;
+        f.retries = 2;
+        f.reason = "check: multi-line\nreason text";
+        e.failures.push_back(f);
+        j.append(e);
+    }
+    guard::SweepJournal j(path, /*resume=*/true);
+    EXPECT_EQ(j.restoredCount(), 1u);
+    const guard::JournalEntry *e = j.find(
+        guard::journalKey("torus-2x2x2/baseline", 0, 65536, "cfg-text"));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->outcome, RunOutcome::Failed);
+    EXPECT_EQ(e->commTime, 123456789u);
+    // %a hexfloat storage: exact double round trip, not approximate.
+    EXPECT_EQ(e->energyUj, 0.1 + 0.2);
+    EXPECT_EQ(e->digest, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(e->label, "torus-2x2x2/baseline");
+    ASSERT_EQ(e->failures.size(), 1u);
+    EXPECT_EQ(e->failures[0].node, 3);
+    EXPECT_EQ(e->failures[0].stream, 7u);
+    EXPECT_EQ(e->failures[0].retries, 2);
+    // Newlines were sanitized to keep one record per line.
+    EXPECT_EQ(e->failures[0].reason, "check: multi-line reason text");
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, OpenWithoutResumeTruncates)
+{
+    const std::string path =
+        ::testing::TempDir() + "astra_guard_journal_trunc.txt";
+    {
+        guard::SweepJournal j(path, false);
+        guard::JournalEntry e;
+        e.key = 1;
+        e.label = "stale";
+        j.append(e);
+    }
+    {
+        guard::SweepJournal j(path, false); // no --resume: start over
+        EXPECT_EQ(j.restoredCount(), 0u);
+        EXPECT_EQ(j.find(1), nullptr);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepJournal, KeySeparatesLabelsAndBudgets)
+{
+    const std::uint64_t base =
+        guard::journalKey("torus-2x2x2/baseline", 0, 65536, "cfg");
+    EXPECT_NE(base,
+              guard::journalKey("torus-4x2x1/baseline", 0, 65536, "cfg"));
+    EXPECT_NE(base,
+              guard::journalKey("torus-2x2x2/baseline", 1, 65536, "cfg"));
+    EXPECT_NE(base,
+              guard::journalKey("torus-2x2x2/baseline", 0, 131072, "cfg"));
+    // Different budget ceilings produce different config text, so a
+    // journal written under one budget never satisfies another.
+    EXPECT_NE(base, guard::journalKey("torus-2x2x2/baseline", 0, 65536,
+                                      "cfg\nbudget: max-events=10"));
+}
+
+} // namespace
+} // namespace astra

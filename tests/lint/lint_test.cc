@@ -438,6 +438,12 @@ TEST(LintFixtures, ThreadCapture)
     expectClean("thread_capture_ok.cc");
 }
 
+TEST(LintFixtures, SignalUnsafe)
+{
+    expectMarkersMatch("signal_unsafe_bad.cc");
+    expectClean("signal_unsafe_ok.cc");
+}
+
 TEST(LintFixtures, HotPathAlloc)
 {
     expectMarkersMatch("hot_path_alloc_bad.cc");

@@ -27,6 +27,8 @@
 #include <cstdlib>
 #include <string>
 
+#include <memory>
+
 #include "common/check.hh"
 #include "common/csv.hh"
 #include "common/json.hh"
@@ -35,6 +37,8 @@
 #include "core/cluster.hh"
 #include "explore/design_space.hh"
 #include "explore/sweep_runner.hh"
+#include "guard/interrupt.hh"
+#include "guard/journal.hh"
 #include "workload/models.hh"
 #include "workload/pipeline.hh"
 #include "workload/trainer.hh"
@@ -102,8 +106,26 @@ usage(const char *prog)
         "  --fault-plan=FILE      load fault rules, one per line\n"
         "  --fault-timeout=T      base retransmission timeout, cycles\n"
         "  --fault-max-retries=N  retries before a send fails for good\n"
+        "\n"
+        "run supervision (docs/robustness.md):\n"
+        "  --max-events=N         end the run (BudgetExceeded) after N\n"
+        "                         events; partial results still flush\n"
+        "  --max-sim-time=T       highest simulated tick the run may\n"
+        "                         reach\n"
+        "  --max-slab-bytes=SIZE  event-slab memory ceiling (e.g. 64MB)\n"
+        "  --watchdog-window=N    declare livelock when N events drain\n"
+        "                         without any stream/chunk progress\n"
+        "  --journal=FILE         explore mode: append each completed\n"
+        "                         candidate (crash-safe, digest-keyed)\n"
+        "  --resume               explore mode: restore journaled\n"
+        "                         candidates instead of re-running them\n"
+        "  SIGINT/SIGTERM drain cooperatively at the next event\n"
+        "  boundary, flushing the journal and partial results.\n"
+        "\n"
         "  exit codes: 0 completed, 1 runtime error, 2 configuration\n"
-        "  error, 3 degraded/deadlocked run (see the failure report)\n",
+        "  error, 3 degraded/deadlocked run (see the failure report),\n"
+        "  4 run budget exceeded, 5 interrupted, 6 sweep finished with\n"
+        "  failed candidates\n",
         prog);
 }
 
@@ -129,6 +151,9 @@ struct CliOptions
 
     bool digest = false;       //!< print the determinism digest
     bool digestVerify = false; //!< run twice, fatal on any mismatch
+
+    std::string journalFile; //!< sweep journal path (explore mode)
+    bool resume = false;     //!< restore journaled candidates
 };
 
 std::string
@@ -200,14 +225,16 @@ printEnergy(const NetworkApi::Energy &e)
 }
 
 /**
- * Top-level JSON members for the metric report: the fault layer's
- * outcome and failure list when a fault plan is active, nothing (and a
- * byte-identical document) otherwise.
+ * Top-level JSON members for the metric report: the outcome and
+ * failure list when a fault plan is active or the run ended in any
+ * non-Completed way (budget trip, watchdog, interrupt) — nothing (and
+ * a byte-identical document) otherwise.
  */
 std::string
 reportExtra(const Cluster &cluster)
 {
-    if (!cluster.faults())
+    if (!cluster.faults() &&
+        cluster.outcome() == RunOutcome::Completed)
         return std::string();
     return failureReportJsonMembers(cluster.outcome(),
                                     cluster.failures());
@@ -215,8 +242,9 @@ reportExtra(const Cluster &cluster)
 
 /**
  * Print the failure report and map the run outcome to the process
- * exit code: 0 Completed, 3 Degraded/Deadlocked (runtime fatals keep
- * exiting 1, configuration errors 2).
+ * exit code: 0 Completed, 3 Degraded/Deadlocked, 4 BudgetExceeded,
+ * 5 Interrupted (runtime fatals keep exiting 1, configuration
+ * errors 2, sweeps with failed candidates 6).
  */
 int
 reportOutcome(const Cluster &cluster)
@@ -227,7 +255,35 @@ reportOutcome(const Cluster &cluster)
                 formatFailureReport(cluster.outcome(),
                                     cluster.failures())
                     .c_str());
-    return 3;
+    switch (cluster.outcome()) {
+      case RunOutcome::BudgetExceeded:
+        return 4;
+      case RunOutcome::Interrupted:
+        return 5;
+      default:
+        return 3;
+    }
+}
+
+/** Compact JSON array of a candidate's failure records. */
+std::string
+candidateFailuresJson(const std::vector<FailureRecord> &failures)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const FailureRecord &f = failures[i];
+        if (i)
+            out += ", ";
+        out += strprintf("{\"node\": %d, \"link\": %d, "
+                         "\"stream\": %llu, \"tick\": %llu, "
+                         "\"retries\": %d, \"reason\": \"%s\"}",
+                         f.node, f.link,
+                         static_cast<unsigned long long>(f.stream),
+                         static_cast<unsigned long long>(f.tick),
+                         f.retries, jsonEscape(f.reason).c_str());
+    }
+    out += "]";
+    return out;
 }
 
 /** Write the cluster's metric registry if --report-json was given. */
@@ -285,7 +341,7 @@ runCollectiveMode(const CliOptions &opts, SimConfig cfg)
 }
 
 int
-runExploreMode(const CliOptions &opts)
+runExploreMode(const CliOptions &opts, const SimConfig &cfg)
 {
     ExploreSpec spec;
     spec.modules = opts.exploreModules;
@@ -295,6 +351,17 @@ runExploreMode(const CliOptions &opts)
     spec.bytes = opts.bytes;
     if (!opts.collective.empty())
         spec.kind = parseCollectiveKind(opts.collective.c_str());
+    // Per-candidate run budgets come from the shared config keys
+    // (--max-events etc.) and are stamped onto every candidate.
+    spec.maxEvents = cfg.maxEvents;
+    spec.maxSimTime = cfg.maxSimTime;
+    spec.maxSlabBytes = cfg.maxSlabBytes;
+    spec.watchdogWindow = cfg.watchdogWindow;
+
+    std::unique_ptr<guard::SweepJournal> journal;
+    if (!opts.journalFile.empty())
+        journal = std::make_unique<guard::SweepJournal>(opts.journalFile,
+                                                        opts.resume);
 
     SweepRunner runner(opts.jobs);
     const auto candidates = enumerateCandidates(spec);
@@ -302,8 +369,12 @@ runExploreMode(const CliOptions &opts)
                 "%d worker thread(s)\n\n",
                 spec.modules, candidates.size(), toString(spec.kind),
                 formatBytes(spec.bytes).c_str(), runner.jobs());
+    if (journal && opts.resume && journal->restoredCount() > 0)
+        std::printf("resume: %zu candidate(s) restored from %s\n\n",
+                    journal->restoredCount(),
+                    journal->path().c_str());
 
-    auto results = exploreDesignSpace(spec, runner.jobs());
+    auto results = exploreDesignSpace(spec, runner.jobs(), journal.get());
 
     if (opts.digestVerify) {
         // Determinism audit: a serial sweep must reproduce the
@@ -334,12 +405,23 @@ runExploreMode(const CliOptions &opts)
                     runner.jobs(), results.size());
     }
 
+    // The outcome column appears only when some candidate did not
+    // complete, so a clean sweep's table (and CSV) stays byte-identical
+    // to pre-guard output — which is also what lets an interrupted+
+    // resumed sweep's merged table compare bit-for-bit against an
+    // uninterrupted run's.
+    bool any_bad = false;
+    for (const CandidateResult &r : results)
+        any_bad = any_bad || r.outcome != RunOutcome::Completed;
+
     Table t;
     std::vector<std::string> header = {"rank", "candidate",
                                        "comm_cycles", "energy_uJ",
                                        "vs_best"};
     if (opts.digest)
         header.push_back("digest");
+    if (any_bad)
+        header.push_back("outcome");
     t.header(header);
     const std::size_t limit =
         opts.exploreTop > 0
@@ -357,6 +439,8 @@ runExploreMode(const CliOptions &opts)
                   "%.3f");
         if (opts.digest)
             row.cell(formatDigest(r.digest));
+        if (any_bad)
+            row.cell(toString(r.outcome));
     }
     t.print();
     if (!opts.reportCsv.empty())
@@ -381,12 +465,15 @@ runExploreMode(const CliOptions &opts)
             std::fprintf(f,
                          "%s\n    {\"rank\": %zu, \"label\": \"%s\", "
                          "\"comm_cycles\": %llu, \"energy_uj\": %s, "
-                         "\"digest\": \"%s\", \"metrics\": %s}",
+                         "\"digest\": \"%s\", \"outcome\": \"%s\", "
+                         "\"failures\": %s, \"metrics\": %s}",
                          i == 0 ? "" : ",", i + 1,
                          jsonEscape(r.label).c_str(),
                          static_cast<unsigned long long>(r.commTime),
                          jsonNumber(r.energyUj).c_str(),
                          formatDigest(r.digest).c_str(),
+                         toString(r.outcome),
+                         candidateFailuresJson(r.failures).c_str(),
                          metrics.c_str());
         }
         std::fprintf(f, "\n  ]\n}\n");
@@ -396,6 +483,30 @@ runExploreMode(const CliOptions &opts)
     }
     std::printf("\nbest: %s (%s)\n", results[0].label.c_str(),
                 formatTicks(results[0].commTime).c_str());
+    // Sweep-level exit taxonomy: an interrupted sweep is 5 (resume it
+    // with --journal/--resume), one that completed but contained
+    // failed/budget-tripped candidates is 6, a clean sweep 0.
+    bool any_interrupted = false;
+    for (const CandidateResult &r : results)
+        any_interrupted =
+            any_interrupted || r.outcome == RunOutcome::Interrupted;
+    if (any_interrupted)
+        return 5;
+    if (any_bad) {
+        for (const CandidateResult &r : results) {
+            if (r.outcome == RunOutcome::Completed)
+                continue;
+            std::printf("%s: %s%s\n", r.label.c_str(),
+                        toString(r.outcome),
+                        r.failures.empty()
+                            ? ""
+                            : strprintf(" (%s)",
+                                        r.failures.front().reason
+                                            .c_str())
+                                  .c_str());
+        }
+        return 6;
+    }
     return 0;
 }
 
@@ -593,10 +704,11 @@ main(int argc, char **argv)
             return 0;
         }
         auto eq = arg.find('=');
-        // --validate and --digest are meaningful bare: a bare
-        // --validate selects the full level, a bare --digest just
-        // prints the digest.
-        if (arg == "--validate" || arg == "--digest")
+        // --validate, --digest and --resume are meaningful bare: a
+        // bare --validate selects the full level, a bare --digest just
+        // prints the digest, --resume takes no value at all.
+        if (arg == "--validate" || arg == "--digest" ||
+            arg == "--resume")
             eq = arg.size();
         if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
             std::fprintf(stderr, "unexpected argument '%s'\n",
@@ -651,6 +763,10 @@ main(int argc, char **argv)
             opts.exploreTop = std::atoi(value.c_str());
         } else if (key == "jobs") {
             opts.jobs = std::atoi(value.c_str());
+        } else if (key == "journal") {
+            opts.journalFile = value;
+        } else if (key == "resume") {
+            opts.resume = true;
         } else {
             cfg_args.emplace_back(key, value);
         }
@@ -672,14 +788,24 @@ main(int argc, char **argv)
         // Vet the fault rules now: a malformed rule is a config error,
         // not a runtime one.
         FaultPlan::fromConfig(cfg);
+        if (opts.resume && opts.journalFile.empty())
+            fatal("--resume requires --journal=FILE");
+        if (!opts.journalFile.empty() && opts.exploreModules <= 0)
+            fatal("--journal is an explore-mode option "
+                  "(use --explore=MODULES)");
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
     }
     setLoggingThrowOnFatal(false);
 
+    // Cooperative SIGINT/SIGTERM: the event loop drains at the next
+    // slice boundary, flushes the journal and partial results, and the
+    // process exits 5 (docs/robustness.md).
+    guard::installInterruptHandlers();
+
     if (opts.exploreModules > 0)
-        return runExploreMode(opts);
+        return runExploreMode(opts, cfg);
     if (!opts.collective.empty())
         return runCollectiveMode(opts, cfg);
     if (opts.workloadFile.empty() && opts.model.empty()) {

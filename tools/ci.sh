@@ -169,6 +169,35 @@ grep -q '"digests_identical": true' build/ci_bench.json \
     || { echo "perf smoke: parallel sweep digests diverged" >&2; exit 1; }
 echo "perf smoke: $(grep -o '"per_event_ns": [0-9.]*' build/ci_bench.json) (informational)"
 
+echo "=== interrupt/resume smoke (docs/robustness.md) ==="
+# Journaled resume gates hard: a sweep SIGINTed mid-flight and resumed
+# from its journal must merge to the bit-identical result table (and
+# digests) of a never-interrupted run.
+./build/tools/astra-sim --explore=16 --bytes=256KB --jobs=2 --digest \
+    --report-csv=build/ci_resume_base.csv >/dev/null
+rm -f build/ci_resume.journal
+set +e
+./build/tools/astra-sim --explore=16 --bytes=256KB --jobs=2 --digest \
+    --journal=build/ci_resume.journal \
+    --report-csv=build/ci_resume_int.csv >/dev/null 2>&1 &
+resume_pid=$!
+sleep 0.3
+kill -INT "$resume_pid" 2>/dev/null
+wait "$resume_pid"
+rc=$?
+set -e
+# 5 = interrupted mid-flight; 0 = the sweep won the race and finished
+# first. Both are legitimate — the cmp below is the actual gate.
+[ "$rc" -eq 5 ] || [ "$rc" -eq 0 ] \
+    || { echo "interrupted sweep exited $rc, want 5 or 0" >&2; exit 1; }
+./build/tools/astra-sim --explore=16 --bytes=256KB --jobs=2 --digest \
+    --journal=build/ci_resume.journal --resume \
+    --report-csv=build/ci_resume_merged.csv >/dev/null
+cmp build/ci_resume_base.csv build/ci_resume_merged.csv \
+    || { echo "resumed sweep table differs from uninterrupted baseline" >&2
+         exit 1; }
+echo "interrupt/resume smoke green (merged table bit-identical)"
+
 if [ "$RUN_UBSAN" -eq 1 ]; then
     # UBSan doubles as the "full suite with checkers on" job: the tree
     # also sets -DASTRA_VALIDATE=ON, which compiles the hot-path
