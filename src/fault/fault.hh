@@ -45,8 +45,11 @@ struct SimConfig;
 /**
  * How a simulation ended. Completed is the only outcome possible
  * without a fault plan; plan-driven fault paths never fatal — they
- * degrade.
+ * degrade. Dropping a RunOutcome hides Degraded/Failed runs from
+ * sweep summaries, so the unchecked-outcome lint rule flags discarded
+ * calls returning it.
  */
+// astra-lint: must-use
 enum class RunOutcome
 {
     Completed,      //!< all collectives finished

@@ -1,14 +1,18 @@
 #include "lint/analyzer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <regex>
 #include <sstream>
+#include <thread>
 #include <tuple>
 
 #include "common/json.hh"
+#include "lint/flow_rules.hh"
 #include "lint/include_graph.hh"
 #include "lint/symbols.hh"
 
@@ -50,6 +54,53 @@ compileRegex(const std::string &pattern, std::regex &out)
         return false;
     }
     return true;
+}
+
+/**
+ * @p p made root-relative when it points inside @p root; relative
+ * paths and paths outside the root pass through (normalized), so
+ * reports and baselines carry the same bytes on every checkout.
+ */
+std::string
+rootRelative(const std::string &p, const std::string &root)
+{
+    fs::path fp(p);
+    if (!fp.is_absolute())
+        return relNormal(p);
+    fs::path rel = fp.lexically_relative(fs::absolute(root));
+    if (rel.empty() || rel.begin()->string() == "..")
+        return relNormal(p);
+    return rel.lexically_normal().generic_string();
+}
+
+/**
+ * fn(0..n-1), fanned across @p threads workers pulling indices from a
+ * shared atomic counter. threads <= 1 degenerates to a plain loop;
+ * callers own any per-index output slots, so no locking is needed.
+ */
+void
+forEachIndex(std::size_t n, int threads,
+             const std::function<void(std::size_t)> &fn)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::size_t workers =
+        std::min(static_cast<std::size_t>(threads), n);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&next, n, &fn] {
+            for (std::size_t i = next.fetch_add(1); i < n;
+                 i = next.fetch_add(1))
+                fn(i);
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
 }
 
 } // namespace
@@ -121,7 +172,9 @@ collectFiles(const LintOptions &opts, const std::vector<std::string> &paths)
                 out.push_back(rel);
             }
         } else if (fs::exists(abs)) {
-            out.push_back(relNormal(p));
+            // Explicitly named file; absolute paths inside the root
+            // are relativized so diagnostics match directory walks.
+            out.push_back(rootRelative(p, opts.root));
         }
     }
     std::sort(out.begin(), out.end());
@@ -132,14 +185,13 @@ collectFiles(const LintOptions &opts, const std::vector<std::string> &paths)
 std::vector<Diagnostic>
 analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
 {
-    std::vector<LexedFile> lexed;
-    lexed.reserve(files.size());
-    for (const std::string &f : files) {
+    std::vector<LexedFile> lexed(files.size());
+    forEachIndex(files.size(), opts.threads, [&](std::size_t i) {
         LexedFile lf =
-            lexFile((fs::path(opts.root) / f).generic_string());
-        lf.path = relNormal(f); // diagnostics carry repo-relative paths
-        lexed.push_back(std::move(lf));
-    }
+            lexFile((fs::path(opts.root) / files[i]).generic_string());
+        lf.path = relNormal(files[i]); // diagnostics: repo-relative
+        lexed[i] = std::move(lf);
+    });
 
     // Unordered-container names declared per file, so a .cc sees the
     // members its sibling .hh declares.
@@ -147,9 +199,21 @@ analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
     for (const LexedFile &lf : lexed)
         declared[lf.path] = unorderedNames(lf);
 
-    std::vector<Diagnostic> diags;
-    std::vector<SuppressionUse> uses;
-    for (const LexedFile &lf : lexed) {
+    // The cross-TU index is built serially, then only read by the
+    // per-file workers below.
+    SymbolIndex index = buildSymbolIndex(lexed);
+
+    // Per-file rules fan out across workers, each appending to its
+    // file's own slot; slots are merged in file order afterwards, so
+    // the diagnostic stream is identical at every --threads value.
+    struct FileSlot
+    {
+        std::vector<Diagnostic> diags;
+        std::vector<SuppressionUse> uses;
+    };
+    std::vector<FileSlot> slots(lexed.size());
+    forEachIndex(lexed.size(), opts.threads, [&](std::size_t i) {
+        const LexedFile &lf = lexed[i];
         std::set<std::string> extra;
         fs::path p(lf.path);
         if (p.extension() == ".cc" || p.extension() == ".cpp") {
@@ -161,12 +225,24 @@ analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
                     extra.insert(it->second.begin(), it->second.end());
             }
         }
-        runTokenRules(lf, opts.rules, extra, diags, &uses);
+        runTokenRules(lf, opts.rules, extra, slots[i].diags,
+                      &slots[i].uses);
+        runIndexRules(lf, index, opts.rules, slots[i].diags,
+                      &slots[i].uses);
+        runFlowRulesFile(lf, index, opts.rules, slots[i].diags,
+                         &slots[i].uses);
+    });
+
+    std::vector<Diagnostic> diags;
+    std::vector<SuppressionUse> uses;
+    for (FileSlot &s : slots) {
+        diags.insert(diags.end(), s.diags.begin(), s.diags.end());
+        uses.insert(uses.end(), s.uses.begin(), s.uses.end());
     }
 
-    // Declaration-indexed concurrency rules over the cross-TU index.
-    SymbolIndex index = buildSymbolIndex(lexed);
-    runIndexRules(lexed, index, opts.rules, diags, &uses);
+    // Whole-program passes stay serial: the call-graph rule and the
+    // include graph need every file at once.
+    runFlowRulesGlobal(lexed, index, opts.rules, diags, &uses);
 
     checkIncludeGraph(lexed, opts.root, opts.rules, diags, &uses);
 
@@ -237,7 +313,11 @@ analyzeFiles(const LintOptions &opts, const std::vector<std::string> &files)
                 continue;
             if (entry_hits[n] == 0)
                 diags.push_back(Diagnostic{
-                    e.file.empty() ? std::string("<allowlist>") : e.file,
+                    // Root-relative, so a default allowlist loaded via
+                    // an absolute root reports the same path on every
+                    // host (baselines diff cleanly across checkouts).
+                    e.file.empty() ? std::string("<allowlist>")
+                                   : rootRelative(e.file, opts.root),
                     e.line, 1, "stale-suppression",
                     "allowlist entry `" + e.rule + " " + e.pattern +
                         "` matched no finding (delete it)"});

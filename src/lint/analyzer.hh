@@ -36,6 +36,15 @@ struct LintOptions
     bool skipFixtureDirs = true;  //!< skip */lint/fixtures/* in dir walks
 
     /**
+     * Worker threads for the per-file phases (lexing, token rules,
+     * indexed and flow rules). The cross-TU phases (symbol index,
+     * call graph, include graph, allowlist/stale passes) stay serial,
+     * and diagnostics are merged and sorted identically whatever the
+     * count — `--threads=8` and `--threads=1` print the same bytes.
+     */
+    int threads = 1;
+
+    /**
      * Report stale suppressions: every inline `allow(<rule>)` comment
      * and every allowlist entry that absorbed zero findings in this
      * run becomes a `stale-suppression` finding, so the suppression

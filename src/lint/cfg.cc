@@ -1,0 +1,563 @@
+#include "lint/cfg.hh"
+
+#include <set>
+#include <string>
+
+namespace astra::lint
+{
+
+namespace
+{
+
+/** Hard cap on blocks per function: a runaway-recognizer backstop. */
+constexpr std::size_t kMaxBlocks = 4096;
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/**
+ * Recursive-descent CFG builder over the directive-filtered token
+ * positions of one function body. Statement spans are recorded as
+ * original LexedFile token indices so rules can re-read their tokens.
+ */
+class Builder
+{
+  public:
+    Builder(const LexedFile &file, std::size_t body_begin,
+            std::size_t body_end)
+        : _file(file)
+    {
+        std::set<int> directive_lines;
+        for (const auto &[first, last] : file.directiveSpans) {
+            for (int l = first; l <= last; ++l)
+                directive_lines.insert(l);
+        }
+        for (std::size_t t = body_begin + 1;
+             t < body_end && t < file.tokens.size(); ++t) {
+            if (directive_lines.count(file.tokens[t].line) == 0)
+                _idx.push_back(t);
+        }
+        _cfg.entry = newBlock();
+        _cfg.exit = newBlock();
+    }
+
+    FunctionCfg
+    build()
+    {
+        _cur = _cfg.entry;
+        parseSeq(0, _idx.size(), kNone, kNone, false);
+        edge(_cur, _cfg.exit, false);
+        return std::move(_cfg);
+    }
+
+  private:
+    const Token &tok(std::size_t p) const { return _file.tokens[_idx[p]]; }
+
+    bool
+    isP(std::size_t p, const char *text) const
+    {
+        return p < _idx.size() && tok(p).kind == TokKind::kPunct &&
+               tok(p).text == text;
+    }
+
+    bool
+    isI(std::size_t p, const char *text) const
+    {
+        return p < _idx.size() && tok(p).kind == TokKind::kIdent &&
+               tok(p).text == text;
+    }
+
+    std::size_t
+    newBlock()
+    {
+        if (_cfg.blocks.size() >= kMaxBlocks) {
+            _cfg.wellFormed = false;
+            return _cfg.exit;
+        }
+        _cfg.blocks.emplace_back();
+        return _cfg.blocks.size() - 1;
+    }
+
+    void
+    edge(std::size_t from, std::size_t to, bool back)
+    {
+        for (const CfgEdge &e : _cfg.blocks[from].succs) {
+            if (e.to == to && e.back == back)
+                return;
+        }
+        _cfg.blocks[from].succs.push_back(CfgEdge{to, back});
+    }
+
+    /** Append the token span [@p first, @p last] (positions) to _cur. */
+    void
+    appendStmt(std::size_t first, std::size_t last)
+    {
+        if (first > last || last >= _idx.size())
+            return;
+        _cfg.blocks[_cur].stmts.push_back(
+            CfgStmt{_idx[first], _idx[last], false});
+    }
+
+    void
+    appendScopeExit(std::size_t open, std::size_t close)
+    {
+        _cfg.blocks[_cur].stmts.push_back(
+            CfgStmt{_idx[open], _idx[close], true});
+    }
+
+    /**
+     * Position of the token matching the opener (one of `(` `[` `{`)
+     * at @p open, counting all three pair kinds, or _idx.size() on
+     * imbalance (which also clears wellFormed).
+     */
+    std::size_t
+    matchForward(std::size_t open)
+    {
+        int paren = 0, bracket = 0, brace = 0;
+        for (std::size_t p = open; p < _idx.size(); ++p) {
+            if (tok(p).kind != TokKind::kPunct)
+                continue;
+            const std::string &t = tok(p).text;
+            if (t == "(")
+                ++paren;
+            else if (t == ")")
+                --paren;
+            else if (t == "[")
+                ++bracket;
+            else if (t == "]")
+                --bracket;
+            else if (t == "{")
+                ++brace;
+            else if (t == "}")
+                --brace;
+            if (paren == 0 && bracket == 0 && brace == 0)
+                return p;
+            if (paren < 0 || bracket < 0 || brace < 0)
+                break;
+        }
+        _cfg.wellFormed = false;
+        return _idx.size();
+    }
+
+    void
+    parseSeq(std::size_t p, std::size_t end, std::size_t break_tgt,
+             std::size_t cont_tgt, bool cont_back)
+    {
+        while (p < end && _cfg.wellFormed) {
+            std::size_t np =
+                parseStatement(p, end, break_tgt, cont_tgt, cont_back);
+            if (np <= p) { // recognizer failed to advance: bail
+                _cfg.wellFormed = false;
+                return;
+            }
+            p = np;
+        }
+    }
+
+    /**
+     * Consume one plain (non-control) statement starting at @p p:
+     * scan to the `;` at delimiter depth zero, treating brace
+     * initializers and lambda bodies (a `{` whose previous token can
+     * end an expression) as part of the statement. Returns the
+     * position after the statement.
+     */
+    std::size_t
+    scanSimple(std::size_t p, std::size_t end)
+    {
+        int depth = 0;
+        std::size_t q = p;
+        while (q < end) {
+            if (tok(q).kind != TokKind::kPunct) {
+                ++q;
+                continue;
+            }
+            const std::string &t = tok(q).text;
+            if (t == "(" || t == "[") {
+                ++depth;
+            } else if (t == ")" || t == "]") {
+                if (depth > 0)
+                    --depth;
+            } else if (t == ";" && depth == 0) {
+                appendStmt(p, q > p ? q - 1 : p);
+                return q + 1;
+            } else if (t == "{") {
+                if (depth > 0) {
+                    ++depth;
+                } else {
+                    // Brace initializer / lambda body when the prior
+                    // token can end an expression; otherwise this is
+                    // a fresh block statement — end here.
+                    bool init = false;
+                    if (q > p) {
+                        const Token &prev = tok(q - 1);
+                        init = prev.kind != TokKind::kPunct ||
+                               prev.text == ">" || prev.text == ")" ||
+                               prev.text == "]" || prev.text == "=" ||
+                               prev.text == "," || prev.text == "::";
+                    }
+                    if (!init) {
+                        appendStmt(p, q - 1);
+                        return q;
+                    }
+                    std::size_t close = matchForward(q);
+                    if (close >= end)
+                        return end;
+                    q = close;
+                }
+            } else if (t == "}") {
+                if (depth > 0) {
+                    --depth;
+                } else {
+                    // Sequence bound miscount; end the statement.
+                    appendStmt(p, q > p ? q - 1 : p);
+                    return q + 1;
+                }
+            }
+            ++q;
+        }
+        appendStmt(p, end - 1);
+        return end;
+    }
+
+    std::size_t
+    parseStatement(std::size_t p, std::size_t end, std::size_t break_tgt,
+                   std::size_t cont_tgt, bool cont_back)
+    {
+        if (!_cfg.wellFormed || p >= end)
+            return end;
+        if (isP(p, ";"))
+            return p + 1;
+
+        if (isP(p, "{")) {
+            std::size_t close = matchForward(p);
+            if (close >= end)
+                return end;
+            parseSeq(p + 1, close, break_tgt, cont_tgt, cont_back);
+            appendScopeExit(p, close);
+            return close + 1;
+        }
+
+        if (isI(p, "if"))
+            return parseIf(p, end, break_tgt, cont_tgt, cont_back);
+        if (isI(p, "while"))
+            return parseWhile(p, end);
+        if (isI(p, "do"))
+            return parseDo(p, end);
+        if (isI(p, "for"))
+            return parseFor(p, end);
+        if (isI(p, "switch"))
+            return parseSwitch(p, end, cont_tgt, cont_back);
+        if (isI(p, "try"))
+            return parseTry(p, end, break_tgt, cont_tgt, cont_back);
+
+        if (isI(p, "return")) {
+            std::size_t np = scanSimple(p, end);
+            edge(_cur, _cfg.exit, false);
+            _cur = newBlock(); // anything after is unreachable
+            return np;
+        }
+        if (isI(p, "break")) {
+            if (break_tgt != kNone)
+                edge(_cur, break_tgt, false);
+            _cur = newBlock();
+            return isP(p + 1, ";") ? p + 2 : scanSimple(p, end);
+        }
+        if (isI(p, "continue")) {
+            if (cont_tgt != kNone)
+                edge(_cur, cont_tgt, cont_back);
+            _cur = newBlock();
+            return isP(p + 1, ";") ? p + 2 : scanSimple(p, end);
+        }
+
+        return scanSimple(p, end);
+    }
+
+    std::size_t
+    parseIf(std::size_t p, std::size_t end, std::size_t break_tgt,
+            std::size_t cont_tgt, bool cont_back)
+    {
+        std::size_t q = p + 1;
+        if (isI(q, "constexpr"))
+            ++q;
+        if (!isP(q, "("))
+            return scanSimple(p, end);
+        std::size_t close = matchForward(q);
+        if (close >= end)
+            return end;
+        appendStmt(p, close);
+        std::size_t cond_blk = _cur;
+
+        std::size_t then_blk = newBlock();
+        edge(cond_blk, then_blk, false);
+        _cur = then_blk;
+        std::size_t np =
+            parseStatement(close + 1, end, break_tgt, cont_tgt, cont_back);
+        std::size_t after_then = _cur;
+
+        std::size_t merge = kNone;
+        if (isI(np, "else")) {
+            std::size_t else_blk = newBlock();
+            edge(cond_blk, else_blk, false);
+            _cur = else_blk;
+            np = parseStatement(np + 1, end, break_tgt, cont_tgt,
+                                cont_back);
+            std::size_t after_else = _cur;
+            merge = newBlock();
+            edge(after_then, merge, false);
+            edge(after_else, merge, false);
+        } else {
+            merge = newBlock();
+            edge(after_then, merge, false);
+            edge(cond_blk, merge, false);
+        }
+        _cur = merge;
+        return np;
+    }
+
+    std::size_t
+    parseWhile(std::size_t p, std::size_t end)
+    {
+        if (!isP(p + 1, "("))
+            return scanSimple(p, end);
+        std::size_t close = matchForward(p + 1);
+        if (close >= end)
+            return end;
+        std::size_t head = newBlock();
+        edge(_cur, head, false);
+        _cur = head;
+        appendStmt(p, close);
+        std::size_t body = newBlock();
+        std::size_t exit_blk = newBlock();
+        edge(head, body, false);
+        edge(head, exit_blk, false);
+        _cur = body;
+        std::size_t np =
+            parseStatement(close + 1, end, exit_blk, head, true);
+        edge(_cur, head, true);
+        _cur = exit_blk;
+        return np;
+    }
+
+    std::size_t
+    parseDo(std::size_t p, std::size_t end)
+    {
+        std::size_t body = newBlock();
+        std::size_t cond_blk = newBlock();
+        std::size_t exit_blk = newBlock();
+        edge(_cur, body, false);
+        _cur = body;
+        std::size_t np =
+            parseStatement(p + 1, end, exit_blk, cond_blk, false);
+        edge(_cur, cond_blk, false);
+        if (!isI(np, "while") || !isP(np + 1, "(")) {
+            _cfg.wellFormed = false;
+            _cur = exit_blk;
+            return np > p ? np : end;
+        }
+        std::size_t close = matchForward(np + 1);
+        if (close >= end)
+            return end;
+        _cur = cond_blk;
+        appendStmt(np, close);
+        edge(cond_blk, body, true);
+        edge(cond_blk, exit_blk, false);
+        _cur = exit_blk;
+        return isP(close + 1, ";") ? close + 2 : close + 1;
+    }
+
+    std::size_t
+    parseFor(std::size_t p, std::size_t end)
+    {
+        if (!isP(p + 1, "("))
+            return scanSimple(p, end);
+        std::size_t open = p + 1;
+        std::size_t close = matchForward(open);
+        if (close >= end)
+            return end;
+
+        // Classic `for (init; cond; inc)` vs ranged `for (decl : range)`:
+        // decided by whichever of `;` / `:` appears first at depth 0.
+        std::size_t semi1 = kNone, semi2 = kNone;
+        bool ranged = false;
+        int depth = 0;
+        for (std::size_t q = open + 1; q < close; ++q) {
+            if (tok(q).kind != TokKind::kPunct)
+                continue;
+            const std::string &t = tok(q).text;
+            if (t == "(" || t == "[" || t == "{")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}")
+                --depth;
+            else if (depth == 0 && t == ":" && semi1 == kNone) {
+                ranged = true;
+                break;
+            } else if (depth == 0 && t == ";") {
+                if (semi1 == kNone)
+                    semi1 = q;
+                else if (semi2 == kNone)
+                    semi2 = q;
+            }
+        }
+        if (!ranged && (semi1 == kNone || semi2 == kNone))
+            ranged = true; // recognizer miss: fall back to one head stmt
+
+        if (ranged) {
+            std::size_t head = newBlock();
+            edge(_cur, head, false);
+            _cur = head;
+            appendStmt(p, close);
+            std::size_t body = newBlock();
+            std::size_t exit_blk = newBlock();
+            edge(head, body, false);
+            edge(head, exit_blk, false);
+            _cur = body;
+            std::size_t np =
+                parseStatement(close + 1, end, exit_blk, head, true);
+            edge(_cur, head, true);
+            _cur = exit_blk;
+            return np;
+        }
+
+        if (semi1 > open + 1)
+            appendStmt(open + 1, semi1 - 1); // init runs once, pre-loop
+        std::size_t head = newBlock();
+        edge(_cur, head, false);
+        _cur = head;
+        if (semi2 > semi1 + 1)
+            appendStmt(semi1 + 1, semi2 - 1); // condition
+        std::size_t body = newBlock();
+        std::size_t exit_blk = newBlock();
+        std::size_t inc_blk = newBlock();
+        edge(head, body, false);
+        edge(head, exit_blk, false);
+        _cur = body;
+        std::size_t np =
+            parseStatement(close + 1, end, exit_blk, inc_blk, false);
+        edge(_cur, inc_blk, false);
+        _cur = inc_blk;
+        if (close > semi2 + 1)
+            appendStmt(semi2 + 1, close - 1); // increment
+        edge(inc_blk, head, true);
+        _cur = exit_blk;
+        return np;
+    }
+
+    std::size_t
+    parseSwitch(std::size_t p, std::size_t end, std::size_t cont_tgt,
+                bool cont_back)
+    {
+        if (!isP(p + 1, "("))
+            return scanSimple(p, end);
+        std::size_t close = matchForward(p + 1);
+        if (close >= end || !isP(close + 1, "{"))
+            return scanSimple(p, end);
+        appendStmt(p, close);
+        std::size_t head = _cur;
+        std::size_t body_open = close + 1;
+        std::size_t body_close = matchForward(body_open);
+        if (body_close >= end)
+            return end;
+        std::size_t exit_blk = newBlock();
+
+        // Statements before the first label are unreachable; park them
+        // in a predecessor-less block.
+        _cur = newBlock();
+        std::size_t pos = body_open + 1;
+        while (pos < body_close && _cfg.wellFormed) {
+            bool is_case = isI(pos, "case");
+            bool is_default = isI(pos, "default") && isP(pos + 1, ":");
+            if (is_case || is_default) {
+                std::size_t label_end = pos + 1;
+                if (is_case) {
+                    // The label's `:` at depth 0; `::` is one fused
+                    // token and `?:` tracks its pending `?`.
+                    int depth = 0, pending = 0;
+                    for (; label_end < body_close; ++label_end) {
+                        if (tok(label_end).kind != TokKind::kPunct)
+                            continue;
+                        const std::string &t = tok(label_end).text;
+                        if (t == "(" || t == "[" || t == "{")
+                            ++depth;
+                        else if (t == ")" || t == "]" || t == "}")
+                            --depth;
+                        else if (t == "?" && depth == 0)
+                            ++pending;
+                        else if (t == ":" && depth == 0) {
+                            if (pending > 0)
+                                --pending;
+                            else
+                                break;
+                        }
+                    }
+                    if (label_end >= body_close) {
+                        _cfg.wellFormed = false;
+                        break;
+                    }
+                }
+                std::size_t case_blk = newBlock();
+                edge(head, case_blk, false);
+                edge(_cur, case_blk, false); // fallthrough from above
+                _cur = case_blk;
+                pos = label_end + 1;
+                continue;
+            }
+            pos = parseStatement(pos, body_close, exit_blk, cont_tgt,
+                                 cont_back);
+        }
+        edge(_cur, exit_blk, false); // fall off the last case
+        edge(head, exit_blk, false); // no matching label / no default
+        _cur = exit_blk;
+        return body_close + 1;
+    }
+
+    std::size_t
+    parseTry(std::size_t p, std::size_t end, std::size_t break_tgt,
+             std::size_t cont_tgt, bool cont_back)
+    {
+        if (!isP(p + 1, "{"))
+            return scanSimple(p, end);
+        std::size_t pre_try = _cur;
+        std::size_t try_blk = newBlock();
+        edge(pre_try, try_blk, false);
+        _cur = try_blk;
+        std::size_t np =
+            parseStatement(p + 1, end, break_tgt, cont_tgt, cont_back);
+        std::size_t merge = newBlock();
+        edge(_cur, merge, false);
+        bool any_catch = false;
+        while (isI(np, "catch") && isP(np + 1, "(")) {
+            any_catch = true;
+            std::size_t close = matchForward(np + 1);
+            if (close >= end)
+                return end;
+            std::size_t catch_blk = newBlock();
+            // The exception can fire at any try statement; the
+            // handler conservatively sees the try-entry state.
+            edge(pre_try, catch_blk, false);
+            _cur = catch_blk;
+            appendStmt(np, close);
+            np = parseStatement(close + 1, end, break_tgt, cont_tgt,
+                                cont_back);
+            edge(_cur, merge, false);
+        }
+        if (!any_catch)
+            _cfg.wellFormed = false;
+        _cur = merge;
+        return np;
+    }
+
+    const LexedFile &_file;
+    std::vector<std::size_t> _idx; //!< positions -> token indices
+    FunctionCfg _cfg;
+    std::size_t _cur = 0;
+};
+
+} // namespace
+
+FunctionCfg
+buildFunctionCfg(const LexedFile &file, std::size_t bodyBegin,
+                 std::size_t bodyEnd)
+{
+    return Builder(file, bodyBegin, bodyEnd).build();
+}
+
+} // namespace astra::lint

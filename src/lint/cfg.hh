@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-function control-flow graphs of astra-lint
+ * (docs/static-analysis.md).
+ *
+ * A lightweight statement/block parser over the lexer's token stream
+ * (lexer.hh): given a function body range recovered by the symbol
+ * indexer (symbols.hh FunctionExtent::bodyBegin/bodyEnd), it builds
+ * basic blocks of statements with the edges the flow-sensitive rules
+ * need — if/else branches and merges, while/for/do loops with marked
+ * back edges, switch dispatch with case fallthrough, early
+ * return/break/continue, and try/catch as a branch at the try entry
+ * merging after the handlers (an exception can leave the try block at
+ * any statement, so the handler conservatively sees the try-entry
+ * state).
+ *
+ * Like the symbol indexer, this is a recognizer, not a C++ parser:
+ * brace initializers and lambda bodies inside a statement are
+ * consumed as part of that statement, preprocessing-directive tokens
+ * are skipped, and any construct the builder cannot pair up clears
+ * `wellFormed` — the flow rules skip ill-formed graphs, so a parse
+ * miss weakens a rule but cannot fabricate a finding.
+ */
+
+#ifndef ASTRA_LINT_CFG_HH
+#define ASTRA_LINT_CFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace astra::lint
+{
+
+/** One statement (or synthetic scope-exit marker) in a basic block. */
+struct CfgStmt
+{
+    std::size_t firstTok = 0; //!< index into LexedFile::tokens
+    std::size_t lastTok = 0;  //!< inclusive
+
+    /**
+     * Synthetic statement emitted where a `{ ... }` scope closes:
+     * [firstTok, lastTok] is the brace pair's token span. Dataflow
+     * rules kill facts whose anchor (e.g. a RAII lock's declaration)
+     * lies inside the span — the lexical point its destructor runs.
+     */
+    bool scopeExit = false;
+};
+
+/** One control-flow edge. */
+struct CfgEdge
+{
+    std::size_t to = 0;
+    bool back = false; //!< loop-closing edge (body/cond back to head)
+};
+
+/** A maximal straight-line run of statements. */
+struct BasicBlock
+{
+    std::vector<CfgStmt> stmts;
+    std::vector<CfgEdge> succs;
+};
+
+/** The control-flow graph of one function body. */
+struct FunctionCfg
+{
+    std::vector<BasicBlock> blocks;
+    std::size_t entry = 0;
+    std::size_t exit = 0; //!< every return (and fall-off) edges here
+
+    /**
+     * False when the builder met a construct it could not pair up
+     * (unbalanced delimiters, a do without while, a macro-heavy body).
+     * Rules must skip ill-formed graphs.
+     */
+    bool wellFormed = true;
+};
+
+/**
+ * Build the CFG of the body delimited by the brace pair at token
+ * indices @p bodyBegin / @p bodyEnd of @p file (both exclusive:
+ * statements are parsed strictly between them).
+ */
+FunctionCfg buildFunctionCfg(const LexedFile &file, std::size_t bodyBegin,
+                             std::size_t bodyEnd);
+
+} // namespace astra::lint
+
+#endif // ASTRA_LINT_CFG_HH

@@ -1,0 +1,43 @@
+#include "lint/dataflow.hh"
+
+#include <deque>
+
+namespace astra::lint
+{
+
+std::vector<FactSet>
+solveForward(const FunctionCfg &cfg, std::size_t numFacts,
+             const Transfer &transfer, bool followBackEdges)
+{
+    std::vector<FactSet> ins(cfg.blocks.size(), FactSet(numFacts));
+    if (cfg.blocks.empty())
+        return ins;
+
+    std::deque<std::size_t> worklist;
+    std::vector<bool> queued(cfg.blocks.size(), false);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        worklist.push_back(b);
+        queued[b] = true;
+    }
+
+    while (!worklist.empty()) {
+        std::size_t b = worklist.front();
+        worklist.pop_front();
+        queued[b] = false;
+
+        FactSet out = ins[b];
+        for (const CfgStmt &s : cfg.blocks[b].stmts)
+            transfer.apply(s, out);
+        for (const CfgEdge &e : cfg.blocks[b].succs) {
+            if (e.back && !followBackEdges)
+                continue;
+            if (ins[e.to].uniteWith(out) && !queued[e.to]) {
+                worklist.push_back(e.to);
+                queued[e.to] = true;
+            }
+        }
+    }
+    return ins;
+}
+
+} // namespace astra::lint

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Forward-dataflow fixpoint framework of astra-lint
+ * (docs/static-analysis.md).
+ *
+ * A small gen/kill engine over the per-function CFG (cfg.hh): each
+ * flow rule names its facts (small dense ids — "local `cfg` is
+ * moved-from", "lock `hold` is held"), supplies a transfer function
+ * that applies one statement's gen/kill to a fact set, and receives
+ * the fixpoint entry state of every basic block. The lattice is the
+ * powerset of facts with union at merges — a *may* analysis: a fact
+ * holds at a point when it holds on at least one path there, which is
+ * the right polarity for "moved on some path" and "held on some
+ * path". The worklist visits blocks in creation order, so iteration
+ * (and therefore diagnostic order) is deterministic.
+ *
+ * Rules that must not carry facts around loop back edges (use-after-
+ * move: a value moved late in iteration N is usually reassigned
+ * before the read early in iteration N+1, so propagating would
+ * fabricate findings) pass followBackEdges = false.
+ */
+
+#ifndef ASTRA_LINT_DATAFLOW_HH
+#define ASTRA_LINT_DATAFLOW_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lint/cfg.hh"
+
+namespace astra::lint
+{
+
+/** Dense bitset over a rule's fact ids. */
+class FactSet
+{
+  public:
+    FactSet() = default;
+    explicit FactSet(std::size_t bits) : _w((bits + 63) / 64, 0) {}
+
+    bool
+    test(std::size_t i) const
+    {
+        return i / 64 < _w.size() &&
+               (_w[i / 64] >> (i % 64) & 1u) != 0;
+    }
+
+    void
+    set(std::size_t i)
+    {
+        if (i / 64 < _w.size())
+            _w[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        if (i / 64 < _w.size())
+            _w[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+    }
+
+    /** this |= other; true when any bit was newly set. */
+    bool
+    uniteWith(const FactSet &other)
+    {
+        bool changed = false;
+        for (std::size_t k = 0; k < _w.size() && k < other._w.size();
+             ++k) {
+            std::uint64_t merged = _w[k] | other._w[k];
+            changed = changed || merged != _w[k];
+            _w[k] = merged;
+        }
+        return changed;
+    }
+
+    bool
+    any() const
+    {
+        for (std::uint64_t w : _w) {
+            if (w != 0)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::uint64_t> _w;
+};
+
+/** A rule's gen/kill transfer function, applied statement by statement. */
+class Transfer
+{
+  public:
+    virtual ~Transfer() = default;
+    virtual void apply(const CfgStmt &stmt, FactSet &facts) const = 0;
+};
+
+/**
+ * Solve the forward may-analysis to fixpoint: returns the entry fact
+ * set of every block (empty at the CFG entry, union of predecessor
+ * exits elsewhere). Rules re-walk a block's statements from its entry
+ * state to observe the per-statement facts.
+ */
+std::vector<FactSet> solveForward(const FunctionCfg &cfg,
+                                  std::size_t numFacts,
+                                  const Transfer &transfer,
+                                  bool followBackEdges);
+
+} // namespace astra::lint
+
+#endif // ASTRA_LINT_DATAFLOW_HH

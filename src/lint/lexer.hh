@@ -88,6 +88,14 @@ struct LineMarks
      * async-signal-safe operations.
      */
     bool signalHandler = false;
+
+    /**
+     * Line carries a must-use annotation: the class/enum whose head
+     * this line is (or precedes) is a result type that callers may
+     * never silently drop — the unchecked-outcome rule flags call
+     * statements that discard a value of this type.
+     */
+    bool mustUse = false;
 };
 
 /** One #include directive. */

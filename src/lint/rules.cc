@@ -693,15 +693,7 @@ ruleSignalUnsafe(RuleContext &ctx, const LexedFile &file,
                 continue;
             if (t.kind != TokKind::kIdent)
                 continue;
-            const char *what = nullptr;
-            if (kSignalUnsafeAlloc.count(t.text) > 0)
-                what = "allocates";
-            else if (kSignalUnsafeLock.count(t.text) > 0)
-                what = "locks";
-            else if (kSignalUnsafeIo.count(t.text) > 0)
-                what = "performs IO";
-            else if (t.text == "throw")
-                what = "throws";
+            const char *what = signalUnsafeCategory(t.text);
             if (what == nullptr)
                 continue;
             ctx.emit(t, "signal-unsafe",
@@ -742,6 +734,20 @@ ruleHotPathAlloc(RuleContext &ctx)
 }
 
 } // namespace
+
+const char *
+signalUnsafeCategory(const std::string &ident)
+{
+    if (kSignalUnsafeAlloc.count(ident) > 0)
+        return "allocates";
+    if (kSignalUnsafeLock.count(ident) > 0)
+        return "locks";
+    if (kSignalUnsafeIo.count(ident) > 0)
+        return "performs IO";
+    if (ident == "throw")
+        return "throws";
+    return nullptr;
+}
 
 bool
 diagnosticLess(const Diagnostic &a, const Diagnostic &b)
@@ -843,6 +849,31 @@ allRules()
          "a suppression that matches zero findings hides nothing and "
          "will silently mask the next real finding at that site",
          "delete the unused allow(...) comment or allowlist entry"},
+        {"use-after-move",
+         "a local read after std::move on some path holds an "
+         "unspecified value; under a reordered config sweep that "
+         "becomes a nondeterministic result",
+         "reassign or .clear()/.reset() the variable before the read, "
+         "or restructure so the move is the last use on every path"},
+        {"lock-across-wait",
+         "a scoped lock held across a condition-variable wait, pool "
+         "submit or event-loop pump serializes the simulator or "
+         "deadlocks when the waited work needs the same mutex",
+         "narrow the lock scope with a block, or release via "
+         "unique_lock::unlock() before waiting (cv.wait(lock, ...) "
+         "with the lock as first argument is the sanctioned form)"},
+        {"unchecked-outcome",
+         "a call returning a type tagged `astra-lint: must-use` "
+         "(RunOutcome, parse results) whose value is dropped hides "
+         "failed runs from sweep summaries and CI gates",
+         "assign the result and branch on it, or cast to (void) with "
+         "a comment when the drop is intentional"},
+        {"signal-unsafe-transitive",
+         "a function tagged `astra-lint: signal-handler` reaches "
+         "allocation, locking, IO or throw through its callees; the "
+         "direct-scan rule cannot see past one call",
+         "make the handler store a lock-free atomic flag and perform "
+         "the chained work at the next event-loop boundary"},
     };
     return kRules;
 }
@@ -866,19 +897,27 @@ unorderedNames(const LexedFile &file)
 }
 
 void
+runIndexRules(const LexedFile &file, const SymbolIndex &index,
+              const std::set<std::string> &enabled,
+              std::vector<Diagnostic> &out,
+              std::vector<SuppressionUse> *uses)
+{
+    RuleContext ctx(file, enabled, out, uses);
+    ruleSharedState(ctx, file, index);
+    ruleUnresolvedMutex(ctx, file, index);
+    ruleThreadCapture(ctx, file, index);
+    ruleSignalUnsafe(ctx, file, index);
+    ruleHotPathAlloc(ctx);
+}
+
+void
 runIndexRules(const std::vector<LexedFile> &files, const SymbolIndex &index,
               const std::set<std::string> &enabled,
               std::vector<Diagnostic> &out,
               std::vector<SuppressionUse> *uses)
 {
-    for (const LexedFile &f : files) {
-        RuleContext ctx(f, enabled, out, uses);
-        ruleSharedState(ctx, f, index);
-        ruleUnresolvedMutex(ctx, f, index);
-        ruleThreadCapture(ctx, f, index);
-        ruleSignalUnsafe(ctx, f, index);
-        ruleHotPathAlloc(ctx);
-    }
+    for (const LexedFile &f : files)
+        runIndexRules(f, index, enabled, out, uses);
 }
 
 void

@@ -96,6 +96,24 @@ void runIndexRules(const std::vector<LexedFile> &files,
                    std::vector<SuppressionUse> *uses = nullptr);
 
 /**
+ * Single-file form of runIndexRules, so the analyzer can fan files
+ * out across worker threads (--threads); the index itself is built
+ * serially and only read here.
+ */
+void runIndexRules(const LexedFile &file, const SymbolIndex &index,
+                   const std::set<std::string> &enabled,
+                   std::vector<Diagnostic> &out,
+                   std::vector<SuppressionUse> *uses = nullptr);
+
+/**
+ * Category of an identifier banned in async-signal context —
+ * "allocates", "locks", "performs IO" or "throws" — or nullptr for a
+ * safe token. Shared between the direct signal-unsafe rule and the
+ * call-graph-transitive one (flow_rules.hh).
+ */
+const char *signalUnsafeCategory(const std::string &ident);
+
+/**
  * The names of unordered-container variables/aliases declared in
  * @p file (the symbol table runTokenRules builds for itself); exposed
  * so the analyzer can share header declarations with sibling sources.

@@ -30,6 +30,21 @@ const std::set<std::string> kSkipStatement = {
     "static_assert", "asm", "delete", "throw",    "new",
     "class",     "struct",  "union",  "enum",     "namespace"};
 
+/**
+ * Head identifiers that are never a function's return type (pure
+ * specifiers). `void`/`auto`/`std` stay: they are legitimate first
+ * type words, and only membership in mustUseTypes is ever consulted.
+ */
+const std::set<std::string> kSpecifiers = {
+    "static",   "inline", "constexpr", "consteval", "virtual",
+    "explicit", "extern", "friend",    "const",     "volatile",
+    "mutable",  "unsigned", "signed",  "typename",  "template"};
+
+/** Head identifiers skipped when naming a class/enum definition. */
+const std::set<std::string> kTypeHeadSkip = {
+    "enum",  "class",   "struct",  "union",     "final",
+    "public", "private", "protected", "virtual"};
+
 /** Idents that cannot be a declarator name (specifiers and types). */
 const std::set<std::string> kNotAName = {
     "static",   "const",    "constexpr", "constinit", "thread_local",
@@ -67,9 +82,12 @@ class FileIndexer
             for (int l = first; l <= last; ++l)
                 directive_lines.insert(l);
         }
-        for (const Token &t : file.tokens) {
-            if (directive_lines.count(t.line) == 0)
+        for (std::size_t n = 0; n < file.tokens.size(); ++n) {
+            const Token &t = file.tokens[n];
+            if (directive_lines.count(t.line) == 0) {
                 _toks.push_back(t);
+                _orig.push_back(n);
+            }
         }
     }
 
@@ -84,8 +102,9 @@ class FileIndexer
         // close them at the last seen line so lookups stay sane.
         int last_line =
             _toks.empty() ? 1 : _toks.back().line;
+        std::size_t last_orig = _orig.empty() ? 0 : _orig.back();
         while (_scopes.size() > 1)
-            popScope(last_line);
+            popScope(last_line, last_orig);
     }
 
   private:
@@ -111,17 +130,66 @@ class FileIndexer
     }
 
     void
-    popScope(int close_line)
+    popScope(int close_line, std::size_t close_orig)
     {
         Scope s = _scopes.back();
         _scopes.pop_back();
-        if (s.extent >= 0)
-            _index.functions[static_cast<std::size_t>(s.extent)]
-                .lastLine = close_line;
+        if (s.extent >= 0) {
+            FunctionExtent &fe =
+                _index.functions[static_cast<std::size_t>(s.extent)];
+            fe.lastLine = close_line;
+            fe.bodyEnd = close_orig;
+            fe.hasBody = close_orig > fe.bodyBegin;
+        }
+    }
+
+    /**
+     * Recover the declarator name (ident right before the first
+     * statement-level `(`) and first non-specifier head identifier
+     * from the head tokens [@p i, @p end).
+     */
+    void
+    nameFunction(FunctionExtent &fe, std::size_t i, std::size_t end)
+    {
+        int paren = 0, angle = 0;
+        std::string prev_ident;
+        for (std::size_t k = i; k < end; ++k) {
+            const Token &t = _toks[k];
+            if (t.kind == TokKind::kPunct) {
+                const std::string &p = t.text;
+                if (p == "(") {
+                    if (paren == 0 && angle == 0) {
+                        // `operator()` and friends get no name: a
+                        // call graph keyed by "operator" would only
+                        // fabricate edges.
+                        if (prev_ident != "operator")
+                            fe.name = prev_ident;
+                        return;
+                    }
+                    ++paren;
+                } else if (p == "[") {
+                    ++paren;
+                } else if ((p == ")" || p == "]") && paren > 0) {
+                    --paren;
+                } else if (p == "<" && k > i &&
+                           _toks[k - 1].kind == TokKind::kIdent &&
+                           !isPunct(k + 1, "=") && !isPunct(k + 1, "<")) {
+                    ++angle;
+                } else if (p == ">" && angle > 0) {
+                    --angle;
+                }
+                continue;
+            }
+            if (t.kind != TokKind::kIdent || paren > 0 || angle > 0)
+                continue;
+            prev_ident = t.text;
+            if (fe.returnType.empty() && kSpecifiers.count(t.text) == 0)
+                fe.returnType = t.text;
+        }
     }
 
     void
-    pushFunction(int head_line)
+    pushFunction(int head_line, std::size_t head_i, std::size_t body_open)
     {
         FunctionExtent fe;
         fe.file = _file.path;
@@ -133,10 +201,38 @@ class FileIndexer
                 fe.signalHandler = fe.signalHandler || m->signalHandler;
             }
         }
+        nameFunction(fe, head_i, body_open);
+        fe.bodyBegin = _orig[body_open];
         _index.functions.push_back(fe);
         _scopes.push_back(Scope{ScopeKind::kFunction,
                                 static_cast<int>(_index.functions.size()) -
                                     1});
+    }
+
+    /**
+     * Record the class/enum defined by the head [@p i, @p end) into
+     * mustUseTypes when the head carries a must-use annotation.
+     */
+    void
+    maybeRecordMustUse(std::size_t i, std::size_t end)
+    {
+        int head_line = _toks[i].line;
+        bool marked = false;
+        for (int l : {head_line - 1, head_line}) {
+            if (const LineMarks *m = marksAt(_file, l))
+                marked = marked || m->mustUse;
+        }
+        if (!marked)
+            return;
+        for (std::size_t k = i; k < end; ++k) {
+            if (_toks[k].kind == TokKind::kIdent &&
+                kTypeHeadSkip.count(_toks[k].text) == 0) {
+                _index.mustUseTypes.insert(_toks[k].text);
+                return;
+            }
+            if (isPunct(k, ":")) // base/underlying-type list starts
+                return;
+        }
     }
 
     /** Consume one statement (or scope boundary) starting at @p i. */
@@ -147,7 +243,7 @@ class FileIndexer
             return i + 1;
         if (isPunct(i, "}")) {
             if (_scopes.size() > 1)
-                popScope(_toks[i].line);
+                popScope(_toks[i].line, _orig[i]);
             return i + 1;
         }
         // Access labels are not statements: `public: int _x;` must
@@ -271,12 +367,14 @@ class FileIndexer
             return end + 1;
         }
         if (first_ident == "enum") {
+            maybeRecordMustUse(i, end);
             _scopes.push_back(Scope{ScopeKind::kEnum, -1});
             return end + 1;
         }
         if ((first_ident == "class" || first_ident == "struct" ||
              first_ident == "union") &&
             !saw_top_paren) {
+            maybeRecordMustUse(i, end);
             _scopes.push_back(Scope{ScopeKind::kClass, -1});
             return end + 1;
         }
@@ -288,7 +386,7 @@ class FileIndexer
         if (saw_top_paren && !saw_top_equals) {
             // `name(args) [const noexcept : init-list] {` — a function
             // (or TEST macro) definition.
-            pushFunction(head_line);
+            pushFunction(head_line, i, end);
             return end + 1;
         }
         if (saw_top_equals || !saw_top_paren) {
@@ -435,6 +533,7 @@ class FileIndexer
     const LexedFile &_file;
     SymbolIndex &_index;
     std::vector<Token> _toks;
+    std::vector<std::size_t> _orig; //!< _toks[k] is file.tokens[_orig[k]]
     std::vector<Scope> _scopes;
 };
 

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for astra-lint's per-function CFG builder (cfg.hh) and
+ * the forward-dataflow fixpoint engine (dataflow.hh): block/edge
+ * structure for branches, nested loops, switch fallthrough, early
+ * returns and try/catch, plus may-analysis propagation with and
+ * without back edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/cfg.hh"
+#include "lint/dataflow.hh"
+#include "lint/lexer.hh"
+#include "lint/symbols.hh"
+
+namespace astra::lint
+{
+namespace
+{
+
+/** CFG of the first function in @p src (asserts one is found). */
+FunctionCfg
+cfgOf(const std::string &src)
+{
+    LexedFile f = lexSource("t.cc", src);
+    SymbolIndex idx = buildSymbolIndex({f});
+    EXPECT_FALSE(idx.functions.empty()) << src;
+    if (idx.functions.empty() || !idx.functions[0].hasBody)
+        return FunctionCfg{};
+    const FunctionExtent &fe = idx.functions[0];
+    return buildFunctionCfg(f, fe.bodyBegin, fe.bodyEnd);
+}
+
+std::size_t
+countBackEdges(const FunctionCfg &cfg)
+{
+    std::size_t n = 0;
+    for (const BasicBlock &b : cfg.blocks) {
+        for (const CfgEdge &e : b.succs)
+            n += e.back ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+countEdgesInto(const FunctionCfg &cfg, std::size_t to)
+{
+    std::size_t n = 0;
+    for (const BasicBlock &b : cfg.blocks) {
+        for (const CfgEdge &e : b.succs)
+            n += e.to == to ? 1 : 0;
+    }
+    return n;
+}
+
+std::size_t
+countStmts(const FunctionCfg &cfg, bool scope_exits = false)
+{
+    std::size_t n = 0;
+    for (const BasicBlock &b : cfg.blocks) {
+        for (const CfgStmt &s : b.stmts)
+            n += s.scopeExit == scope_exits ? 1 : 0;
+    }
+    return n;
+}
+
+TEST(LintCfg, StraightLineIsOneChain)
+{
+    FunctionCfg cfg = cfgOf("void f() { a(); b(); c(); }");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_EQ(countStmts(cfg), 3u);
+    EXPECT_EQ(countBackEdges(cfg), 0u);
+    EXPECT_GE(countEdgesInto(cfg, cfg.exit), 1u);
+}
+
+TEST(LintCfg, IfElseBranchesAndMerges)
+{
+    FunctionCfg cfg = cfgOf("void f(bool c) {\n"
+                            "    pre();\n"
+                            "    if (c)\n"
+                            "        yes();\n"
+                            "    else\n"
+                            "        no();\n"
+                            "    post();\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    // The block holding the condition fans out to then and else.
+    bool saw_branch = false;
+    for (const BasicBlock &b : cfg.blocks)
+        saw_branch = saw_branch || b.succs.size() >= 2;
+    EXPECT_TRUE(saw_branch);
+    EXPECT_EQ(countStmts(cfg), 5u); // pre, if-head, yes, no, post
+}
+
+TEST(LintCfg, ElseLessIfKeepsFallthroughEdge)
+{
+    FunctionCfg cfg = cfgOf("void f(bool c) { if (c) yes(); post(); }");
+    ASSERT_TRUE(cfg.wellFormed);
+    // cond -> then -> merge plus the direct cond -> merge edge.
+    bool saw_two_out = false;
+    for (const BasicBlock &b : cfg.blocks)
+        saw_two_out = saw_two_out || b.succs.size() == 2;
+    EXPECT_TRUE(saw_two_out);
+}
+
+TEST(LintCfg, NestedLoopsMarkEachBackEdge)
+{
+    FunctionCfg cfg = cfgOf("void f(int n) {\n"
+                            "    for (int i = 0; i < n; ++i) {\n"
+                            "        int j = 0;\n"
+                            "        while (j < i) {\n"
+                            "            step(i, j);\n"
+                            "            ++j;\n"
+                            "        }\n"
+                            "    }\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_GE(countBackEdges(cfg), 2u); // one per loop
+}
+
+TEST(LintCfg, DoWhileLoopsBack)
+{
+    FunctionCfg cfg = cfgOf("void f() { do { pump(); } while (more()); }");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_EQ(countBackEdges(cfg), 1u);
+}
+
+TEST(LintCfg, RangedForLoopsBack)
+{
+    FunctionCfg cfg =
+        cfgOf("void f(const V &v) { for (const auto &x : v) use(x); }");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_EQ(countBackEdges(cfg), 1u);
+}
+
+TEST(LintCfg, SwitchFansOutAndFallsThrough)
+{
+    FunctionCfg cfg = cfgOf("void f(int k) {\n"
+                            "    switch (k) {\n"
+                            "    case 0:\n"
+                            "        zero();\n" // falls through to 1
+                            "    case 1:\n"
+                            "        one();\n"
+                            "        break;\n"
+                            "    default:\n"
+                            "        rest();\n"
+                            "    }\n"
+                            "    post();\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    // The switch head dispatches to every case label (3) and to the
+    // no-match exit.
+    bool saw_dispatch = false;
+    for (const BasicBlock &b : cfg.blocks)
+        saw_dispatch = saw_dispatch || b.succs.size() >= 4;
+    EXPECT_TRUE(saw_dispatch);
+    // The case-0 block both receives the dispatch edge and passes
+    // control on to case 1 (the fallthrough): some case block has two
+    // inbound edges, one from the head and one from the prior case.
+    EXPECT_EQ(countBackEdges(cfg), 0u);
+}
+
+TEST(LintCfg, EarlyReturnEdgesToExit)
+{
+    FunctionCfg cfg = cfgOf("int f(bool c) {\n"
+                            "    if (c)\n"
+                            "        return 1;\n"
+                            "    work();\n"
+                            "    return 0;\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    // Early return, final return, and the builder's fall-off edge.
+    EXPECT_GE(countEdgesInto(cfg, cfg.exit), 2u);
+}
+
+TEST(LintCfg, BreakAndContinueTargetLoopBlocks)
+{
+    FunctionCfg cfg = cfgOf("void f(int n) {\n"
+                            "    while (spin()) {\n"
+                            "        if (done())\n"
+                            "            break;\n"
+                            "        if (skip())\n"
+                            "            continue;\n"
+                            "        work();\n"
+                            "    }\n"
+                            "    post();\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    // continue closes the loop too, so at least two back edges (the
+    // normal body->head edge plus continue's).
+    EXPECT_GE(countBackEdges(cfg), 2u);
+}
+
+TEST(LintCfg, TryCatchBranchesAtEntryAndMerges)
+{
+    FunctionCfg cfg = cfgOf("void f() {\n"
+                            "    before();\n"
+                            "    try {\n"
+                            "        risky();\n"
+                            "    } catch (const E &e) {\n"
+                            "        recover();\n"
+                            "    }\n"
+                            "    after();\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    // The pre-try block fans out to the try body AND the handler (the
+    // exception can fire at any try statement, so the handler sees the
+    // try-entry state).
+    bool saw_fan = false;
+    for (const BasicBlock &b : cfg.blocks)
+        saw_fan = saw_fan || b.succs.size() >= 2;
+    EXPECT_TRUE(saw_fan);
+}
+
+TEST(LintCfg, ScopeExitMarkersCarryBraceSpan)
+{
+    FunctionCfg cfg = cfgOf("void f() {\n"
+                            "    {\n"
+                            "        inner();\n"
+                            "    }\n"
+                            "    outer();\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_EQ(countStmts(cfg, /*scope_exits=*/true), 1u);
+    for (const BasicBlock &b : cfg.blocks) {
+        for (const CfgStmt &s : b.stmts) {
+            if (s.scopeExit) {
+                EXPECT_LT(s.firstTok, s.lastTok); // the brace pair
+            }
+        }
+    }
+}
+
+TEST(LintCfg, DoWithoutWhileIsIllFormed)
+{
+    FunctionCfg cfg = cfgOf("void f() { do { pump(); } g(); }");
+    EXPECT_FALSE(cfg.wellFormed);
+}
+
+TEST(LintCfg, BraceInitializersStayInsideOneStatement)
+{
+    FunctionCfg cfg = cfgOf("void f() {\n"
+                            "    std::vector<int> v{1, 2, 3};\n"
+                            "    auto fn = [&]() { return v.size(); };\n"
+                            "    use(v, fn);\n"
+                            "}\n");
+    ASSERT_TRUE(cfg.wellFormed);
+    EXPECT_EQ(countStmts(cfg), 3u); // init + lambda decl + call
+}
+
+// ---- dataflow engine -------------------------------------------------
+
+TEST(LintDataflow, FactSetOps)
+{
+    FactSet a(70);
+    EXPECT_FALSE(a.any());
+    a.set(0);
+    a.set(69);
+    EXPECT_TRUE(a.test(0));
+    EXPECT_TRUE(a.test(69));
+    EXPECT_FALSE(a.test(42));
+    EXPECT_FALSE(a.test(1000)); // out of range is never set
+    a.reset(0);
+    EXPECT_FALSE(a.test(0));
+    EXPECT_TRUE(a.any());
+
+    FactSet b(70);
+    EXPECT_TRUE(b.uniteWith(a));  // picks up bit 69
+    EXPECT_FALSE(b.uniteWith(a)); // second union changes nothing
+    EXPECT_TRUE(b.test(69));
+}
+
+/** Gen/kill keyed on magic firstTok values, for hand-built CFGs. */
+class TokTransfer : public Transfer
+{
+  public:
+    void
+    apply(const CfgStmt &s, FactSet &f) const override
+    {
+        if (s.firstTok == 100)
+            f.set(0);
+        if (s.firstTok == 200)
+            f.reset(0);
+    }
+};
+
+TEST(LintDataflow, LoopFactRespectsBackEdgeSwitch)
+{
+    // entry(0) -> head(1) -> body(2) -back-> head; head -> exit(3).
+    // The gen sits in the body, so the fact reaches the head only
+    // around the back edge.
+    FunctionCfg cfg;
+    cfg.blocks.resize(4);
+    cfg.entry = 0;
+    cfg.exit = 3;
+    cfg.blocks[0].succs = {CfgEdge{1, false}};
+    cfg.blocks[1].succs = {CfgEdge{2, false}, CfgEdge{3, false}};
+    cfg.blocks[2].stmts = {CfgStmt{100, 100, false}};
+    cfg.blocks[2].succs = {CfgEdge{1, true}};
+
+    TokTransfer tf;
+    std::vector<FactSet> with = solveForward(cfg, 1, tf, true);
+    EXPECT_TRUE(with[1].test(0));  // propagated around the loop
+    EXPECT_TRUE(with[3].test(0));
+    std::vector<FactSet> without = solveForward(cfg, 1, tf, false);
+    EXPECT_FALSE(without[1].test(0));
+    EXPECT_FALSE(without[3].test(0));
+}
+
+TEST(LintDataflow, MergeIsUnionAndKillIsLocal)
+{
+    // entry(0) branches to gen(1) and clean(2), merging into 3; a
+    // kill block (4) follows. May-analysis: the fact holds at the
+    // merge (one path genned it) and is gone after the kill.
+    FunctionCfg cfg;
+    cfg.blocks.resize(6);
+    cfg.entry = 0;
+    cfg.exit = 5;
+    cfg.blocks[0].succs = {CfgEdge{1, false}, CfgEdge{2, false}};
+    cfg.blocks[1].stmts = {CfgStmt{100, 100, false}};
+    cfg.blocks[1].succs = {CfgEdge{3, false}};
+    cfg.blocks[2].succs = {CfgEdge{3, false}};
+    cfg.blocks[3].succs = {CfgEdge{4, false}};
+    cfg.blocks[4].stmts = {CfgStmt{200, 200, false}};
+    cfg.blocks[4].succs = {CfgEdge{5, false}};
+
+    TokTransfer tf;
+    std::vector<FactSet> ins = solveForward(cfg, 1, tf, true);
+    EXPECT_FALSE(ins[1].test(0)); // nothing genned before the branch
+    EXPECT_TRUE(ins[3].test(0));  // union at the merge
+    EXPECT_TRUE(ins[4].test(0));  // still held entering the kill
+    EXPECT_FALSE(ins[5].test(0)); // killed before the exit
+}
+
+} // namespace
+} // namespace astra::lint

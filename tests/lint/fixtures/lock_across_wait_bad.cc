@@ -1,0 +1,23 @@
+// Deliberate violations: scoped locks held across blocking calls.
+
+void
+submitUnderLock()
+{
+    std::lock_guard<std::mutex> hold(g_mutex);
+    g_pool.submit(work); // FIRE(lock-across-wait)
+}
+
+void
+waitOnForeignLock()
+{
+    std::unique_lock<std::mutex> outer(g_mutex);
+    g_cv.wait(inner); // FIRE(lock-across-wait)
+}
+
+void
+pumpUnderLockInLoop(int n)
+{
+    std::unique_lock<std::mutex> hold(g_mutex);
+    for (int i = 0; i < n; ++i)
+        g_queue.run(budget); // FIRE(lock-across-wait)
+}

@@ -1,0 +1,35 @@
+// Clean counterparts: the lock is scoped out, released, or handed to
+// the wait itself before anything blocks.
+
+void
+lockScopedOut()
+{
+    {
+        std::lock_guard<std::mutex> hold(g_mutex);
+        touchShared();
+    }
+    g_pool.submit(work);
+}
+
+void
+unlockedBeforeSubmit()
+{
+    std::unique_lock<std::mutex> hold(g_mutex);
+    touchShared();
+    hold.unlock();
+    g_pool.submit(work);
+}
+
+void
+lockHandedToWait()
+{
+    std::unique_lock<std::mutex> lk(g_mutex);
+    g_cv.wait(lk);
+}
+
+void
+predicateWaitHandedLock()
+{
+    std::unique_lock<std::mutex> lk(g_mutex);
+    g_cv.wait(lk, ready);
+}

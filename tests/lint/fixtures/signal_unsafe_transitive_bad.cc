@@ -1,0 +1,21 @@
+// Deliberate violation: the handler itself is clean, but its callee
+// chain reaches async-signal-unsafe operations.
+
+void
+logStatus(int code)
+{
+    printf("status %d", code);
+}
+
+void
+noteInterrupt(int code)
+{
+    logStatus(code);
+}
+
+// astra-lint: signal-handler
+extern "C" void
+onSignalChained(int sig)
+{
+    noteInterrupt(sig); // FIRE(signal-unsafe-transitive)
+}

@@ -1,0 +1,21 @@
+// Clean counterpart: the whole callee chain sticks to lock-free
+// stores, so the handler is async-signal-safe transitively.
+
+void
+recordFlag(int sig)
+{
+    g_flag = sig;
+}
+
+void
+forwardFlag(int sig)
+{
+    recordFlag(sig);
+}
+
+// astra-lint: signal-handler
+extern "C" void
+onSignalClean(int sig)
+{
+    forwardFlag(sig);
+}

@@ -1,0 +1,38 @@
+// Deliberate violations: full-statement calls discarding a must-use
+// result type.
+
+// astra-lint: must-use
+enum class ParseStatus
+{
+    kOk,
+    kFailed,
+};
+
+ParseStatus
+parseHeader(int x)
+{
+    if (x > 0)
+        return ParseStatus::kOk;
+    return ParseStatus::kFailed;
+}
+
+struct Loader
+{
+    ParseStatus
+    load(int x)
+    {
+        return parseHeader(x);
+    }
+};
+
+void
+dropsFreeCall()
+{
+    parseHeader(3); // FIRE(unchecked-outcome)
+}
+
+void
+dropsMemberCall(Loader &ld)
+{
+    ld.load(7); // FIRE(unchecked-outcome)
+}

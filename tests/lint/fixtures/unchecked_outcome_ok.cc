@@ -1,0 +1,44 @@
+// Clean counterparts: the must-use result is assigned and checked,
+// returned, branched on, or explicitly discarded with (void).
+
+// astra-lint: must-use
+enum class LoadStatus
+{
+    kOk,
+    kFailed,
+};
+
+LoadStatus
+loadTable(int x)
+{
+    if (x > 0)
+        return LoadStatus::kOk;
+    return LoadStatus::kFailed;
+}
+
+LoadStatus
+forwarded(int x)
+{
+    return loadTable(x);
+}
+
+void
+assignedAndChecked()
+{
+    LoadStatus st = loadTable(3);
+    if (st == LoadStatus::kFailed)
+        recordFailure();
+}
+
+void
+branchedDirectly()
+{
+    if (loadTable(0) == LoadStatus::kFailed)
+        recordFailure();
+}
+
+void
+intentionalDrop()
+{
+    (void)loadTable(1);
+}

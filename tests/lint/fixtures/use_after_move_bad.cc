@@ -1,0 +1,19 @@
+// Deliberate violations: locals read after being moved-from.
+// Fixtures are lexed, never compiled.
+
+void
+straightLine()
+{
+    auto buf = makeBuffer();
+    auto sink = std::move(buf);
+    consume(buf); // FIRE(use-after-move)
+}
+
+void
+movedOnOnePath(bool flip)
+{
+    auto plan = makePlan();
+    if (flip)
+        enqueue(std::move(plan));
+    apply(plan); // FIRE(use-after-move)
+}

@@ -1,0 +1,39 @@
+// Clean counterparts: every moved-from local is reassigned or reset
+// before any read, on every path that reaches the read.
+
+void
+reassignedAfterMove()
+{
+    auto buf = makeBuffer();
+    enqueue(std::move(buf));
+    buf = makeBuffer();
+    consume(buf);
+}
+
+void
+resetOnMovedPath(bool flip)
+{
+    auto plan = makePlan();
+    if (flip) {
+        enqueue(std::move(plan));
+        plan.clear();
+    }
+    apply(plan);
+}
+
+void
+movedFreshEachIteration(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        auto chunk = makeChunk(i);
+        enqueue(std::move(chunk));
+    }
+}
+
+void
+moveIsLastUse()
+{
+    auto buf = makeBuffer();
+    consume(buf);
+    enqueue(std::move(buf));
+}

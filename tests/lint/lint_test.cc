@@ -263,6 +263,23 @@ TEST(LintLexer, ParsesConcurrencyAnnotations)
     EXPECT_FALSE(f.marks.count(3));
 }
 
+TEST(LintLexer, ParsesMustUseAnnotation)
+{
+    LexedFile f = lexSource("t.cc",
+                            "// astra-lint: must-use\n"
+                            "enum class Outcome { kOk, kBad };\n"
+                            "// astra-lint: must-used-not-a-mark\n"
+                            "int a;\n");
+    ASSERT_TRUE(f.marks.count(1));
+    EXPECT_TRUE(f.marks.at(1).mustUse);
+    // `must-use` is a line mark, not a file tag.
+    EXPECT_FALSE(f.fileTags.count("must-use"));
+    // Longer words sharing the prefix are ordinary (meaningless) tags.
+    if (f.marks.count(3)) {
+        EXPECT_FALSE(f.marks.at(3).mustUse);
+    }
+}
+
 TEST(LintLexer, TracksPositions)
 {
     LexedFile f = lexSource("t.cc", "int a;\n  long b;\n");
@@ -287,8 +304,12 @@ TEST(LintRules, RegistryKnowsEveryRule)
     EXPECT_TRUE(knownRule("thread-capture"));
     EXPECT_TRUE(knownRule("hot-path-alloc"));
     EXPECT_TRUE(knownRule("stale-suppression"));
+    EXPECT_TRUE(knownRule("use-after-move"));
+    EXPECT_TRUE(knownRule("lock-across-wait"));
+    EXPECT_TRUE(knownRule("unchecked-outcome"));
+    EXPECT_TRUE(knownRule("signal-unsafe-transitive"));
     EXPECT_FALSE(knownRule("no-such-rule"));
-    EXPECT_GE(allRules().size(), 18u);
+    EXPECT_GE(allRules().size(), 23u);
 }
 
 // ---- symbol index ----------------------------------------------------
@@ -326,6 +347,46 @@ TEST(LintSymbols, IndexesVariableScopesAndTraits)
     ASSERT_NE(find("s_local"), nullptr);
     EXPECT_EQ(find("s_local")->scope, VarScope::kLocalStatic);
     EXPECT_EQ(find("autovar"), nullptr); // automatic storage not indexed
+}
+
+TEST(LintSymbols, FunctionExtentsCarryNamesAndBodies)
+{
+    LexedFile f = lexSource("t.cc",
+                            "RunOutcome\n"
+                            "outcome(int x)\n"
+                            "{\n"
+                            "    return decide(x);\n"
+                            "}\n"
+                            "static const Plan &Cluster::plan() const\n"
+                            "{\n"
+                            "    return _plan;\n"
+                            "}\n");
+    SymbolIndex idx = buildSymbolIndex({f});
+    ASSERT_GE(idx.functions.size(), 2u);
+    const FunctionExtent &fe0 = idx.functions[0];
+    EXPECT_EQ(fe0.name, "outcome");
+    EXPECT_EQ(fe0.returnType, "RunOutcome");
+    ASSERT_TRUE(fe0.hasBody);
+    EXPECT_EQ(f.tokens[fe0.bodyBegin].text, "{");
+    EXPECT_EQ(f.tokens[fe0.bodyEnd].text, "}");
+    EXPECT_LT(fe0.bodyBegin, fe0.bodyEnd);
+    const FunctionExtent &fe1 = idx.functions[1];
+    EXPECT_EQ(fe1.name, "plan");
+    EXPECT_TRUE(fe1.hasBody);
+}
+
+TEST(LintSymbols, MustUseTypesCollectAnnotatedHeads)
+{
+    LexedFile f = lexSource("t.cc",
+                            "// astra-lint: must-use\n"
+                            "enum class ParseStatus { kOk, kBad };\n"
+                            "// astra-lint: must-use\n"
+                            "struct Outcome { int code; };\n"
+                            "enum class Plain { kA };\n");
+    SymbolIndex idx = buildSymbolIndex({f});
+    EXPECT_TRUE(idx.mustUseTypes.count("ParseStatus"));
+    EXPECT_TRUE(idx.mustUseTypes.count("Outcome"));
+    EXPECT_FALSE(idx.mustUseTypes.count("Plain"));
 }
 
 TEST(LintSymbols, FunctionExtentsCarryThreadConfinement)
@@ -448,6 +509,30 @@ TEST(LintFixtures, HotPathAlloc)
 {
     expectMarkersMatch("hot_path_alloc_bad.cc");
     expectClean("hot_path_alloc_ok.cc");
+}
+
+TEST(LintFixtures, UseAfterMove)
+{
+    expectMarkersMatch("use_after_move_bad.cc");
+    expectClean("use_after_move_ok.cc");
+}
+
+TEST(LintFixtures, LockAcrossWait)
+{
+    expectMarkersMatch("lock_across_wait_bad.cc");
+    expectClean("lock_across_wait_ok.cc");
+}
+
+TEST(LintFixtures, UncheckedOutcome)
+{
+    expectMarkersMatch("unchecked_outcome_bad.cc");
+    expectClean("unchecked_outcome_ok.cc");
+}
+
+TEST(LintFixtures, SignalUnsafeTransitive)
+{
+    expectMarkersMatch("signal_unsafe_transitive_bad.cc");
+    expectClean("signal_unsafe_transitive_ok.cc");
 }
 
 TEST(LintFixtures, StaleSuppression)
@@ -635,6 +720,35 @@ TEST(LintBaseline, RoundTripsThroughFile)
         EXPECT_TRUE(keys.count(baselineKey(d))) << baselineKey(d);
     std::set<std::string> missing;
     EXPECT_FALSE(loadBaseline(path + ".nope", missing, &err));
+}
+
+// ---- parallel analysis -----------------------------------------------
+
+TEST(LintThreads, DiagnosticsIdenticalAtAnyWorkerCount)
+{
+    // --threads must never change what is reported or in what order:
+    // per-file slots are merged in file order and the final sort is
+    // total, so the diagnostic streams are equal element-for-element.
+    LintOptions serial;
+    serial.root = kRoot;
+    serial.skipFixtureDirs = false;
+    std::vector<std::string> files =
+        collectFiles(serial, {"tests/lint/fixtures"});
+    ASSERT_GT(files.size(), 20u);
+    std::vector<Diagnostic> one = analyzeFiles(serial, files);
+    ASSERT_FALSE(one.empty());
+
+    LintOptions parallel = serial;
+    parallel.threads = 4;
+    std::vector<Diagnostic> four = analyzeFiles(parallel, files);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].file, four[i].file);
+        EXPECT_EQ(one[i].line, four[i].line);
+        EXPECT_EQ(one[i].col, four[i].col);
+        EXPECT_EQ(one[i].rule, four[i].rule);
+        EXPECT_EQ(one[i].message, four[i].message);
+    }
 }
 
 // ---- the real tree ---------------------------------------------------

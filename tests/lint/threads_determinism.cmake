@@ -1,0 +1,48 @@
+# Determinism check of astra-lint's --threads mode, run via ctest:
+# the full fixture corpus (dozens of files, every rule family firing)
+# must produce byte-identical stdout at --threads=1 and --threads=4,
+# and a --write-baseline taken under each must also be byte-identical
+# — parallel analysis may only change wall-clock, never output.
+#
+# Invoked with -DLINT_TOOL=... -DSOURCE_DIR=... -DWORK_DIR=...
+
+set(fixtures "tests/lint/fixtures")
+
+foreach(n 1 4)
+    execute_process(
+        COMMAND "${LINT_TOOL}" "--root=${SOURCE_DIR}" --no-allowlist
+                --include-fixtures "--threads=${n}" "${fixtures}"
+        OUTPUT_FILE "${WORK_DIR}/lint_threads_${n}.txt"
+        RESULT_VARIABLE rc)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+            "fixture corpus reported nothing at --threads=${n}")
+    endif()
+    execute_process(
+        COMMAND "${LINT_TOOL}" "--root=${SOURCE_DIR}" --no-allowlist
+                --include-fixtures "--threads=${n}"
+                "--write-baseline=${WORK_DIR}/lint_threads_${n}.baseline"
+                "${fixtures}"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "--write-baseline exited ${rc} at --threads=${n}, want 0")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/lint_threads_1.txt" "${WORK_DIR}/lint_threads_4.txt"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "diagnostics differ between --threads=1 and =4")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/lint_threads_1.baseline"
+            "${WORK_DIR}/lint_threads_4.baseline"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "baselines differ between --threads=1 and =4")
+endif()

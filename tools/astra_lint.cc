@@ -25,6 +25,8 @@
  *                      fail on stale suppressions: inline allow(...)
  *                      comments and allowlist entries that matched no
  *                      finding (on in CI via tools/lint.sh)
+ *   --threads=N        fan the per-file phases across N workers
+ *                      (default 1; output is byte-identical at any N)
  *
  * Exit status: 0 clean, 1 diagnostics reported, 2 usage/config error.
  * tools/lint.sh builds and runs this as the CI static-analysis gate.
@@ -32,6 +34,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -126,6 +129,17 @@ main(int argc, char **argv)
             write_baseline_path = value("--write-baseline=");
         } else if (arg == "--strict-suppressions") {
             opts.strictSuppressions = true;
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            std::string n = value("--threads=");
+            char *end = nullptr;
+            long parsed =
+                n.empty() ? 0 : std::strtol(n.c_str(), &end, 10);
+            if (n.empty() || (end && *end != '\0') || parsed < 1 ||
+                parsed > 256)
+                return usageError("--threads wants an integer in "
+                                  "[1, 256], got '" +
+                                  n + "'");
+            opts.threads = static_cast<int>(parsed);
         } else if (arg == "-h" || arg == "--help") {
             listRules();
             return 0;

@@ -86,6 +86,25 @@ grep -q '"name": "astra-lint"' build/lint.sarif \
 ./build/tools/astra-lint --baseline=tools/lint-baseline.txt \
     src tools tests
 echo "SARIF artifact valid; baseline holds"
+
+echo "=== flow-sensitive rules (CFG + dataflow layer) ==="
+# The four statement-level rules must run clean over the real tree on
+# their own, and the enlarged SARIF rule catalog must carry their ids
+# (an archived artifact with a silently shrunken catalog would hide a
+# rule regression from downstream dashboards).
+./build/tools/astra-lint \
+    --rule=use-after-move,lock-across-wait,unchecked-outcome,signal-unsafe-transitive \
+    src tools tests
+for rule in use-after-move lock-across-wait unchecked-outcome \
+        signal-unsafe-transitive; do
+    grep -q "\"id\": \"$rule\"" build/lint.sarif \
+        || { echo "lint.sarif: rule catalog missing $rule" >&2; exit 1; }
+done
+# Self-analysis smoke: the analyzer must hold its own sources to the
+# same bar. --no-allowlist because the shipped allowlist's entries for
+# the rest of the tree would all be stale over this narrow file set.
+./build/tools/astra-lint --no-allowlist src/lint tools/astra_lint.cc
+echo "flow rules clean; SARIF catalog complete; self-analysis green"
 fi
 
 if [ "$LINT_ONLY" -eq 1 ]; then

@@ -16,7 +16,11 @@
 #  2. a grep fallback for bootstrap environments with no working
 #     compiler/cmake: a strictly weaker approximation of the token
 #     rules, retained only so the gate never silently vanishes.
-#  3. clang-tidy (checks in .clang-tidy) over src/, when a clang-tidy
+#  3. config-key drift — every `key=` the SimConfig parser accepts
+#     (src/common/config.cc) must have a row in docs/PARAMETERS.md,
+#     and every documented key must still parse. Pure grep/comm, so
+#     it runs in both modes above.
+#  4. clang-tidy (checks in .clang-tidy) over src/, when a clang-tidy
 #     binary and a compile_commands.json are available. The pinned CI
 #     container ships gcc only; astra-lint is the gate that always
 #     runs there.
@@ -105,7 +109,31 @@ else
         '^src/common/(check|logging)\.(cc|hh):'
 fi
 
-# --- 3. clang-tidy ---------------------------------------------------
+# --- 3. config-key drift ---------------------------------------------
+# The authoritative key list is the chain of `k == "..."` comparisons
+# in SimConfig::trySet; the user-facing list is the backticked first
+# column of the tables in docs/PARAMETERS.md. Both directions drift:
+# a new parameter lands without docs, or a doc row outlives a rename.
+code_keys=$(grep -oE 'k == "[a-z0-9-]+"' src/common/config.cc \
+    | grep -oE '"[a-z0-9-]+"' | tr -d '"' | sort -u)
+doc_keys=$(grep -E '^\|' docs/PARAMETERS.md | awk -F'|' '{print $2}' \
+    | grep -oE '`[a-z0-9-]+`' | tr -d '`' | sort -u)
+undocumented=$(comm -23 <(echo "$code_keys") <(echo "$doc_keys"))
+unparsed=$(comm -13 <(echo "$code_keys") <(echo "$doc_keys"))
+if [ -n "$undocumented" ]; then
+    echo "lint: config keys parsed by src/common/config.cc but missing" \
+        "from docs/PARAMETERS.md:" >&2
+    echo "$undocumented" | sed 's/^/    /' >&2
+    STATUS=1
+fi
+if [ -n "$unparsed" ]; then
+    echo "lint: keys documented in docs/PARAMETERS.md that" \
+        "src/common/config.cc no longer parses:" >&2
+    echo "$unparsed" | sed 's/^/    /' >&2
+    STATUS=1
+fi
+
+# --- 4. clang-tidy ---------------------------------------------------
 if [ "$JSON" -eq 0 ] && command -v clang-tidy >/dev/null 2>&1; then
     if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
         echo "lint: generating $BUILD_DIR/compile_commands.json" >&2
